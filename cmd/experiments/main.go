@@ -1,0 +1,80 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation from the simulator and prints them in paper order.
+//
+// Usage:
+//
+//	experiments [-quick] [-only figure-9,table-5] [-format markdown] [-out dir]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/exp"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "shrink the randomised sweeps for a fast pass")
+	only := flag.String("only", "", "comma-separated artefact ids to run (e.g. figure-9,table-5)")
+	format := flag.String("format", "text", "output format: text|markdown")
+	outDir := flag.String("out", "", "also write one file per artefact into this directory")
+	flag.Parse()
+
+	if *format != "text" && *format != "markdown" {
+		fmt.Fprintf(os.Stderr, "experiments: unknown format %q\n", *format)
+		os.Exit(1)
+	}
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+	}
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(id)] = true
+		}
+	}
+
+	matched := 0
+	for _, runner := range exp.Runners(*quick) {
+		if len(want) > 0 && !want[runner.ID] {
+			continue
+		}
+		matched++
+		result := runner.Run()
+		rendered := render(result, *format)
+		fmt.Println(rendered)
+		if *outDir != "" {
+			ext := ".txt"
+			if *format == "markdown" {
+				ext = ".md"
+			}
+			path := filepath.Join(*outDir, result.ID+ext)
+			if err := os.WriteFile(path, []byte(rendered+"\n"), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+				os.Exit(1)
+			}
+		}
+	}
+	if len(want) > 0 && matched != len(want) {
+		fmt.Fprintf(os.Stderr, "experiments: some requested ids were not found; known ids:\n")
+		for _, runner := range exp.Runners(*quick) {
+			fmt.Fprintf(os.Stderr, "  %s\n", runner.ID)
+		}
+		os.Exit(1)
+	}
+}
+
+// render formats one result in the requested format.
+func render(r exp.Result, format string) string {
+	if format == "markdown" {
+		return r.Markdown()
+	}
+	return r.String()
+}

@@ -1,0 +1,82 @@
+// Command tracegen emits the synthetic inputs behind the randomised
+// experiments, for inspection or external analysis.
+//
+// Usage:
+//
+//	tracegen -kind slices -seed 1 -n 20       # Figure 12 slice traces (JSON)
+//	tracegen -kind study                       # Table 2's 109-case list (CSV)
+//	tracegen -kind apps                        # Table 5 app inventory (CSV)
+package main
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"time"
+
+	"repro/internal/apps"
+	"repro/internal/study"
+)
+
+func main() {
+	var (
+		kind = flag.String("kind", "slices", "slices|study|apps")
+		seed = flag.Int64("seed", 1, "trace seed (slices)")
+		n    = flag.Int("n", 20, "misbehaving/normal slice pairs (slices)")
+		max  = flag.Duration("max", 10*time.Minute, "maximum slice length (slices)")
+	)
+	flag.Parse()
+
+	switch *kind {
+	case "slices":
+		enc := json.NewEncoder(os.Stdout)
+		for _, sl := range apps.RandomSlices(*seed, *n, *max) {
+			if err := enc.Encode(struct {
+				Misbehave bool   `json:"misbehave"`
+				LengthMS  int64  `json:"length_ms"`
+				Length    string `json:"length"`
+			}{sl.Misbehave, sl.Length.Milliseconds(), sl.Length.String()}); err != nil {
+				fatal(err)
+			}
+		}
+	case "study":
+		w := csv.NewWriter(os.Stdout)
+		defer w.Flush()
+		must(w.Write([]string{"id", "app", "source", "behavior", "root_cause"}))
+		for _, c := range study.Cases() {
+			behavior := c.Behavior.String()
+			if c.Behavior == study.BehaviorNA {
+				behavior = "N/A"
+			}
+			must(w.Write([]string{strconv.Itoa(c.ID), c.App, c.Source, behavior, c.Cause.String()}))
+		}
+	case "apps":
+		w := csv.NewWriter(os.Stdout)
+		defer w.Flush()
+		must(w.Write([]string{"app", "category", "resource", "behavior",
+			"paper_vanilla_mw", "paper_leaseos_mw", "paper_doze_mw", "paper_defdroid_mw"}))
+		for _, sp := range apps.Table5Specs() {
+			must(w.Write([]string{
+				sp.Name, sp.Category, sp.Resource.String(), sp.Behavior.String(),
+				fmt.Sprint(sp.PaperMW[0]), fmt.Sprint(sp.PaperMW[1]),
+				fmt.Sprint(sp.PaperMW[2]), fmt.Sprint(sp.PaperMW[3]),
+			}))
+		}
+	default:
+		fatal(fmt.Errorf("unknown kind %q", *kind))
+	}
+}
+
+func must(err error) {
+	if err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tracegen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,69 @@
+package appfw
+
+import "testing"
+
+type fakeBound struct{ alive bool }
+
+func (f *fakeBound) SetBoundAlive(a bool) { f.alive = a }
+
+func TestActivityLifecycle(t *testing.T) {
+	r := newRig(nil)
+	p := r.fw.NewProcess(10, "app")
+	act := p.NewActivity("main")
+	if !act.Alive() || act.Name() != "main" {
+		t.Fatal("fresh activity should be alive and named")
+	}
+	l := &fakeBound{}
+	act.Bind(l)
+	if !l.alive {
+		t.Fatal("binding to a live activity should mark the listener used")
+	}
+	act.Destroy()
+	if l.alive || act.Alive() {
+		t.Fatal("destroy should mark bound listeners unused")
+	}
+	act.Destroy() // idempotent
+	act.Recreate()
+	if !l.alive || !act.Alive() {
+		t.Fatal("recreate should revive bound listeners")
+	}
+	act.Recreate() // idempotent
+}
+
+func TestBindToDeadActivity(t *testing.T) {
+	r := newRig(nil)
+	p := r.fw.NewProcess(10, "app")
+	act := p.NewActivity("gone")
+	act.Destroy()
+	l := &fakeBound{alive: true}
+	act.Bind(l)
+	if l.alive {
+		t.Fatal("binding to a dead activity should mark the listener unused")
+	}
+}
+
+func TestAppServiceLifecycle(t *testing.T) {
+	r := newRig(nil)
+	p := r.fw.NewProcess(10, "app")
+	svc := p.NewService("sync")
+	if !svc.Alive() || svc.Name() != "sync" {
+		t.Fatal("fresh service should be alive and named")
+	}
+	var order []int
+	svc.OnDestroy(func() { order = append(order, 1) })
+	svc.OnDestroy(func() { order = append(order, 2) })
+	svc.Destroy()
+	svc.Destroy() // idempotent
+	if svc.Alive() {
+		t.Fatal("destroyed service should not be alive")
+	}
+	if len(order) != 2 || order[0] != 2 || order[1] != 1 {
+		t.Fatalf("cleanups should run LIFO once: %v", order)
+	}
+	// Registering after destruction runs immediately.
+	ran := false
+	svc.OnDestroy(func() { ran = true })
+	if !ran {
+		t.Fatal("OnDestroy on a dead service should run immediately")
+	}
+}

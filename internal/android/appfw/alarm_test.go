@@ -1,0 +1,101 @@
+package appfw
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/power"
+)
+
+func TestAlarmFiresWhileCPUAsleep(t *testing.T) {
+	r := newRig(nil)
+	p := r.fw.NewProcess(10, "app")
+	ticks := 0
+	p.AlarmEvery(time.Minute, func() { ticks++ })
+	r.engine.RunUntil(5*time.Minute + time.Second)
+	if ticks != 5 {
+		t.Fatalf("ticks = %d, want 5 (alarms are wake-capable)", ticks)
+	}
+}
+
+func TestAlarmGatedByGovernor(t *testing.T) {
+	// Use the denyGov from appfw_test and verify alarms defer like Doze.
+	r := newRig(denyGov{})
+	p := r.fw.NewProcess(10, "app")
+	ticks := 0
+	p.AlarmEvery(time.Minute, func() { ticks++ })
+	r.engine.RunUntil(10 * time.Minute)
+	if ticks != 0 {
+		t.Fatalf("gated alarm fired %d times", ticks)
+	}
+	// Moving to foreground exempts, and the pending tick flushes on the
+	// next reevaluation.
+	p.SetForeground(true)
+	r.engine.RunUntil(11 * time.Minute)
+	if ticks == 0 {
+		t.Fatal("foreground alarm should fire")
+	}
+}
+
+func TestAlarmAfterOnce(t *testing.T) {
+	r := newRig(nil)
+	p := r.fw.NewProcess(10, "app")
+	fired := 0
+	p.AlarmAfter(30*time.Second, func() { fired++ })
+	r.engine.RunUntil(5 * time.Minute)
+	if fired != 1 {
+		t.Fatalf("AlarmAfter fired %d times, want 1", fired)
+	}
+}
+
+func TestAlarmAfterCancel(t *testing.T) {
+	r := newRig(nil)
+	p := r.fw.NewProcess(10, "app")
+	fired := 0
+	cancel := p.AlarmAfter(30*time.Second, func() { fired++ })
+	cancel()
+	r.engine.RunUntil(5 * time.Minute)
+	if fired != 0 {
+		t.Fatal("cancelled alarm fired")
+	}
+}
+
+func TestAlarmStopsOnKill(t *testing.T) {
+	r := newRig(nil)
+	p := r.fw.NewProcess(10, "app")
+	ticks := 0
+	p.AlarmEvery(time.Minute, func() { ticks++ })
+	p.Kill()
+	r.engine.RunUntil(10 * time.Minute)
+	if ticks != 0 {
+		t.Fatal("alarm survived process death")
+	}
+}
+
+func TestAlarmWakeAcquirePattern(t *testing.T) {
+	// The canonical sync pattern: alarm fires while asleep, acquires a
+	// wakelock, does work, releases.
+	r := newRig(nil)
+	p := r.fw.NewProcess(10, "sync")
+	wl := r.hold(10)
+	wl.Release() // start asleep
+	var done int
+	p.AlarmEvery(time.Minute, func() {
+		wl.Acquire()
+		p.RunWork(time.Second, func() {
+			done++
+			wl.Release()
+		})
+	})
+	r.engine.RunUntil(10*time.Minute + 30*time.Second)
+	if done != 10 {
+		t.Fatalf("sync cycles = %d, want 10", done)
+	}
+	if got := r.fw.CPUTimeOf(10); got != 10*time.Second {
+		t.Fatalf("CPU time = %v, want 10s", got)
+	}
+	if r.pm.Awake() {
+		t.Fatal("CPU should be asleep between syncs")
+	}
+	_ = power.UID(0)
+}

@@ -1,0 +1,657 @@
+// Package appfw models the slice of the Android application framework that
+// energy behaviour depends on: app processes, CPU work execution gated on
+// the CPU being awake, timers that only fire while the CPU is up, network
+// requests, and the app-level signals the lease manager consumes (severe
+// exceptions, UI updates, user interactions — paper §3.3 and §6).
+//
+// The central semantic is that execution pauses seamlessly when the CPU
+// enters deep sleep and resumes when it wakes (paper §4.6: "the execution
+// is paused and will be resumed seamlessly later"), which is exactly how a
+// deferred wakelock slows down low-utility execution.
+package appfw
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/android/binder"
+	"repro/internal/android/hooks"
+	"repro/internal/android/powermgr"
+	"repro/internal/device"
+	"repro/internal/env"
+	"repro/internal/power"
+	"repro/internal/simclock"
+)
+
+// Framework owns processes and their execution.
+type Framework struct {
+	engine   *simclock.Engine
+	meter    *power.Meter
+	profile  device.Profile
+	world    *env.Environment
+	pm       *powermgr.Service
+	registry *binder.Registry
+	gov      hooks.Governor
+
+	procs map[power.UID]*Process
+
+	cpuTime      map[power.UID]time.Duration
+	exceptions   map[power.UID]int
+	uiUpdates    map[power.UID]int
+	interactions map[power.UID]int
+
+	// runningCPU tracks the work items currently burning CPU, for the
+	// DVFS-aware draw model (device.Profile.DVFSAlpha).
+	runningCPU map[*workItem]bool
+}
+
+// New creates the framework. gov gates background work (hooks.Nop for all
+// policies except Doze).
+func New(engine *simclock.Engine, meter *power.Meter, profile device.Profile, world *env.Environment,
+	pm *powermgr.Service, registry *binder.Registry, gov hooks.Governor) *Framework {
+	fw := &Framework{
+		engine: engine, meter: meter, profile: profile, world: world,
+		pm: pm, registry: registry, gov: gov,
+		procs:        make(map[power.UID]*Process),
+		cpuTime:      make(map[power.UID]time.Duration),
+		exceptions:   make(map[power.UID]int),
+		uiUpdates:    make(map[power.UID]int),
+		interactions: make(map[power.UID]int),
+		runningCPU:   make(map[*workItem]bool),
+	}
+	pm.OnAwakeChange(func(bool) { fw.Reevaluate() })
+	return fw
+}
+
+// SetGovernor replaces the work-gating governor before app activity begins.
+func (fw *Framework) SetGovernor(gov hooks.Governor) { fw.gov = gov }
+
+// NewProcess registers an app process. Each app has a unique uid, like
+// Android's per-app Linux uids.
+func (fw *Framework) NewProcess(uid power.UID, name string) *Process {
+	if uid == power.SystemUID {
+		panic("appfw: uid 0 is reserved for the system")
+	}
+	if _, ok := fw.procs[uid]; ok {
+		panic(fmt.Sprintf("appfw: uid %d already registered", uid))
+	}
+	p := &Process{fw: fw, uid: uid, name: name}
+	fw.procs[uid] = p
+	return p
+}
+
+// ProcessOf returns the process for uid, or nil.
+func (fw *Framework) ProcessOf(uid power.UID) *Process { return fw.procs[uid] }
+
+// CPUTimeOf reports the cumulative CPU busy time attributed to uid
+// (the paper's sysTime+userTime metric, §2.1).
+func (fw *Framework) CPUTimeOf(uid power.UID) time.Duration {
+	p := fw.procs[uid]
+	if p == nil {
+		return fw.cpuTime[uid]
+	}
+	t := fw.cpuTime[uid]
+	for _, w := range p.work {
+		if w.running {
+			t += fw.engine.Now() - w.startedAt
+		}
+	}
+	return t
+}
+
+// ExceptionsOf reports the cumulative count of severe exceptions thrown by
+// uid — the generic low-utility signal for wakelocks (paper §3.3, §6).
+func (fw *Framework) ExceptionsOf(uid power.UID) int { return fw.exceptions[uid] }
+
+// UIUpdatesOf reports cumulative UI updates posted by uid.
+func (fw *Framework) UIUpdatesOf(uid power.UID) int { return fw.uiUpdates[uid] }
+
+// InteractionsOf reports cumulative user interactions received by uid.
+func (fw *Framework) InteractionsOf(uid power.UID) int { return fw.interactions[uid] }
+
+// Reevaluate re-applies work gating to every process. The power manager
+// calls it on CPU transitions; policies call it when their gating changes
+// (e.g. Doze entering or leaving the idle state).
+func (fw *Framework) Reevaluate() {
+	for _, p := range fw.procs {
+		p.reevaluate()
+	}
+}
+
+// ErrNetworkDown is reported when a network request starts with no
+// connectivity.
+var ErrNetworkDown = errors.New("appfw: network disconnected")
+
+// ErrServerFailure is reported when the remote server fails the request.
+var ErrServerFailure = errors.New("appfw: server failure")
+
+// ErrTimeout is reported when a request was paused long enough (CPU asleep)
+// that its socket would have timed out.
+var ErrTimeout = errors.New("appfw: i/o timeout")
+
+// NetTimeout is the socket timeout applied to paused network requests.
+const NetTimeout = 30 * time.Second
+
+// workKind distinguishes CPU-burning work from radio-burning transfers.
+type workKind int
+
+const (
+	cpuWork workKind = iota
+	netWork
+)
+
+// workItem is one pausable unit of execution.
+type workItem struct {
+	proc      *Process
+	kind      workKind
+	tag       string
+	remaining time.Duration // busy time still needed
+	onDone    func(err error)
+	err       error
+
+	running   bool
+	startedAt simclock.Time
+	pausedAt  simclock.Time
+	doneEvent simclock.EventID
+	finished  bool
+}
+
+// Process is one app process.
+type Process struct {
+	fw         *Framework
+	uid        power.UID
+	name       string
+	foreground bool
+	dead       bool
+
+	work    []*workItem
+	timers  []*timer
+	alarms  []*alarm
+	nextTag int
+
+	tailEvent simclock.EventID // pending radio-tail expiry
+}
+
+// UID returns the process uid.
+func (p *Process) UID() power.UID { return p.uid }
+
+// Name returns the app name.
+func (p *Process) Name() string { return p.name }
+
+// Foreground reports whether the app is in the foreground.
+func (p *Process) Foreground() bool { return p.foreground }
+
+// Dead reports whether the process has been killed.
+func (p *Process) Dead() bool { return p.dead }
+
+// SetForeground moves the app between foreground and background.
+func (p *Process) SetForeground(fg bool) {
+	if p.dead || p.foreground == fg {
+		return
+	}
+	p.foreground = fg
+	p.reevaluate()
+}
+
+// canRun reports whether p's work may execute right now.
+func (p *Process) canRun() bool {
+	if p.dead {
+		return false
+	}
+	if !p.fw.pm.Awake() {
+		return false
+	}
+	if p.foreground {
+		return true
+	}
+	return p.fw.gov.AllowBackgroundWork(p.uid)
+}
+
+// RunWork executes busyTime of CPU work, drawing active-CPU power while
+// running, then calls onDone (which may be nil). busyTime is the time the
+// work takes on the reference device; slower devices take proportionally
+// longer. The work pauses whenever the process cannot run.
+func (p *Process) RunWork(busyTime time.Duration, onDone func()) {
+	if p.dead {
+		return
+	}
+	scaled := time.Duration(float64(busyTime) / p.fw.profile.CPUSpeed)
+	w := &workItem{proc: p, kind: cpuWork, remaining: scaled}
+	if onDone != nil {
+		w.onDone = func(error) { onDone() }
+	}
+	p.addWork(w)
+}
+
+// NetworkRequest performs one network transfer taking duration on the wire,
+// drawing radio power while active. onDone receives nil on success,
+// ErrNetworkDown if there was no connectivity at the start, ErrServerFailure
+// if the server is unhealthy (reported after the transfer attempt), or
+// ErrTimeout if the request was paused past the socket timeout.
+func (p *Process) NetworkRequest(duration time.Duration, onDone func(err error)) {
+	if p.dead {
+		return
+	}
+	if !p.fw.world.NetworkConnected() {
+		// Fast local failure: the stack notices immediately.
+		fail := &workItem{proc: p, kind: cpuWork, remaining: 50 * time.Millisecond, err: ErrNetworkDown, onDone: onDone}
+		p.addWork(fail)
+		return
+	}
+	w := &workItem{proc: p, kind: netWork, remaining: duration, onDone: onDone}
+	if !p.fw.world.ServerHealthy() {
+		w.err = ErrServerFailure
+	}
+	p.addWork(w)
+}
+
+func (p *Process) addWork(w *workItem) {
+	p.nextTag++
+	w.tag = fmt.Sprintf("work-%d", p.nextTag)
+	w.pausedAt = p.fw.engine.Now()
+	p.work = append(p.work, w)
+	p.reevaluate()
+}
+
+func (w *workItem) drawW() float64 {
+	fw := w.proc.fw
+	switch w.kind {
+	case netWork:
+		if fw.world.NetworkOnWiFi() {
+			return fw.profile.RadioActiveW * 0.5
+		}
+		return fw.profile.RadioActiveW
+	default:
+		base := fw.profile.CPUActiveW
+		if alpha := fw.profile.DVFSAlpha; alpha > 0 {
+			// Under DVFS, concurrent load raises the operating frequency
+			// and voltage, so per-item power grows with the number of
+			// runnable items.
+			k := len(fw.runningCPU)
+			if k < 1 {
+				k = 1
+			}
+			base *= 1 + alpha*float64(k-1)
+		}
+		return base
+	}
+}
+
+// refreshCPUDraws re-prices every running CPU item after the concurrency
+// level changes (DVFS model). A no-op when DVFSAlpha is zero.
+func (fw *Framework) refreshCPUDraws() {
+	if fw.profile.DVFSAlpha <= 0 {
+		return
+	}
+	for w := range fw.runningCPU {
+		fw.meter.Set(w.proc.uid, power.CPU, w.tag, w.drawW())
+	}
+}
+
+func (w *workItem) comp() power.Component {
+	if w.kind == netWork {
+		return power.Radio
+	}
+	return power.CPU
+}
+
+// start begins or resumes w.
+func (w *workItem) start() {
+	fw := w.proc.fw
+	now := fw.engine.Now()
+	// A network request paused past its socket timeout fails on resume
+	// (paper §4.6: "when the execution resumes, an I/O exception due to
+	// timeout might occur. But the app is already required to handle such
+	// exception").
+	if w.kind == netWork && w.err == nil && now-w.pausedAt > NetTimeout {
+		w.err = ErrTimeout
+		w.remaining = 0
+	}
+	w.running = true
+	w.startedAt = now
+	if w.kind == cpuWork {
+		fw.runningCPU[w] = true
+	}
+	fw.meter.Set(w.proc.uid, w.comp(), w.tag, w.drawW())
+	fw.refreshCPUDraws()
+	w.doneEvent = fw.engine.Schedule(w.remaining, func() { w.complete() })
+}
+
+// pause suspends w, folding elapsed busy time into accounting.
+func (w *workItem) pause() {
+	fw := w.proc.fw
+	now := fw.engine.Now()
+	fw.engine.Cancel(w.doneEvent)
+	w.doneEvent = 0
+	elapsed := now - w.startedAt
+	w.remaining -= elapsed
+	if w.remaining < 0 {
+		w.remaining = 0
+	}
+	if w.kind == cpuWork {
+		fw.cpuTime[w.proc.uid] += elapsed
+	}
+	w.running = false
+	w.pausedAt = now
+	delete(fw.runningCPU, w)
+	fw.meter.Clear(w.proc.uid, w.comp(), w.tag)
+	fw.refreshCPUDraws()
+}
+
+// complete finishes w and invokes its callback.
+func (w *workItem) complete() {
+	fw := w.proc.fw
+	if w.running {
+		elapsed := fw.engine.Now() - w.startedAt
+		if w.kind == cpuWork {
+			fw.cpuTime[w.proc.uid] += elapsed
+		}
+		fw.meter.Clear(w.proc.uid, w.comp(), w.tag)
+		w.running = false
+		delete(fw.runningCPU, w)
+		fw.refreshCPUDraws()
+		if w.kind == netWork {
+			w.proc.startRadioTail()
+		}
+	}
+	w.finished = true
+	w.proc.removeWork(w)
+	if w.onDone != nil {
+		w.onDone(w.err)
+	}
+}
+
+// startRadioTail models the cellular radio's tail energy: after a transfer
+// the radio lingers in a high-power state for RadioTailTime before dropping
+// back to idle. Wi-Fi transfers have no tail (power-save re-engages
+// immediately), and a new transfer within the tail simply refreshes it.
+func (p *Process) startRadioTail() {
+	fw := p.fw
+	if fw.profile.RadioTailW <= 0 || fw.profile.RadioTailTime <= 0 {
+		return
+	}
+	if fw.world.NetworkOnWiFi() || !fw.world.NetworkConnected() {
+		return
+	}
+	fw.meter.Set(p.uid, power.Radio, "radio-tail", fw.profile.RadioTailW)
+	if p.tailEvent != 0 {
+		fw.engine.Cancel(p.tailEvent)
+	}
+	p.tailEvent = fw.engine.Schedule(fw.profile.RadioTailTime, func() {
+		p.tailEvent = 0
+		fw.meter.Clear(p.uid, power.Radio, "radio-tail")
+	})
+}
+
+func (p *Process) removeWork(w *workItem) {
+	for i, x := range p.work {
+		if x == w {
+			p.work = append(p.work[:i], p.work[i+1:]...)
+			return
+		}
+	}
+}
+
+// reevaluate starts or pauses work and flushes due timers per gating state.
+func (p *Process) reevaluate() {
+	run := p.canRun()
+	for _, w := range append([]*workItem(nil), p.work...) {
+		if w.finished {
+			continue
+		}
+		switch {
+		case run && !w.running:
+			w.start()
+		case !run && w.running:
+			w.pause()
+		}
+	}
+	if run {
+		for _, t := range append([]*timer(nil), p.timers...) {
+			t.flush()
+		}
+	}
+	for _, a := range append([]*alarm(nil), p.alarms...) {
+		a.flush()
+	}
+}
+
+// timer is a periodic callback that only fires while the process can run;
+// ticks that come due while gated are delivered once on the next
+// opportunity (like a Handler on a sleeping CPU).
+type timer struct {
+	proc    *Process
+	period  time.Duration
+	fn      func()
+	stopped bool
+	pending bool
+	event   simclock.EventID
+}
+
+// Every schedules fn every period, gated on the process being runnable.
+// The returned stop function cancels the timer.
+func (p *Process) Every(period time.Duration, fn func()) (stop func()) {
+	if period <= 0 {
+		panic("appfw: Every period must be positive")
+	}
+	t := &timer{proc: p, period: period, fn: fn}
+	p.timers = append(p.timers, t)
+	t.schedule()
+	return t.stop
+}
+
+// After schedules fn once after delay, gated on the process being runnable.
+func (p *Process) After(delay time.Duration, fn func()) (cancel func()) {
+	done := false
+	var stop func()
+	stop = p.Every(delay, func() {
+		if done {
+			return
+		}
+		done = true
+		stop()
+		fn()
+	})
+	return func() {
+		done = true
+		stop()
+	}
+}
+
+func (t *timer) schedule() {
+	t.event = t.proc.fw.engine.Schedule(t.period, func() {
+		t.event = 0
+		if t.stopped || t.proc.dead {
+			return
+		}
+		if t.proc.canRun() {
+			t.fire()
+		} else {
+			t.pending = true
+		}
+	})
+}
+
+// fire runs the callback and schedules the next tick.
+func (t *timer) fire() {
+	t.pending = false
+	t.fn()
+	if !t.stopped && !t.proc.dead {
+		t.schedule()
+	}
+}
+
+// flush delivers a pending tick now that the process can run.
+func (t *timer) flush() {
+	if t.pending && !t.stopped {
+		t.fire()
+	}
+}
+
+func (t *timer) stop() {
+	if t.stopped {
+		return
+	}
+	t.stopped = true
+	t.pending = false
+	if t.event != 0 {
+		t.proc.fw.engine.Cancel(t.event)
+		t.event = 0
+	}
+	for i, x := range t.proc.timers {
+		if x == t {
+			t.proc.timers = append(t.proc.timers[:i], t.proc.timers[i+1:]...)
+			break
+		}
+	}
+}
+
+// alarm is a wake-capable periodic callback, the AlarmManager analogue: it
+// fires even while the CPU is asleep (the alarm wakes the device
+// momentarily), but it is still gated by the governor's background-work
+// policy (Doze defers alarms to maintenance windows).
+type alarm struct {
+	proc    *Process
+	period  time.Duration
+	fn      func()
+	stopped bool
+	pending bool
+	event   simclock.EventID
+}
+
+// AlarmEvery schedules fn every period with wake-capable semantics. The
+// returned stop function cancels the alarm.
+func (p *Process) AlarmEvery(period time.Duration, fn func()) (stop func()) {
+	if period <= 0 {
+		panic("appfw: AlarmEvery period must be positive")
+	}
+	a := &alarm{proc: p, period: period, fn: fn}
+	p.alarms = append(p.alarms, a)
+	a.schedule()
+	return a.stop
+}
+
+// AlarmAfter schedules fn once after delay with wake-capable semantics.
+func (p *Process) AlarmAfter(delay time.Duration, fn func()) (cancel func()) {
+	done := false
+	var stop func()
+	stop = p.AlarmEvery(delay, func() {
+		if done {
+			return
+		}
+		done = true
+		stop()
+		fn()
+	})
+	return func() {
+		done = true
+		stop()
+	}
+}
+
+func (a *alarm) allowed() bool {
+	p := a.proc
+	if p.dead {
+		return false
+	}
+	return p.foreground || p.fw.gov.AllowBackgroundWork(p.uid)
+}
+
+func (a *alarm) schedule() {
+	a.event = a.proc.fw.engine.Schedule(a.period, func() {
+		a.event = 0
+		if a.stopped || a.proc.dead {
+			return
+		}
+		if a.allowed() {
+			a.fire()
+		} else {
+			a.pending = true
+		}
+	})
+}
+
+func (a *alarm) fire() {
+	a.pending = false
+	a.fn()
+	if !a.stopped && !a.proc.dead {
+		a.schedule()
+	}
+}
+
+func (a *alarm) flush() {
+	if a.pending && !a.stopped && a.allowed() {
+		a.fire()
+	}
+}
+
+func (a *alarm) stop() {
+	if a.stopped {
+		return
+	}
+	a.stopped = true
+	a.pending = false
+	if a.event != 0 {
+		a.proc.fw.engine.Cancel(a.event)
+		a.event = 0
+	}
+	for i, x := range a.proc.alarms {
+		if x == a {
+			a.proc.alarms = append(a.proc.alarms[:i], a.proc.alarms[i+1:]...)
+			break
+		}
+	}
+}
+
+// ThrowException records one severe exception from p, the signal the lease
+// manager's generic wakelock utility consumes (paper §6's
+// ExceptionNoteHandler).
+func (p *Process) ThrowException() {
+	if !p.dead {
+		p.fw.exceptions[p.uid]++
+	}
+}
+
+// NoteUIUpdate records one UI update posted by p.
+func (p *Process) NoteUIUpdate() {
+	if !p.dead {
+		p.fw.uiUpdates[p.uid]++
+	}
+}
+
+// NoteInteraction records one user interaction delivered to p.
+func (p *Process) NoteInteraction() {
+	if !p.dead {
+		p.fw.interactions[p.uid]++
+	}
+}
+
+// Kill terminates the process: pending work and timers are dropped, kernel
+// objects die (releasing resources), and draws are cleared.
+func (p *Process) Kill() {
+	if p.dead {
+		return
+	}
+	for _, w := range append([]*workItem(nil), p.work...) {
+		if w.running {
+			w.pause()
+		}
+		w.finished = true
+	}
+	p.work = nil
+	for _, t := range append([]*timer(nil), p.timers...) {
+		t.stop()
+	}
+	for _, a := range append([]*alarm(nil), p.alarms...) {
+		a.stop()
+	}
+	p.dead = true
+	if p.tailEvent != 0 {
+		p.fw.engine.Cancel(p.tailEvent)
+		p.tailEvent = 0
+	}
+	p.fw.registry.KillOwner(p.uid)
+	p.fw.meter.ClearOwner(p.uid)
+	delete(p.fw.procs, p.uid)
+}

@@ -1,0 +1,100 @@
+package appfw
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/android/binder"
+	"repro/internal/android/hooks"
+	"repro/internal/android/powermgr"
+	"repro/internal/device"
+	"repro/internal/env"
+	"repro/internal/power"
+	"repro/internal/simclock"
+)
+
+func newDVFSRig(alpha float64) *rig {
+	prof := device.PixelXL.WithDVFS(alpha)
+	e := simclock.NewEngine()
+	m := power.NewMeter(e)
+	r := binder.NewRegistry(e)
+	w := env.New(e)
+	pm := powermgr.New(e, m, r, prof, hooks.Nop{})
+	fw := New(e, m, prof, w, pm, r, hooks.Nop{})
+	return &rig{engine: e, meter: m, reg: r, world: w, pm: pm, fw: fw}
+}
+
+func TestDVFSSuperlinearDraw(t *testing.T) {
+	r := newDVFSRig(0.3)
+	p := r.fw.NewProcess(10, "a")
+	q := r.fw.NewProcess(20, "b")
+	r.hold(10)
+
+	p.RunWork(10*time.Second, nil)
+	r.engine.RunUntil(time.Second)
+	single := r.meter.InstantPowerOfW(10)
+
+	q.RunWork(10*time.Second, nil)
+	r.engine.RunUntil(2 * time.Second)
+	// With two concurrent items, each draws 1.3×; uid 10's CPU-work draw
+	// must have risen accordingly.
+	concurrent := r.meter.InstantPowerOfW(10)
+	if concurrent <= single {
+		t.Fatalf("DVFS draw did not rise under load: %v → %v", single, concurrent)
+	}
+	want := single + 0.3*device.PixelXL.CPUActiveW
+	if diff := concurrent - want; diff < -1e-9 || diff > 1e-9 {
+		t.Fatalf("concurrent draw = %v, want %v", concurrent, want)
+	}
+}
+
+func TestDVFSDrawDropsWhenLoadEnds(t *testing.T) {
+	r := newDVFSRig(0.5)
+	p := r.fw.NewProcess(10, "a")
+	q := r.fw.NewProcess(20, "b")
+	r.hold(10)
+	p.RunWork(20*time.Second, nil)
+	q.RunWork(2*time.Second, nil)
+	r.engine.RunUntil(5 * time.Second) // q finished at 2 s
+	want := device.PixelXL.CPUActiveW + device.PixelXL.CPUIdleAwakeW
+	if got := r.meter.InstantPowerOfW(10); got != want {
+		t.Fatalf("draw after load drop = %v, want %v (single-item price)", got, want)
+	}
+}
+
+func TestDVFSZeroAlphaIsFlat(t *testing.T) {
+	r := newDVFSRig(0)
+	p := r.fw.NewProcess(10, "a")
+	q := r.fw.NewProcess(20, "b")
+	r.hold(10)
+	p.RunWork(10*time.Second, nil)
+	q.RunWork(10*time.Second, nil)
+	r.engine.RunUntil(time.Second)
+	want := device.PixelXL.CPUActiveW + device.PixelXL.CPUIdleAwakeW
+	if got := r.meter.InstantPowerOfW(10); got != want {
+		t.Fatalf("flat model draw = %v, want %v", got, want)
+	}
+}
+
+func TestDVFSEnergyConservation(t *testing.T) {
+	// The DVFS model must still integrate consistently: total energy of two
+	// overlapping items exceeds the flat model by exactly alpha per
+	// overlapped second per item.
+	flat := newDVFSRig(0)
+	dvfs := newDVFSRig(0.3)
+	for _, r := range []*rig{flat, dvfs} {
+		p := r.fw.NewProcess(10, "a")
+		q := r.fw.NewProcess(20, "b")
+		r.hold(10)
+		p.RunWork(10*time.Second, nil)
+		q.RunWork(10*time.Second, nil)
+		r.engine.RunUntil(time.Minute)
+	}
+	flatJ := flat.meter.EnergyOfJ(10) + flat.meter.EnergyOfJ(20)
+	dvfsJ := dvfs.meter.EnergyOfJ(10) + dvfs.meter.EnergyOfJ(20)
+	// 2 items × 10 s × 0.3 × 0.9 W = 5.4 J extra.
+	wantExtra := 5.4
+	if diff := (dvfsJ - flatJ) - wantExtra; diff < -1e-6 || diff > 1e-6 {
+		t.Fatalf("DVFS extra energy = %v, want %v", dvfsJ-flatJ, wantExtra)
+	}
+}

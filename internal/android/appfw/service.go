@@ -1,0 +1,49 @@
+package appfw
+
+// AppService models an Android Service component's lifecycle: resources are
+// typically acquired in onCreate and released in onDestroy. The Kontalk
+// defect (paper §2.1 case II) is exactly this pattern gone wrong — the
+// release lives in onDestroy, but the service is never destroyed, so the
+// wakelock is held "as long as the service lives" instead of "as long as
+// the work needs it".
+type AppService struct {
+	proc      *Process
+	name      string
+	destroyed bool
+	cleanup   []func()
+}
+
+// NewService creates a started service component for the process.
+func (p *Process) NewService(name string) *AppService {
+	return &AppService{proc: p, name: name}
+}
+
+// Name returns the service's name.
+func (s *AppService) Name() string { return s.name }
+
+// Alive reports whether the service has not been destroyed.
+func (s *AppService) Alive() bool { return !s.destroyed }
+
+// OnDestroy registers fn to run when the service is destroyed — the
+// canonical place apps put resource releases (and the canonical place those
+// releases rot, when the destroy path never executes).
+func (s *AppService) OnDestroy(fn func()) {
+	if s.destroyed {
+		fn()
+		return
+	}
+	s.cleanup = append(s.cleanup, fn)
+}
+
+// Destroy stops the service, running the registered cleanups in LIFO order
+// (matching defer semantics).
+func (s *AppService) Destroy() {
+	if s.destroyed {
+		return
+	}
+	s.destroyed = true
+	for i := len(s.cleanup) - 1; i >= 0; i-- {
+		s.cleanup[i]()
+	}
+	s.cleanup = nil
+}

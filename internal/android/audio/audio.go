@@ -1,0 +1,31 @@
+// Package audio models the audio-session facility (AudioService on Android,
+// audio sessions on iOS). A session keeps the audio output path powered
+// while active. The paper's introduction motivates leases with the Facebook
+// iOS defect that leaked audio sessions, "leaving the app doing nothing but
+// staying awake in the background draining the battery".
+package audio
+
+import (
+	"repro/internal/android/binder"
+	"repro/internal/android/holdsvc"
+	"repro/internal/android/hooks"
+	"repro/internal/device"
+	"repro/internal/power"
+	"repro/internal/simclock"
+)
+
+// Service is the audio manager.
+type Service struct {
+	*holdsvc.Service
+}
+
+// New creates the service.
+func New(engine *simclock.Engine, meter *power.Meter, registry *binder.Registry, profile device.Profile, gov hooks.Governor) *Service {
+	return &Service{holdsvc.New(engine, meter, registry, gov, "audio", hooks.AudioSession, power.Audio, profile.AudioW)}
+}
+
+// Session is an app-side audio-session descriptor.
+type Session = holdsvc.Lock
+
+// NewSession creates an audio session for uid.
+func (s *Service) NewSession(uid power.UID) *Session { return s.Service.NewLock(uid) }

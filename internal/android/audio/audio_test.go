@@ -1,0 +1,49 @@
+package audio
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/android/binder"
+	"repro/internal/android/hooks"
+	"repro/internal/device"
+	"repro/internal/power"
+	"repro/internal/simclock"
+)
+
+func TestAudioSessionDrawsAudioPower(t *testing.T) {
+	e := simclock.NewEngine()
+	m := power.NewMeter(e)
+	reg := binder.NewRegistry(e)
+	svc := New(e, m, reg, device.PixelXL, hooks.Nop{})
+	sess := svc.NewSession(10)
+	sess.Acquire()
+	e.RunUntil(10 * time.Second)
+	want := device.PixelXL.AudioW * 10
+	if got := m.EnergyOfJ(10); got != want {
+		t.Fatalf("energy = %v, want %v", got, want)
+	}
+}
+
+func TestAudioKind(t *testing.T) {
+	e := simclock.NewEngine()
+	m := power.NewMeter(e)
+	reg := binder.NewRegistry(e)
+	var created hooks.Object
+	gov := &captureGov{out: &created}
+	svc := New(e, m, reg, device.PixelXL, gov)
+	svc.NewSession(10).Acquire()
+	if created.Kind != hooks.AudioSession {
+		t.Fatalf("kind = %v, want AudioSession", created.Kind)
+	}
+	if created.Control.ServiceName() != "audio" {
+		t.Fatalf("service = %q", created.Control.ServiceName())
+	}
+}
+
+type captureGov struct {
+	hooks.Nop
+	out *hooks.Object
+}
+
+func (g *captureGov) ObjectCreated(o hooks.Object) { *g.out = o }

@@ -1,0 +1,79 @@
+package binder
+
+import (
+	"testing"
+
+	"repro/internal/simclock"
+)
+
+func TestTokenIdentity(t *testing.T) {
+	r := NewRegistry(simclock.NewEngine())
+	a := r.NewToken(10, "power")
+	b := r.NewToken(10, "power")
+	if a.ID() == b.ID() {
+		t.Fatal("token ids must be unique")
+	}
+	if a.Owner() != 10 || a.Service() != "power" {
+		t.Fatalf("token fields wrong: %v", a)
+	}
+	if a.String() == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+func TestDeathNotification(t *testing.T) {
+	r := NewRegistry(simclock.NewEngine())
+	tok := r.NewToken(10, "power")
+	fired := 0
+	tok.LinkToDeath(func() { fired++ })
+	r.Kill(tok)
+	r.Kill(tok) // idempotent
+	if fired != 1 {
+		t.Fatalf("death recipients fired %d times, want 1", fired)
+	}
+	if !tok.Dead() {
+		t.Fatal("token should be dead")
+	}
+}
+
+func TestLinkToDeathOnDeadTokenFiresImmediately(t *testing.T) {
+	r := NewRegistry(simclock.NewEngine())
+	tok := r.NewToken(10, "power")
+	r.Kill(tok)
+	fired := false
+	tok.LinkToDeath(func() { fired = true })
+	if !fired {
+		t.Fatal("recipient on dead token should fire immediately")
+	}
+}
+
+func TestKillOwnerReapsAll(t *testing.T) {
+	r := NewRegistry(simclock.NewEngine())
+	t1 := r.NewToken(10, "power")
+	t2 := r.NewToken(10, "location")
+	t3 := r.NewToken(20, "power")
+	if r.LiveCount(10) != 2 {
+		t.Fatalf("LiveCount = %d, want 2", r.LiveCount(10))
+	}
+	r.KillOwner(10)
+	if !t1.Dead() || !t2.Dead() {
+		t.Fatal("owner's tokens should be dead")
+	}
+	if t3.Dead() {
+		t.Fatal("other owner's token should survive")
+	}
+	if r.LiveCount(10) != 0 {
+		t.Fatal("LiveCount should be 0 after KillOwner")
+	}
+}
+
+func TestIPCAccounting(t *testing.T) {
+	r := NewRegistry(simclock.NewEngine())
+	if d := r.IPC(); d != IPCLatency {
+		t.Fatalf("IPC latency = %v, want %v", d, IPCLatency)
+	}
+	r.IPC()
+	if r.IPCCount != 2 {
+		t.Fatalf("IPCCount = %d, want 2", r.IPCCount)
+	}
+}

@@ -1,0 +1,207 @@
+// Package holdsvc implements the common shape of "hold-style" resource
+// services: the app acquires a lock-like object and the backing hardware
+// draws constant power while at least one effective object is held. Wi-Fi
+// locks (WifiManagerService) and audio sessions (AudioService) share this
+// shape and wrap this implementation; wakelocks do not, because they
+// additionally gate CPU sleep and the screen (see package powermgr).
+package holdsvc
+
+import (
+	"repro/internal/android/binder"
+	"repro/internal/android/hooks"
+	"repro/internal/power"
+	"repro/internal/simclock"
+)
+
+type object struct {
+	token      *binder.Token
+	uid        power.UID
+	held       bool
+	everHeld   bool
+	suppressed bool
+	destroyed  bool
+
+	lastSettle simclock.Time
+	acc        hooks.TermStats
+}
+
+func (o *object) effective() bool { return o.held && !o.suppressed && !o.destroyed }
+
+// Service is a generic hold-style resource service.
+type Service struct {
+	engine   *simclock.Engine
+	meter    *power.Meter
+	registry *binder.Registry
+	gov      hooks.Governor
+
+	name   string
+	kind   hooks.Kind
+	comp   power.Component
+	wattsW float64
+
+	objects map[uint64]*object
+	drawn   map[power.UID]bool
+}
+
+// New creates a hold-style service drawing wattsW per holding uid.
+func New(engine *simclock.Engine, meter *power.Meter, registry *binder.Registry, gov hooks.Governor,
+	name string, kind hooks.Kind, comp power.Component, wattsW float64) *Service {
+	return &Service{
+		engine: engine, meter: meter, registry: registry, gov: gov,
+		name: name, kind: kind, comp: comp, wattsW: wattsW,
+		objects: make(map[uint64]*object),
+		drawn:   make(map[power.UID]bool),
+	}
+}
+
+// SetGovernor replaces the governor before app activity begins.
+func (s *Service) SetGovernor(gov hooks.Governor) { s.gov = gov }
+
+// Lock is the app-side descriptor for one held resource instance.
+type Lock struct {
+	svc *Service
+	obj *object
+}
+
+// NewLock creates a descriptor (and kernel object) for uid. The governor
+// learns about the object on first Acquire.
+func (s *Service) NewLock(uid power.UID) *Lock {
+	tok := s.registry.NewToken(uid, s.name)
+	o := &object{token: tok, uid: uid, lastSettle: s.engine.Now()}
+	s.objects[tok.ID()] = o
+	tok.LinkToDeath(func() { s.destroy(o) })
+	return &Lock{svc: s, obj: o}
+}
+
+// Acquire takes the lock; re-acquiring a held lock is a no-op.
+func (l *Lock) Acquire() {
+	s, o := l.svc, l.obj
+	if o.destroyed || o.held {
+		return
+	}
+	s.registry.IPC()
+	wasEver := o.everHeld
+	s.settle(o)
+	o.held = true
+	o.everHeld = true
+	s.recompute()
+	if !wasEver {
+		s.gov.ObjectCreated(s.hookObject(o))
+	} else {
+		s.gov.ObjectReacquired(s.hookObject(o))
+	}
+}
+
+// Release drops the lock. Releasing during suppression sticks.
+func (l *Lock) Release() {
+	s, o := l.svc, l.obj
+	if o.destroyed || !o.held {
+		return
+	}
+	s.registry.IPC()
+	s.settle(o)
+	o.held = false
+	s.recompute()
+	s.gov.ObjectReleased(s.hookObject(o))
+}
+
+// IsHeld reports whether the app holds the lock; suppression is invisible.
+func (l *Lock) IsHeld() bool { return l.obj.held && !l.obj.destroyed }
+
+// ObjectID returns the kernel-object id backing this lock.
+func (l *Lock) ObjectID() uint64 { return l.obj.token.ID() }
+
+// Destroy deallocates the kernel object.
+func (l *Lock) Destroy() { l.svc.registry.Kill(l.obj.token) }
+
+func (s *Service) destroy(o *object) {
+	if o.destroyed {
+		return
+	}
+	s.settle(o)
+	o.destroyed = true
+	o.held = false
+	delete(s.objects, o.token.ID())
+	s.recompute()
+	s.gov.ObjectDestroyed(s.hookObject(o))
+}
+
+func (s *Service) hookObject(o *object) hooks.Object {
+	return hooks.Object{ID: o.token.ID(), UID: o.uid, Kind: s.kind, Control: s}
+}
+
+func (s *Service) settle(o *object) {
+	now := s.engine.Now()
+	dt := now - o.lastSettle
+	o.lastSettle = now
+	if dt <= 0 || !o.held || o.destroyed {
+		return
+	}
+	o.acc.Held += dt
+	if !o.suppressed {
+		o.acc.Active += dt
+	}
+}
+
+func (s *Service) recompute() {
+	holders := map[power.UID]int{}
+	n := 0
+	for _, o := range s.objects {
+		if o.effective() {
+			holders[o.uid]++
+			n++
+		}
+	}
+	newDrawn := make(map[power.UID]bool, len(holders))
+	for uid, c := range holders {
+		newDrawn[uid] = true
+		s.meter.Set(uid, s.comp, s.name, s.wattsW*float64(c)/float64(n))
+	}
+	for uid := range s.drawn {
+		if !newDrawn[uid] {
+			s.meter.Clear(uid, s.comp, s.name)
+		}
+	}
+	s.drawn = newDrawn
+}
+
+// --- hooks.Controller implementation ---
+
+// Suppress implements hooks.Controller.
+func (s *Service) Suppress(id uint64) {
+	o, ok := s.objects[id]
+	if !ok || o.suppressed {
+		return
+	}
+	s.settle(o)
+	o.suppressed = true
+	s.recompute()
+}
+
+// Unsuppress implements hooks.Controller.
+func (s *Service) Unsuppress(id uint64) {
+	o, ok := s.objects[id]
+	if !ok || !o.suppressed {
+		return
+	}
+	s.settle(o)
+	o.suppressed = false
+	s.recompute()
+}
+
+// TermStats implements hooks.Controller.
+func (s *Service) TermStats(id uint64) hooks.TermStats {
+	o, ok := s.objects[id]
+	if !ok {
+		return hooks.TermStats{}
+	}
+	s.settle(o)
+	ts := o.acc
+	o.acc = hooks.TermStats{}
+	return ts
+}
+
+// ServiceName implements hooks.Controller.
+func (s *Service) ServiceName() string { return s.name }
+
+var _ hooks.Controller = (*Service)(nil)

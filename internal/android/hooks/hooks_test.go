@@ -1,0 +1,36 @@
+package hooks
+
+import "testing"
+
+func TestKindStrings(t *testing.T) {
+	for _, k := range Kinds() {
+		if k.String() == "unknown" || k.String() == "" {
+			t.Errorf("kind %d has no name", int(k))
+		}
+	}
+	if Kind(99).String() != "unknown" {
+		t.Error("out-of-range kind should stringify to unknown")
+	}
+}
+
+func TestCanFrequentAsk(t *testing.T) {
+	// Paper Table 1: only GPS can exhibit Frequent-Ask; wakelock and sensor
+	// requests succeed almost immediately.
+	for _, k := range Kinds() {
+		want := k == GPSListener
+		if got := k.CanFrequentAsk(); got != want {
+			t.Errorf("CanFrequentAsk(%v) = %v, want %v", k, got, want)
+		}
+	}
+}
+
+func TestNopGovernor(t *testing.T) {
+	var g Governor = Nop{}
+	g.ObjectCreated(Object{})
+	g.ObjectReleased(Object{})
+	g.ObjectReacquired(Object{})
+	g.ObjectDestroyed(Object{})
+	if !g.AllowBackgroundWork(1) {
+		t.Fatal("Nop must always allow background work")
+	}
+}

@@ -1,0 +1,372 @@
+// Package location models Android's LocationManagerService for the GPS
+// resource.
+//
+// Apps register listeners to receive location updates; the GPS radio is
+// powered while at least one effective (registered, unsuppressed) listener
+// exists. Obtaining a fix takes time and depends on signal quality: in a
+// good-signal environment a lock arrives after a short search and periodic
+// fixes follow; in a weak-signal environment (inside a building, the
+// BetterWeather condition of paper Fig. 1) the search never locks, which is
+// what produces the Frequent-Ask misbehaviour — significant power spent in
+// the asking stage with no value produced.
+//
+// Because GPS is listener-based, "using" the resource has a different
+// semantic from wakelocks (paper Table 1 note ✓*): the listener is always
+// invoked when data arrives, so utilisation is measured as the lifetime of
+// the app Activity bound to the listener over the lifetime of the listener
+// (paper §3.3). Listeners carry a bound-activity liveness flag for that.
+package location
+
+import (
+	"time"
+
+	"repro/internal/android/binder"
+	"repro/internal/android/hooks"
+	"repro/internal/device"
+	"repro/internal/env"
+	"repro/internal/power"
+	"repro/internal/simclock"
+)
+
+// LockTime is how long a GPS search takes to first fix under good signal.
+const LockTime = 5 * time.Second
+
+// Fix is one delivered location update. Position is modelled in one
+// dimension; only distances matter to the utility metrics.
+type Fix struct {
+	At        simclock.Time
+	PositionM float64
+	// DistanceM is the distance covered since this listener's previous fix.
+	DistanceM float64
+}
+
+type listener struct {
+	token      *binder.Token
+	uid        power.UID
+	interval   time.Duration
+	onFix      func(Fix)
+	registered bool
+	suppressed bool
+	destroyed  bool
+	boundAlive bool
+
+	locked    bool
+	fixEvent  simclock.EventID
+	lockEvent simclock.EventID
+
+	lastSettle simclock.Time
+	lastFixPos float64
+	haveFixPos bool
+
+	acc hooks.TermStats
+}
+
+func (l *listener) effective() bool { return l.registered && !l.suppressed && !l.destroyed }
+
+// Service is the location manager.
+type Service struct {
+	engine   *simclock.Engine
+	meter    *power.Meter
+	registry *binder.Registry
+	profile  device.Profile
+	world    *env.Environment
+	gov      hooks.Governor
+
+	listeners map[uint64]*listener
+	drawn     map[power.UID]bool
+
+	// 1-D device position integrated from environment speed.
+	pos     float64
+	posTime simclock.Time
+}
+
+// New creates the service and subscribes it to environment changes.
+func New(engine *simclock.Engine, meter *power.Meter, registry *binder.Registry, profile device.Profile, world *env.Environment, gov hooks.Governor) *Service {
+	s := &Service{
+		engine: engine, meter: meter, registry: registry, profile: profile,
+		world: world, gov: gov,
+		listeners: make(map[uint64]*listener),
+		drawn:     make(map[power.UID]bool),
+	}
+	world.Subscribe(s.onEnvChange)
+	return s
+}
+
+// SetGovernor replaces the governor before app activity begins.
+func (s *Service) SetGovernor(gov hooks.Governor) { s.gov = gov }
+
+// position integrates device movement up to now.
+func (s *Service) position() float64 {
+	now := s.engine.Now()
+	if dt := now - s.posTime; dt > 0 {
+		s.pos += s.world.SpeedMps() * dt.Seconds()
+		s.posTime = now
+	}
+	return s.pos
+}
+
+func (s *Service) onEnvChange() {
+	s.position() // settle position under the previous speed
+	for _, l := range s.listeners {
+		s.reschedule(l)
+	}
+}
+
+// Request is the app-side handle for one registration, the analogue of the
+// LocationListener plus its PendingIntent token.
+type Request struct {
+	svc *Service
+	l   *listener
+}
+
+// Register starts location updates for uid at the given interval, invoking
+// onFix (which may be nil) for every delivered fix. The listener's bound
+// activity starts alive.
+func (s *Service) Register(uid power.UID, interval time.Duration, onFix func(Fix)) *Request {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	s.registry.IPC()
+	tok := s.registry.NewToken(uid, "location")
+	l := &listener{
+		token: tok, uid: uid, interval: interval, onFix: onFix,
+		registered: true, boundAlive: true, lastSettle: s.engine.Now(),
+	}
+	s.listeners[tok.ID()] = l
+	tok.LinkToDeath(func() { s.destroy(l) })
+	s.reschedule(l)
+	s.gov.ObjectCreated(s.hookObject(l))
+	return &Request{svc: s, l: l}
+}
+
+// Unregister stops updates (Android removeUpdates). The kernel object stays
+// alive for possible re-registration through Reregister.
+func (r *Request) Unregister() {
+	s, l := r.svc, r.l
+	if l.destroyed || !l.registered {
+		return
+	}
+	s.registry.IPC()
+	s.settle(l)
+	l.registered = false
+	l.locked = false
+	s.reschedule(l)
+	s.gov.ObjectReleased(s.hookObject(l))
+}
+
+// Reregister resumes updates on the same kernel object.
+func (r *Request) Reregister() {
+	s, l := r.svc, r.l
+	if l.destroyed || l.registered {
+		return
+	}
+	s.registry.IPC()
+	s.settle(l)
+	l.registered = true
+	s.reschedule(l)
+	s.gov.ObjectReacquired(s.hookObject(l))
+}
+
+// SetBoundAlive records whether the app Activity bound to this listener is
+// alive; it drives the Used term statistic.
+func (r *Request) SetBoundAlive(alive bool) {
+	s, l := r.svc, r.l
+	if l.boundAlive == alive {
+		return
+	}
+	s.settle(l)
+	l.boundAlive = alive
+}
+
+// Registered reports whether updates are currently requested.
+func (r *Request) Registered() bool { return r.l.registered && !r.l.destroyed }
+
+// ObjectID returns the kernel-object id backing this registration, usable
+// with the service's Controller interface (profilers pull TermStats by it).
+func (r *Request) ObjectID() uint64 { return r.l.token.ID() }
+
+// Destroy deallocates the kernel object.
+func (r *Request) Destroy() { r.svc.registry.Kill(r.l.token) }
+
+func (s *Service) destroy(l *listener) {
+	if l.destroyed {
+		return
+	}
+	s.settle(l)
+	l.destroyed = true
+	l.registered = false
+	delete(s.listeners, l.token.ID())
+	s.reschedule(l)
+	s.gov.ObjectDestroyed(s.hookObject(l))
+}
+
+func (s *Service) hookObject(l *listener) hooks.Object {
+	return hooks.Object{ID: l.token.ID(), UID: l.uid, Kind: hooks.GPSListener, Control: s}
+}
+
+// settle folds elapsed time into l's accumulators under the state that held
+// since lastSettle.
+func (s *Service) settle(l *listener) {
+	now := s.engine.Now()
+	dt := now - l.lastSettle
+	l.lastSettle = now
+	if dt <= 0 {
+		return
+	}
+	if !l.registered || l.destroyed {
+		return
+	}
+	l.acc.Held += dt
+	if l.suppressed {
+		return
+	}
+	l.acc.Active += dt
+	if l.boundAlive {
+		l.acc.Used += dt
+	}
+	if !l.locked {
+		// Still searching: the whole interval was request time, and it
+		// failed (no fix arrived during it).
+		l.acc.RequestTime += dt
+		l.acc.FailedRequestTime += dt
+	}
+}
+
+// reschedule cancels and re-establishes l's pending search or fix events
+// according to current state and signal quality.
+func (s *Service) reschedule(l *listener) {
+	if l.lockEvent != 0 {
+		s.engine.Cancel(l.lockEvent)
+		l.lockEvent = 0
+	}
+	if l.fixEvent != 0 {
+		s.engine.Cancel(l.fixEvent)
+		l.fixEvent = 0
+	}
+	s.recomputePower()
+	if !l.effective() {
+		return
+	}
+	quality := s.world.GPS()
+	if quality != env.GPSGood {
+		// Searching without a lock: failed request time accrues via settle.
+		s.settle(l)
+		l.locked = false
+		return
+	}
+	if !l.locked {
+		l.lockEvent = s.engine.Schedule(LockTime, func() {
+			l.lockEvent = 0
+			s.settle(l)
+			l.locked = true
+			// settle classified the just-finished search interval as failed
+			// request time; it succeeded, so reclassify the last LockTime
+			// (it remains counted in RequestTime).
+			if l.acc.FailedRequestTime >= LockTime {
+				l.acc.FailedRequestTime -= LockTime
+			} else {
+				l.acc.FailedRequestTime = 0
+			}
+			s.deliver(l)
+		})
+		return
+	}
+	l.fixEvent = s.engine.Schedule(l.interval, func() {
+		l.fixEvent = 0
+		s.deliver(l)
+	})
+}
+
+// deliver sends one fix to l and schedules the next.
+func (s *Service) deliver(l *listener) {
+	if !l.effective() || s.world.GPS() != env.GPSGood {
+		return
+	}
+	s.settle(l)
+	pos := s.position()
+	dist := 0.0
+	if l.haveFixPos {
+		dist = pos - l.lastFixPos
+		if dist < 0 {
+			dist = -dist
+		}
+	}
+	l.lastFixPos, l.haveFixPos = pos, true
+	l.acc.DataPoints++
+	l.acc.DistanceM += dist
+	if l.onFix != nil {
+		l.onFix(Fix{At: s.engine.Now(), PositionM: pos, DistanceM: dist})
+	}
+	if l.effective() {
+		l.fixEvent = s.engine.Schedule(l.interval, func() {
+			l.fixEvent = 0
+			s.deliver(l)
+		})
+	}
+}
+
+// recomputePower re-derives the GPS radio draw attribution.
+func (s *Service) recomputePower() {
+	holders := map[power.UID]int{}
+	n := 0
+	for _, l := range s.listeners {
+		if l.effective() {
+			holders[l.uid]++
+			n++
+		}
+	}
+	newDrawn := make(map[power.UID]bool, len(holders))
+	for uid, c := range holders {
+		newDrawn[uid] = true
+		s.meter.Set(uid, power.GPS, "gps", s.profile.GPSActiveW*float64(c)/float64(n))
+	}
+	for uid := range s.drawn {
+		if !newDrawn[uid] {
+			s.meter.Clear(uid, power.GPS, "gps")
+		}
+	}
+	s.drawn = newDrawn
+}
+
+// --- hooks.Controller implementation ---
+
+// Suppress implements hooks.Controller: the listener stops being invoked
+// and the GPS radio is released if this was the last effective listener.
+func (s *Service) Suppress(id uint64) {
+	l, ok := s.listeners[id]
+	if !ok || l.suppressed {
+		return
+	}
+	s.settle(l)
+	l.suppressed = true
+	l.locked = false // a fresh search is needed after restoration
+	s.reschedule(l)
+}
+
+// Unsuppress implements hooks.Controller.
+func (s *Service) Unsuppress(id uint64) {
+	l, ok := s.listeners[id]
+	if !ok || !l.suppressed {
+		return
+	}
+	s.settle(l)
+	l.suppressed = false
+	s.reschedule(l)
+}
+
+// TermStats implements hooks.Controller.
+func (s *Service) TermStats(id uint64) hooks.TermStats {
+	l, ok := s.listeners[id]
+	if !ok {
+		return hooks.TermStats{}
+	}
+	s.settle(l)
+	ts := l.acc
+	l.acc = hooks.TermStats{}
+	return ts
+}
+
+// ServiceName implements hooks.Controller.
+func (s *Service) ServiceName() string { return "location" }
+
+var _ hooks.Controller = (*Service)(nil)

@@ -1,0 +1,102 @@
+package location
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/device"
+	"repro/internal/env"
+)
+
+func TestSuppressDuringSearchStopsFailedTime(t *testing.T) {
+	r := newRig(nil)
+	r.world.SetGPS(env.GPSWeak)
+	req := r.svc.Register(10, time.Second, nil)
+	r.engine.RunUntil(10 * time.Second)
+	r.svc.Suppress(req.ObjectID())
+	r.engine.RunUntil(60 * time.Second)
+	ts := r.svc.TermStats(req.ObjectID())
+	if ts.FailedRequestTime != 10*time.Second {
+		t.Fatalf("FailedRequestTime = %v, want 10s (suppressed search must not accrue)", ts.FailedRequestTime)
+	}
+	if ts.Active != 10*time.Second {
+		t.Fatalf("Active = %v, want 10s", ts.Active)
+	}
+}
+
+func TestSearchRestartsAfterSuppression(t *testing.T) {
+	// A suppressed listener loses its lock; after restoration a fresh
+	// search (LockTime) must complete before fixes resume.
+	r := newRig(nil)
+	fixes := 0
+	req := r.svc.Register(10, time.Second, func(Fix) { fixes++ })
+	r.engine.RunUntil(10 * time.Second) // locked at 5 s, fixes flowing
+	r.svc.Suppress(req.ObjectID())
+	r.engine.RunUntil(20 * time.Second)
+	n := fixes
+	r.svc.Unsuppress(req.ObjectID())
+	r.engine.RunUntil(20*time.Second + LockTime - time.Second)
+	if fixes != n {
+		t.Fatal("fixes resumed before the new search locked")
+	}
+	r.engine.RunUntil(30 * time.Second)
+	if fixes <= n {
+		t.Fatal("fixes should resume after the re-lock")
+	}
+}
+
+func TestDestroyMidSearchCancelsEvents(t *testing.T) {
+	r := newRig(nil)
+	req := r.svc.Register(10, time.Second, nil)
+	r.engine.RunUntil(2 * time.Second) // mid initial search
+	req.Destroy()
+	r.engine.RunUntil(time.Minute) // the pending lock event must not fire
+	if got := r.meter.InstantPowerOfW(10); got != 0 {
+		t.Fatalf("destroyed listener draws %v", got)
+	}
+}
+
+func TestMultipleListenersSameApp(t *testing.T) {
+	r := newRig(nil)
+	a := r.svc.Register(10, time.Second, nil)
+	b := r.svc.Register(10, 2*time.Second, nil)
+	// Same uid: the radio draw is attributed once per listener share but
+	// sums to the full radio power.
+	if got := r.meter.InstantPowerOfW(10); !almost(got, device.PixelXL.GPSActiveW) {
+		t.Fatalf("uid draw = %v, want full GPS draw", got)
+	}
+	a.Unregister()
+	if got := r.meter.InstantPowerOfW(10); !almost(got, device.PixelXL.GPSActiveW) {
+		t.Fatalf("one listener left: %v, want full GPS draw", got)
+	}
+	b.Unregister()
+	if got := r.meter.InstantPowerOfW(10); got != 0 {
+		t.Fatalf("no listeners: %v", got)
+	}
+}
+
+func TestReregisterAfterDestroyIsInert(t *testing.T) {
+	r := newRig(nil)
+	req := r.svc.Register(10, time.Second, nil)
+	req.Destroy()
+	req.Reregister() // must not panic or re-power
+	if req.Registered() {
+		t.Fatal("destroyed registration cannot re-register")
+	}
+	if got := r.meter.InstantPowerOfW(10); got != 0 {
+		t.Fatalf("draw = %v", got)
+	}
+}
+
+func TestGPSQualityDegradesMidTracking(t *testing.T) {
+	r := newRig(nil)
+	fixes := 0
+	r.svc.Register(10, time.Second, func(Fix) { fixes++ })
+	r.engine.RunUntil(10 * time.Second)
+	n := fixes
+	r.world.SetGPS(env.GPSWeak) // drive into a tunnel
+	r.engine.RunUntil(30 * time.Second)
+	if fixes != n {
+		t.Fatal("fixes must stop when signal degrades")
+	}
+}

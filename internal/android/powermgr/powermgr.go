@@ -1,0 +1,400 @@
+// Package powermgr models Android's PowerManagerService: partial wakelocks
+// that keep the CPU awake and screen wakelocks that keep the display on.
+//
+// Semantics reproduced from the paper:
+//   - Acquiring a wakelock adds a kernel object (IBinder) to an internal
+//     array; the CPU may enter deep sleep only when that array is empty and
+//     the screen is off (§4.4: "the power manager subsystem essentially adds
+//     the kernel object, IBinder, into an internal array, which will be
+//     checked to determine if the CPU should enter deep sleep mode").
+//   - A governor can suppress an object: the proxy "needs to remove the
+//     IBinder from the array inside onExpire" while the app-side descriptor
+//     stays valid; acquire IPCs during suppression pretend to succeed and a
+//     release during suppression sticks (§4.6).
+package powermgr
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/android/binder"
+	"repro/internal/android/hooks"
+	"repro/internal/device"
+	"repro/internal/power"
+	"repro/internal/simclock"
+)
+
+// object is the kernel-side record of one wakelock.
+type object struct {
+	token      *binder.Token
+	uid        power.UID
+	kind       hooks.Kind
+	name       string
+	held       bool
+	everHeld   bool
+	suppressed bool
+	destroyed  bool
+
+	// stat accumulators, settled lazily against lastSettle
+	lastSettle simclock.Time
+	accHeld    time.Duration
+	accActive  time.Duration
+}
+
+func (o *object) effective() bool { return o.held && !o.suppressed && !o.destroyed }
+
+// Service is the power manager.
+type Service struct {
+	engine   *simclock.Engine
+	meter    *power.Meter
+	registry *binder.Registry
+	profile  device.Profile
+	gov      hooks.Governor
+
+	objects map[uint64]*object
+
+	// uids that currently have a per-holder draw entry, so stale entries can
+	// be cleared when the last object of a uid disappears.
+	drawnPartial map[power.UID]bool
+	drawnScreen  map[power.UID]bool
+
+	userScreen bool // screen forced on by active user session
+	awake      bool
+	screenOn   bool
+
+	awakeSubs []func(awake bool)
+
+	// AwakeTime accumulates total CPU-awake time for diagnostics.
+	AwakeTime  time.Duration
+	awakeSince simclock.Time
+}
+
+// New creates the service. gov must be non-nil (use hooks.Nop{} for vanilla).
+func New(engine *simclock.Engine, meter *power.Meter, registry *binder.Registry, profile device.Profile, gov hooks.Governor) *Service {
+	s := &Service{
+		engine:   engine,
+		meter:    meter,
+		registry: registry,
+		profile:  profile,
+		gov:      gov,
+		objects:  make(map[uint64]*object),
+
+		drawnPartial: make(map[power.UID]bool),
+		drawnScreen:  make(map[power.UID]bool),
+	}
+	// Baseline suspend draw is always present and owned by the system.
+	meter.Set(power.SystemUID, power.System, "suspend-base", profile.SuspendW)
+	return s
+}
+
+// SetGovernor replaces the governor. Intended for simulation assembly before
+// any app activity, not for mid-run swaps.
+func (s *Service) SetGovernor(gov hooks.Governor) { s.gov = gov }
+
+// Wakelock is the app-side descriptor bound to one kernel object. It mirrors
+// android.os.PowerManager.WakeLock, including the reference-counting switch:
+// a reference-counted lock needs as many releases as acquires (Android's
+// default), while a non-counted lock releases on the first release call.
+// This model defaults to non-counted because the paper's app models and
+// defect patterns are written against idempotent acquire/release; call
+// SetReferenceCounted(true) for Android-default semantics.
+type Wakelock struct {
+	svc  *Service
+	obj  *object
+	kind hooks.Kind
+	name string
+
+	refCounted bool
+	refs       int
+
+	timeoutEvent simclock.EventID
+}
+
+// SetReferenceCounted switches the descriptor between reference-counted
+// and idempotent acquire/release semantics, mirroring
+// WakeLock.setReferenceCounted. Switch before first use.
+func (w *Wakelock) SetReferenceCounted(counted bool) { w.refCounted = counted }
+
+// NewWakelock creates a descriptor for uid. kind must be hooks.Wakelock
+// (partial, keeps CPU on) or hooks.ScreenWakelock (keeps screen on). The
+// kernel object is created eagerly, matching the one-to-one
+// descriptor/kernel-object mapping; the governor learns about it on first
+// acquire.
+func (s *Service) NewWakelock(uid power.UID, kind hooks.Kind, name string) *Wakelock {
+	if kind != hooks.Wakelock && kind != hooks.ScreenWakelock {
+		panic(fmt.Sprintf("powermgr: invalid wakelock kind %v", kind))
+	}
+	tok := s.registry.NewToken(uid, "power")
+	obj := &object{token: tok, uid: uid, kind: kind, name: name, lastSettle: s.engine.Now()}
+	s.objects[tok.ID()] = obj
+	tok.LinkToDeath(func() { s.destroy(obj) })
+	return &Wakelock{svc: s, obj: obj, kind: kind, name: name}
+}
+
+// hookObject builds the governor view of obj.
+func (s *Service) hookObject(o *object) hooks.Object {
+	return hooks.Object{ID: o.token.ID(), UID: o.uid, Kind: o.kind, Control: s}
+}
+
+// Acquire takes the wakelock. On a non-counted lock, acquiring an
+// already-held lock is a no-op; on a reference-counted lock it increments
+// the count that Release must balance.
+func (w *Wakelock) Acquire() {
+	s := w.svc
+	o := w.obj
+	if o.destroyed {
+		return
+	}
+	s.registry.IPC()
+	if w.timeoutEvent != 0 {
+		// A plain acquire supersedes a pending timed auto-release.
+		s.engine.Cancel(w.timeoutEvent)
+		w.timeoutEvent = 0
+	}
+	if w.refCounted {
+		w.refs++
+	}
+	if o.held {
+		return
+	}
+	wasEverHeld := o.everHeld
+	s.settle(o)
+	o.held = true
+	o.everHeld = true
+	s.recompute()
+	if !wasEverHeld {
+		s.gov.ObjectCreated(s.hookObject(o))
+	} else {
+		s.gov.ObjectReacquired(s.hookObject(o))
+	}
+}
+
+// AcquireTimeout takes the wakelock and auto-releases it after d, mirroring
+// WakeLock.acquire(long timeout) — the defensive API that bounds the damage
+// of a forgotten release. A later Acquire or AcquireTimeout supersedes the
+// pending auto-release.
+func (w *Wakelock) AcquireTimeout(d time.Duration) {
+	if d <= 0 {
+		w.Acquire()
+		return
+	}
+	if w.timeoutEvent != 0 {
+		w.svc.engine.Cancel(w.timeoutEvent)
+		w.timeoutEvent = 0
+	}
+	w.Acquire()
+	w.timeoutEvent = w.svc.engine.Schedule(d, func() {
+		w.timeoutEvent = 0
+		w.Release()
+	})
+}
+
+// Release drops the wakelock (or one reference of a reference-counted
+// lock). Releasing during suppression sticks: the object will not be
+// restored when the suppression lifts.
+func (w *Wakelock) Release() {
+	s := w.svc
+	o := w.obj
+	if o.destroyed || !o.held {
+		return
+	}
+	s.registry.IPC()
+	if w.refCounted {
+		w.refs--
+		if w.refs > 0 {
+			return
+		}
+		w.refs = 0
+	}
+	s.settle(o)
+	o.held = false
+	s.recompute()
+	s.gov.ObjectReleased(s.hookObject(o))
+}
+
+// IsHeld reports whether the app currently holds the lock. Suppression is
+// invisible to the app: a suppressed held lock still reports held.
+func (w *Wakelock) IsHeld() bool { return w.obj.held && !w.obj.destroyed }
+
+// ObjectID returns the kernel-object id backing this wakelock.
+func (w *Wakelock) ObjectID() uint64 { return w.obj.token.ID() }
+
+// Destroy deallocates the kernel object for good.
+func (w *Wakelock) Destroy() { w.svc.registry.Kill(w.obj.token) }
+
+func (s *Service) destroy(o *object) {
+	if o.destroyed {
+		return
+	}
+	s.settle(o)
+	o.destroyed = true
+	o.held = false
+	delete(s.objects, o.token.ID())
+	s.recompute()
+	s.gov.ObjectDestroyed(s.hookObject(o))
+}
+
+// SetUserScreen turns the screen on or off on behalf of the user session
+// (power button / active interaction). Screen wakelocks held by apps keep
+// the screen on regardless.
+func (s *Service) SetUserScreen(on bool) {
+	if s.userScreen == on {
+		return
+	}
+	s.userScreen = on
+	s.recompute()
+}
+
+// Awake reports whether the CPU is out of deep sleep.
+func (s *Service) Awake() bool { return s.awake }
+
+// TotalAwakeTime reports the cumulative CPU-awake time up to now.
+func (s *Service) TotalAwakeTime() time.Duration {
+	t := s.AwakeTime
+	if s.awake {
+		t += s.engine.Now() - s.awakeSince
+	}
+	return t
+}
+
+// ScreenOn reports whether the display is lit.
+func (s *Service) ScreenOn() bool { return s.screenOn }
+
+// OnAwakeChange subscribes to CPU awake/sleep transitions. The callback runs
+// after the state has changed.
+func (s *Service) OnAwakeChange(fn func(awake bool)) { s.awakeSubs = append(s.awakeSubs, fn) }
+
+// settle folds elapsed time into o's stat accumulators.
+func (s *Service) settle(o *object) {
+	now := s.engine.Now()
+	dt := now - o.lastSettle
+	if dt > 0 {
+		if o.held {
+			o.accHeld += dt
+			if !o.suppressed {
+				o.accActive += dt
+			}
+		}
+		o.lastSettle = now
+	} else if o.lastSettle == 0 {
+		o.lastSettle = now
+	}
+}
+
+// recompute re-derives screen/CPU state and power draws after any change.
+func (s *Service) recompute() {
+	now := s.engine.Now()
+
+	// Count effective locks per kind and per uid.
+	partialHolders := map[power.UID]int{}
+	screenHolders := map[power.UID]int{}
+	nPartial, nScreen := 0, 0
+	for _, o := range s.objects {
+		if !o.effective() {
+			continue
+		}
+		switch o.kind {
+		case hooks.Wakelock:
+			partialHolders[o.uid]++
+			nPartial++
+		case hooks.ScreenWakelock:
+			screenHolders[o.uid]++
+			nScreen++
+		}
+	}
+
+	screenOn := s.userScreen || nScreen > 0
+	awake := screenOn || nPartial > 0
+
+	// Screen power: attributed to screen-lock holders if any, else to the
+	// system while the user keeps the screen on.
+	s.meter.Clear(power.SystemUID, power.Screen, "user-screen")
+	newScreen := make(map[power.UID]bool, len(screenHolders))
+	for uid, n := range screenHolders {
+		newScreen[uid] = true
+		s.meter.Set(uid, power.Screen, "screen-lock", s.profile.ScreenOnW*float64(n)/float64(nScreen))
+	}
+	for uid := range s.drawnScreen {
+		if !newScreen[uid] {
+			s.meter.Clear(uid, power.Screen, "screen-lock")
+		}
+	}
+	s.drawnScreen = newScreen
+	if nScreen == 0 && screenOn {
+		s.meter.Set(power.SystemUID, power.Screen, "user-screen", s.profile.ScreenOnW)
+	}
+
+	// Idle-awake CPU power: attributed to partial-lock holders if any, else
+	// to the system while the screen keeps the CPU up.
+	s.meter.Clear(power.SystemUID, power.CPU, "awake-idle")
+	newPartial := make(map[power.UID]bool, len(partialHolders))
+	for uid, n := range partialHolders {
+		newPartial[uid] = true
+		s.meter.Set(uid, power.CPU, "wakelock-idle", s.profile.CPUIdleAwakeW*float64(n)/float64(nPartial))
+	}
+	for uid := range s.drawnPartial {
+		if !newPartial[uid] {
+			s.meter.Clear(uid, power.CPU, "wakelock-idle")
+		}
+	}
+	s.drawnPartial = newPartial
+	if nPartial == 0 && awake {
+		s.meter.Set(power.SystemUID, power.CPU, "awake-idle", s.profile.CPUIdleAwakeW)
+	}
+
+	s.screenOn = screenOn
+	if awake != s.awake {
+		if s.awake {
+			s.AwakeTime += now - s.awakeSince
+		} else {
+			s.awakeSince = now
+		}
+		s.awake = awake
+		for _, fn := range s.awakeSubs {
+			fn(awake)
+		}
+	}
+}
+
+// --- hooks.Controller implementation ---
+
+// Suppress implements hooks.Controller: removes the IBinder from the
+// wakelock array without touching the descriptor.
+func (s *Service) Suppress(id uint64) {
+	o, ok := s.objects[id]
+	if !ok || o.suppressed {
+		return
+	}
+	s.settle(o)
+	o.suppressed = true
+	s.recompute()
+}
+
+// Unsuppress implements hooks.Controller: restores a suppressed object if
+// the app still holds it.
+func (s *Service) Unsuppress(id uint64) {
+	o, ok := s.objects[id]
+	if !ok || !o.suppressed {
+		return
+	}
+	s.settle(o)
+	o.suppressed = false
+	s.recompute()
+}
+
+// TermStats implements hooks.Controller.
+func (s *Service) TermStats(id uint64) hooks.TermStats {
+	o, ok := s.objects[id]
+	if !ok {
+		return hooks.TermStats{}
+	}
+	s.settle(o)
+	ts := hooks.TermStats{Held: o.accHeld, Active: o.accActive}
+	o.accHeld, o.accActive = 0, 0
+	return ts
+}
+
+// ServiceName implements hooks.Controller.
+func (s *Service) ServiceName() string { return "power" }
+
+var _ hooks.Controller = (*Service)(nil)

@@ -1,0 +1,294 @@
+// Package sensor models Android's SensorService.
+//
+// Apps register listeners for a sensor type and receive events at the
+// requested rate while registered. Like GPS, sensors are listener-based
+// (paper Table 1 note ✓*): the listener is always invoked when the sensor
+// fires, so "holding without using" manifests as a listener outliving its
+// bound Activity, and "low utility" manifests as deliveries that produce no
+// UI updates or user interactions (the TapAndTurn and Riot cases, Table 5).
+package sensor
+
+import (
+	"time"
+
+	"repro/internal/android/binder"
+	"repro/internal/android/hooks"
+	"repro/internal/device"
+	"repro/internal/power"
+	"repro/internal/simclock"
+)
+
+// Type names a sensor. Only identity matters to the resource model.
+type Type int
+
+// The sensor types the evaluated apps use.
+const (
+	Accelerometer Type = iota
+	Orientation
+	Light
+	Proximity
+	Camera // Haven's intrusion detection treats the camera like a sensor
+)
+
+func (t Type) String() string {
+	switch t {
+	case Accelerometer:
+		return "accelerometer"
+	case Orientation:
+		return "orientation"
+	case Light:
+		return "light"
+	case Proximity:
+		return "proximity"
+	case Camera:
+		return "camera"
+	default:
+		return "sensor"
+	}
+}
+
+// Event is one sensor reading delivered to a listener.
+type Event struct {
+	At   simclock.Time
+	Type Type
+	Seq  int
+}
+
+type listener struct {
+	token      *binder.Token
+	uid        power.UID
+	typ        Type
+	rate       time.Duration
+	onEvent    func(Event)
+	registered bool
+	suppressed bool
+	destroyed  bool
+	boundAlive bool
+
+	tickEvent simclock.EventID
+	seq       int
+
+	lastSettle simclock.Time
+	acc        hooks.TermStats
+}
+
+func (l *listener) effective() bool { return l.registered && !l.suppressed && !l.destroyed }
+
+// Service is the sensor manager.
+type Service struct {
+	engine   *simclock.Engine
+	meter    *power.Meter
+	registry *binder.Registry
+	profile  device.Profile
+	gov      hooks.Governor
+
+	listeners map[uint64]*listener
+	drawn     map[power.UID]bool
+}
+
+// New creates the service.
+func New(engine *simclock.Engine, meter *power.Meter, registry *binder.Registry, profile device.Profile, gov hooks.Governor) *Service {
+	return &Service{
+		engine: engine, meter: meter, registry: registry, profile: profile, gov: gov,
+		listeners: make(map[uint64]*listener),
+		drawn:     make(map[power.UID]bool),
+	}
+}
+
+// SetGovernor replaces the governor before app activity begins.
+func (s *Service) SetGovernor(gov hooks.Governor) { s.gov = gov }
+
+// Registration is the app-side handle for one sensor listener.
+type Registration struct {
+	svc *Service
+	l   *listener
+}
+
+// Register starts sensor events of typ for uid at the given rate, invoking
+// onEvent (which may be nil) per reading.
+func (s *Service) Register(uid power.UID, typ Type, rate time.Duration, onEvent func(Event)) *Registration {
+	if rate <= 0 {
+		rate = 200 * time.Millisecond
+	}
+	s.registry.IPC()
+	tok := s.registry.NewToken(uid, "sensor")
+	l := &listener{
+		token: tok, uid: uid, typ: typ, rate: rate, onEvent: onEvent,
+		registered: true, boundAlive: true, lastSettle: s.engine.Now(),
+	}
+	s.listeners[tok.ID()] = l
+	tok.LinkToDeath(func() { s.destroy(l) })
+	s.reschedule(l)
+	s.gov.ObjectCreated(s.hookObject(l))
+	return &Registration{svc: s, l: l}
+}
+
+// Unregister stops events; the kernel object survives for re-registration.
+func (r *Registration) Unregister() {
+	s, l := r.svc, r.l
+	if l.destroyed || !l.registered {
+		return
+	}
+	s.registry.IPC()
+	s.settle(l)
+	l.registered = false
+	s.reschedule(l)
+	s.gov.ObjectReleased(s.hookObject(l))
+}
+
+// Reregister resumes events on the same kernel object.
+func (r *Registration) Reregister() {
+	s, l := r.svc, r.l
+	if l.destroyed || l.registered {
+		return
+	}
+	s.registry.IPC()
+	s.settle(l)
+	l.registered = true
+	s.reschedule(l)
+	s.gov.ObjectReacquired(s.hookObject(l))
+}
+
+// SetBoundAlive records whether the listener's bound Activity is alive.
+func (r *Registration) SetBoundAlive(alive bool) {
+	s, l := r.svc, r.l
+	if l.boundAlive == alive {
+		return
+	}
+	s.settle(l)
+	l.boundAlive = alive
+}
+
+// Registered reports whether events are currently requested.
+func (r *Registration) Registered() bool { return r.l.registered && !r.l.destroyed }
+
+// ObjectID returns the kernel-object id backing this registration.
+func (r *Registration) ObjectID() uint64 { return r.l.token.ID() }
+
+// Destroy deallocates the kernel object.
+func (r *Registration) Destroy() { r.svc.registry.Kill(r.l.token) }
+
+func (s *Service) destroy(l *listener) {
+	if l.destroyed {
+		return
+	}
+	s.settle(l)
+	l.destroyed = true
+	l.registered = false
+	delete(s.listeners, l.token.ID())
+	s.reschedule(l)
+	s.gov.ObjectDestroyed(s.hookObject(l))
+}
+
+func (s *Service) hookObject(l *listener) hooks.Object {
+	return hooks.Object{ID: l.token.ID(), UID: l.uid, Kind: hooks.SensorListener, Control: s}
+}
+
+func (s *Service) settle(l *listener) {
+	now := s.engine.Now()
+	dt := now - l.lastSettle
+	l.lastSettle = now
+	if dt <= 0 || !l.registered || l.destroyed {
+		return
+	}
+	l.acc.Held += dt
+	if l.suppressed {
+		return
+	}
+	l.acc.Active += dt
+	if l.boundAlive {
+		l.acc.Used += dt
+	}
+}
+
+func (s *Service) reschedule(l *listener) {
+	if l.tickEvent != 0 {
+		s.engine.Cancel(l.tickEvent)
+		l.tickEvent = 0
+	}
+	s.recomputePower()
+	if !l.effective() {
+		return
+	}
+	l.tickEvent = s.engine.Schedule(l.rate, func() {
+		l.tickEvent = 0
+		s.deliver(l)
+	})
+}
+
+func (s *Service) deliver(l *listener) {
+	if !l.effective() {
+		return
+	}
+	s.settle(l)
+	l.seq++
+	l.acc.DataPoints++
+	if l.onEvent != nil {
+		l.onEvent(Event{At: s.engine.Now(), Type: l.typ, Seq: l.seq})
+	}
+	if l.effective() {
+		l.tickEvent = s.engine.Schedule(l.rate, func() {
+			l.tickEvent = 0
+			s.deliver(l)
+		})
+	}
+}
+
+func (s *Service) recomputePower() {
+	holders := map[power.UID]bool{}
+	for _, l := range s.listeners {
+		if l.effective() {
+			holders[l.uid] = true
+		}
+	}
+	for uid := range holders {
+		s.meter.Set(uid, power.Sensor, "sensor", s.profile.SensorW)
+	}
+	for uid := range s.drawn {
+		if !holders[uid] {
+			s.meter.Clear(uid, power.Sensor, "sensor")
+		}
+	}
+	s.drawn = holders
+}
+
+// --- hooks.Controller implementation ---
+
+// Suppress implements hooks.Controller: event delivery stops.
+func (s *Service) Suppress(id uint64) {
+	l, ok := s.listeners[id]
+	if !ok || l.suppressed {
+		return
+	}
+	s.settle(l)
+	l.suppressed = true
+	s.reschedule(l)
+}
+
+// Unsuppress implements hooks.Controller.
+func (s *Service) Unsuppress(id uint64) {
+	l, ok := s.listeners[id]
+	if !ok || !l.suppressed {
+		return
+	}
+	s.settle(l)
+	l.suppressed = false
+	s.reschedule(l)
+}
+
+// TermStats implements hooks.Controller.
+func (s *Service) TermStats(id uint64) hooks.TermStats {
+	l, ok := s.listeners[id]
+	if !ok {
+		return hooks.TermStats{}
+	}
+	s.settle(l)
+	ts := l.acc
+	l.acc = hooks.TermStats{}
+	return ts
+}
+
+// ServiceName implements hooks.Controller.
+func (s *Service) ServiceName() string { return "sensor" }
+
+var _ hooks.Controller = (*Service)(nil)

@@ -1,0 +1,30 @@
+// Package wifi models the WifiManagerService's WifiLock facility: a lock
+// that keeps the Wi-Fi radio out of power-save mode while held. The
+// ConnectBot defect (Table 5 row 9) held such a lock even when the active
+// network was not Wi-Fi, wasting radio power.
+package wifi
+
+import (
+	"repro/internal/android/binder"
+	"repro/internal/android/holdsvc"
+	"repro/internal/android/hooks"
+	"repro/internal/device"
+	"repro/internal/power"
+	"repro/internal/simclock"
+)
+
+// Service is the Wi-Fi manager.
+type Service struct {
+	*holdsvc.Service
+}
+
+// New creates the service.
+func New(engine *simclock.Engine, meter *power.Meter, registry *binder.Registry, profile device.Profile, gov hooks.Governor) *Service {
+	return &Service{holdsvc.New(engine, meter, registry, gov, "wifi", hooks.WifiLock, power.WiFi, profile.WiFiLockW)}
+}
+
+// Lock is an app-side WifiLock descriptor.
+type Lock = holdsvc.Lock
+
+// NewLock creates a WifiLock for uid.
+func (s *Service) NewLock(uid power.UID) *Lock { return s.Service.NewLock(uid) }

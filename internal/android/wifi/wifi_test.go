@@ -1,0 +1,53 @@
+package wifi
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/android/binder"
+	"repro/internal/android/hooks"
+	"repro/internal/device"
+	"repro/internal/power"
+	"repro/internal/simclock"
+)
+
+func TestWifiLockDrawsRadioPower(t *testing.T) {
+	e := simclock.NewEngine()
+	m := power.NewMeter(e)
+	reg := binder.NewRegistry(e)
+	svc := New(e, m, reg, device.PixelXL, hooks.Nop{})
+	l := svc.NewLock(10)
+	l.Acquire()
+	e.RunUntil(100 * time.Second)
+	want := device.PixelXL.WiFiLockW * 100
+	if got := m.EnergyOfJ(10); got != want {
+		t.Fatalf("energy = %v, want %v", got, want)
+	}
+	l.Release()
+	if m.InstantPowerOfW(10) != 0 {
+		t.Fatal("released lock still draws")
+	}
+}
+
+func TestWifiKindAndService(t *testing.T) {
+	e := simclock.NewEngine()
+	m := power.NewMeter(e)
+	reg := binder.NewRegistry(e)
+	var created hooks.Object
+	gov := &captureGov{out: &created}
+	svc := New(e, m, reg, device.PixelXL, gov)
+	svc.NewLock(10).Acquire()
+	if created.Kind != hooks.WifiLock {
+		t.Fatalf("kind = %v, want WifiLock", created.Kind)
+	}
+	if created.Control.ServiceName() != "wifi" {
+		t.Fatalf("service = %q", created.Control.ServiceName())
+	}
+}
+
+type captureGov struct {
+	hooks.Nop
+	out *hooks.Object
+}
+
+func (g *captureGov) ObjectCreated(o hooks.Object) { *g.out = o }

@@ -1,0 +1,134 @@
+// Package device models the smartphone hardware the paper evaluates on.
+//
+// A Profile captures a phone's component power rates, battery capacity, and
+// relative CPU speed. The paper uses five phones for the misbehaviour study
+// (Google Pixel XL, Nexus 6, Nexus 4, Samsung Galaxy S4, Motorola G) plus a
+// Nexus 5X wired to the Monsoon power monitor for system-wide measurements.
+// The profiles below are synthetic but preserve the relationships the paper
+// relies on: high-end phones are faster and have larger batteries, and the
+// power cost ordering of components (screen ≫ CPU-active ≫ GPS ≫
+// CPU-idle-awake ≫ Wi-Fi lock ≈ sensors) holds on every profile.
+package device
+
+import (
+	"fmt"
+	"time"
+)
+
+// Profile describes one phone model.
+type Profile struct {
+	Name string
+
+	// BatteryMAh and VoltageV size the battery; CapacityWh derives from them.
+	BatteryMAh float64
+	VoltageV   float64
+
+	// Component power draws in watts.
+	CPUActiveW    float64 // one core fully busy
+	CPUIdleAwakeW float64 // CPU awake (wakelock held) but idle
+	ScreenOnW     float64 // screen at default brightness
+	GPSActiveW    float64 // GPS radio searching or tracking
+	WiFiLockW     float64 // Wi-Fi radio held out of power-save by a lock
+	SensorW       float64 // one continuously-sampled sensor
+	AudioW        float64 // audio output path active
+	RadioActiveW  float64 // cellular data actively transferring
+	SuspendW      float64 // whole system in deep sleep
+
+	// CPUSpeed is a relative performance factor; a unit of simulated work
+	// takes baseWorkTime/CPUSpeed. The Pixel XL defines 1.0.
+	CPUSpeed float64
+
+	// RadioTailW and RadioTailTime model the cellular radio's tail energy:
+	// after a transfer the radio lingers in a high-power state before
+	// dropping back to idle. The tail applies to cellular transfers only
+	// (Wi-Fi power-save exits quickly). Zero disables the tail.
+	RadioTailW    float64
+	RadioTailTime time.Duration
+
+	// DVFSAlpha enables the paper's §8 extension for complex hardware
+	// behaviour: with dynamic voltage/frequency scaling, concurrent load
+	// pushes the governor to higher frequencies, so each of k running work
+	// items draws CPUActiveW × (1 + DVFSAlpha×(k−1)). Zero (the default on
+	// every stock profile) keeps the paper's frequency-flat model.
+	DVFSAlpha float64
+}
+
+// WithDVFS returns a copy of the profile with the DVFS superlinearity
+// factor set.
+func (p Profile) WithDVFS(alpha float64) Profile {
+	p.DVFSAlpha = alpha
+	return p
+}
+
+// CapacityWh returns the battery capacity in watt-hours.
+func (p Profile) CapacityWh() float64 {
+	return p.BatteryMAh / 1000 * p.VoltageV
+}
+
+// CapacityJ returns the battery capacity in joules.
+func (p Profile) CapacityJ() float64 {
+	return p.CapacityWh() * 3600
+}
+
+func (p Profile) String() string { return p.Name }
+
+// The evaluated phones. High-end to low-end ordering follows the paper:
+// Pixel XL, Nexus 6, Nexus 4, Galaxy S4, Moto G; the Nexus 5X substitutes
+// for the Pixel on the Monsoon rig (paper §7.1, Figure 10).
+var (
+	PixelXL = Profile{
+		Name: "Google Pixel XL", BatteryMAh: 3450, VoltageV: 3.85,
+		CPUActiveW: 0.90, CPUIdleAwakeW: 0.030, ScreenOnW: 0.550,
+		GPSActiveW: 0.115, WiFiLockW: 0.016, SensorW: 0.011,
+		AudioW: 0.060, RadioActiveW: 0.250, RadioTailW: 0.100, RadioTailTime: 5 * time.Second, SuspendW: 0.008,
+		CPUSpeed: 1.00,
+	}
+	Nexus6 = Profile{
+		Name: "Nexus 6", BatteryMAh: 3220, VoltageV: 3.80,
+		CPUActiveW: 1.05, CPUIdleAwakeW: 0.038, ScreenOnW: 0.640,
+		GPSActiveW: 0.130, WiFiLockW: 0.019, SensorW: 0.013,
+		AudioW: 0.070, RadioActiveW: 0.300, RadioTailW: 0.120, RadioTailTime: 5 * time.Second, SuspendW: 0.010,
+		CPUSpeed: 0.70,
+	}
+	Nexus4 = Profile{
+		Name: "Nexus 4", BatteryMAh: 2100, VoltageV: 3.80,
+		CPUActiveW: 1.20, CPUIdleAwakeW: 0.052, ScreenOnW: 0.600,
+		GPSActiveW: 0.140, WiFiLockW: 0.022, SensorW: 0.015,
+		AudioW: 0.080, RadioActiveW: 0.350, RadioTailW: 0.140, RadioTailTime: 5 * time.Second, SuspendW: 0.012,
+		CPUSpeed: 0.40,
+	}
+	GalaxyS4 = Profile{
+		Name: "Samsung Galaxy S4", BatteryMAh: 2600, VoltageV: 3.80,
+		CPUActiveW: 1.10, CPUIdleAwakeW: 0.045, ScreenOnW: 0.620,
+		GPSActiveW: 0.135, WiFiLockW: 0.020, SensorW: 0.014,
+		AudioW: 0.075, RadioActiveW: 0.320, RadioTailW: 0.128, RadioTailTime: 5 * time.Second, SuspendW: 0.011,
+		CPUSpeed: 0.55,
+	}
+	MotoG = Profile{
+		Name: "Motorola G", BatteryMAh: 2070, VoltageV: 3.80,
+		CPUActiveW: 0.85, CPUIdleAwakeW: 0.060, ScreenOnW: 0.520,
+		GPSActiveW: 0.150, WiFiLockW: 0.024, SensorW: 0.016,
+		AudioW: 0.085, RadioActiveW: 0.380, RadioTailW: 0.152, RadioTailTime: 5 * time.Second, SuspendW: 0.014,
+		CPUSpeed: 0.35,
+	}
+	Nexus5X = Profile{
+		Name: "Nexus 5X", BatteryMAh: 2700, VoltageV: 3.80,
+		CPUActiveW: 0.95, CPUIdleAwakeW: 0.034, ScreenOnW: 0.580,
+		GPSActiveW: 0.120, WiFiLockW: 0.017, SensorW: 0.012,
+		AudioW: 0.065, RadioActiveW: 0.280, RadioTailW: 0.112, RadioTailTime: 5 * time.Second, SuspendW: 0.009,
+		CPUSpeed: 0.85,
+	}
+)
+
+// All lists every profile, high-end to low-end, then the Monsoon substitute.
+var All = []Profile{PixelXL, Nexus6, Nexus4, GalaxyS4, MotoG, Nexus5X}
+
+// ByName looks a profile up by its display name.
+func ByName(name string) (Profile, error) {
+	for _, p := range All {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return Profile{}, fmt.Errorf("device: unknown profile %q", name)
+}

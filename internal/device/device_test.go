@@ -1,0 +1,65 @@
+package device
+
+import "testing"
+
+func TestCapacity(t *testing.T) {
+	// Pixel XL: 3450 mAh at 3.85 V ≈ 13.28 Wh.
+	wh := PixelXL.CapacityWh()
+	if wh < 13.2 || wh > 13.4 {
+		t.Fatalf("PixelXL capacity = %v Wh", wh)
+	}
+	if j := PixelXL.CapacityJ(); j != wh*3600 {
+		t.Fatalf("CapacityJ inconsistent: %v vs %v", j, wh*3600)
+	}
+}
+
+func TestByName(t *testing.T) {
+	p, err := ByName("Nexus 4")
+	if err != nil || p.Name != "Nexus 4" {
+		t.Fatalf("ByName failed: %v %v", p, err)
+	}
+	if _, err := ByName("iPhone"); err == nil {
+		t.Fatal("ByName should fail for unknown profile")
+	}
+}
+
+func TestProfileOrderingInvariants(t *testing.T) {
+	for _, p := range All {
+		if p.CPUSpeed <= 0 {
+			t.Errorf("%s: CPUSpeed must be positive", p.Name)
+		}
+		if p.ScreenOnW <= p.CPUIdleAwakeW {
+			t.Errorf("%s: screen should dominate idle-awake CPU", p.Name)
+		}
+		if p.CPUActiveW <= p.GPSActiveW {
+			t.Errorf("%s: active CPU should dominate GPS", p.Name)
+		}
+		if p.GPSActiveW <= p.CPUIdleAwakeW {
+			t.Errorf("%s: GPS should dominate idle-awake CPU", p.Name)
+		}
+		if p.CPUIdleAwakeW <= p.SuspendW {
+			t.Errorf("%s: idle-awake must cost more than suspend", p.Name)
+		}
+		if p.BatteryMAh <= 0 || p.VoltageV <= 0 {
+			t.Errorf("%s: battery must be positive", p.Name)
+		}
+	}
+}
+
+func TestHighEndVsLowEnd(t *testing.T) {
+	// The paper's cross-device observation (Fig. 2 discussion): low-end
+	// phones take longer per unit of work, so their absolute holding times
+	// differ by about 2x from high-end phones.
+	if PixelXL.CPUSpeed <= MotoG.CPUSpeed*2 {
+		t.Fatalf("Pixel XL (%v) should be >2x Moto G (%v)", PixelXL.CPUSpeed, MotoG.CPUSpeed)
+	}
+	if PixelXL.CapacityWh() <= MotoG.CapacityWh() {
+		t.Fatal("high-end battery should exceed low-end")
+	}
+}
+
+func TestStringer(t *testing.T) {
+	if PixelXL.String() != "Google Pixel XL" {
+		t.Fatalf("String = %q", PixelXL.String())
+	}
+}

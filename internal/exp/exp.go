@@ -1,0 +1,169 @@
+// Package exp contains one runner per table and figure in the paper's
+// evaluation (plus the §2 characterisation figures). Each runner builds the
+// needed simulation(s), drives the workload, and renders the same rows or
+// series the paper reports. The cmd/experiments binary regenerates
+// everything; bench_test.go at the repository root exposes each runner as a
+// benchmark target.
+package exp
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/android/hooks"
+	"repro/internal/power"
+	"repro/internal/sim"
+	"repro/internal/simclock"
+)
+
+// Result is one regenerated artefact.
+type Result struct {
+	// ID is the artefact tag, e.g. "figure-9" or "table-5".
+	ID string
+	// Title is the paper's caption, abbreviated.
+	Title string
+	// Lines is the rendered output, one row or series point per line.
+	Lines []string
+	// Notes carries caveats (scaling, substitutions).
+	Notes []string
+}
+
+func (r Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", r.ID, r.Title)
+	for _, l := range r.Lines {
+		b.WriteString(l)
+		b.WriteByte('\n')
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Markdown renders the result as a markdown section: the rows inside a
+// code fence (so column alignment survives) and notes as block quotes.
+func (r Result) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### %s — %s\n\n```\n", r.ID, r.Title)
+	for _, l := range r.Lines {
+		b.WriteString(l)
+		b.WriteByte('\n')
+	}
+	b.WriteString("```\n")
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "\n> %s\n", n)
+	}
+	return b.String()
+}
+
+func (r *Result) addf(format string, args ...any) {
+	r.Lines = append(r.Lines, fmt.Sprintf(format, args...))
+}
+
+func (r *Result) notef(format string, args ...any) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// Runner is one regenerable artefact.
+type Runner struct {
+	ID    string
+	Title string
+	Run   func() Result
+}
+
+// Runners lists every experiment in paper order. Quick mode shrinks the
+// randomised sweeps (Figures 12 and 13) so the full suite stays fast.
+func Runners(quick bool) []Runner {
+	seeds := 8
+	cases := 50
+	if quick {
+		seeds = 3
+		cases = 10
+	}
+	return []Runner{
+		{"figure-1", "BetterWeather GPS try duration", Figure1},
+		{"figure-2", "K-9 holding vs CPU, bad server", Figure2},
+		{"figure-3", "Kontalk on two phones", Figure3},
+		{"figure-4", "K-9 holding vs CPU, disconnected", Figure4},
+		{"section-2.3", "holding time is a misleading classifier", Section23},
+		{"table-1", "misbehaviour applicability matrix", Table1},
+		{"table-2", "109-case prevalence study", Table2},
+		{"figure-5", "lease state transitions", Figure5},
+		{"figure-9", "holding time vs lease term", Figure9},
+		{"table-4", "lease operation latency", Table4},
+		{"figure-11", "active leases over one hour", Figure11},
+		{"table-5", "20 buggy apps under four policies", Table5},
+		{"usability", "normal apps: LeaseOS vs throttling", Usability},
+		{"figure-12", "waste reduction vs λ", func() Result { return Figure12(cases) }},
+		{"figure-13", "system power overhead", func() Result { return Figure13(seeds) }},
+		{"figure-14", "end-to-end interaction latency", Figure14},
+		{"battery-life", "battery-life day", BatteryLife},
+		{"detection-latency", "time from defect onset to revocation", DetectionLatency},
+		{"window-sweep", "decision-window trade-off", WindowSweep},
+		{"fixed-apps", "buggy app + LeaseOS vs the developers' fix", FixedApps},
+		{"cross-device", "Table 5 averages on every device profile", CrossDevice},
+	}
+}
+
+// All runs every experiment in paper order.
+func All(quick bool) []Result {
+	runners := Runners(quick)
+	out := make([]Result, len(runners))
+	for i, r := range runners {
+		out[i] = r.Run()
+	}
+	return out
+}
+
+// minuteProfiler reproduces the paper's §2.1 instrument: "a profiling tool
+// that samples a vector of per-app metrics every 60s, e.g., wakelock time,
+// CPU usage (sysTime + userTime)".
+type minuteProfiler struct {
+	s    *sim.Sim
+	uid  power.UID
+	ctrl hooks.Controller
+	obj  func() uint64
+
+	lastCPU time.Duration
+	stop    func()
+
+	// Per-minute samples.
+	Held   []time.Duration
+	Active []time.Duration
+	Failed []time.Duration
+	CPU    []time.Duration
+	At     []simclock.Time
+}
+
+// newMinuteProfiler samples the object identified by obj() on ctrl every
+// interval. obj is a func because some apps create the kernel object
+// lazily.
+func newMinuteProfiler(s *sim.Sim, uid power.UID, ctrl hooks.Controller, obj func() uint64, interval time.Duration) *minuteProfiler {
+	p := &minuteProfiler{s: s, uid: uid, ctrl: ctrl, obj: obj}
+	p.stop = s.Engine.Ticker(interval, func() {
+		id := obj()
+		var ts hooks.TermStats
+		if id != 0 {
+			ts = ctrl.TermStats(id)
+		}
+		cpu := s.Apps.CPUTimeOf(uid)
+		p.Held = append(p.Held, ts.Held)
+		p.Active = append(p.Active, ts.Active)
+		p.Failed = append(p.Failed, ts.FailedRequestTime)
+		p.CPU = append(p.CPU, cpu-p.lastCPU)
+		p.At = append(p.At, s.Engine.Now())
+		p.lastCPU = cpu
+	})
+	return p
+}
+
+func (p *minuteProfiler) Stop() { p.stop() }
+
+// fmtSecs renders a duration as seconds with one decimal.
+func fmtSecs(d time.Duration) string { return fmt.Sprintf("%5.1f", d.Seconds()) }
+
+// nowWall reads the host clock. The Table 4 micro benchmark times real Go
+// operations; everything else in this package runs on virtual time.
+func nowWall() time.Time { return time.Now() }

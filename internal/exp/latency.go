@@ -1,0 +1,115 @@
+package exp
+
+import (
+	"time"
+
+	"repro/internal/android/hooks"
+	"repro/internal/lease"
+	"repro/internal/sim"
+	"repro/internal/simclock"
+)
+
+// DetectionLatency is a supplementary experiment this reproduction adds: it
+// measures how quickly each mitigation mechanism reacts to the *onset* of a
+// defect — the time from a leak appearing to the first revocation of the
+// offending resource. The paper's "quick-drop observation" (§2.4) argues
+// that checking at term ends suffices for early detection; this quantifies
+// it against the baselines' threshold timers.
+//
+// Scenario: the device idles for 10 minutes, then an app acquires a
+// wakelock and leaks it. Revocation is observed as the first one-second
+// interval after onset in which the holding app draws no power.
+func DetectionLatency() Result {
+	r := Result{ID: "detection-latency", Title: "Time from defect onset to first revocation"}
+	const onset = 10 * time.Minute
+
+	measure := func(pol sim.Policy) (time.Duration, bool) {
+		s := sim.New(sim.Options{Policy: pol, ThrottleTerm: time.Minute})
+		s.Apps.NewProcess(100, "leaker")
+		s.Engine.ScheduleAt(onset, func() {
+			wl := s.Power.NewWakelock(100, hooks.Wakelock, "leak")
+			wl.Acquire()
+		})
+		lastE := 0.0
+		var found simclock.Time
+		stop := s.Engine.Ticker(time.Second, func() {
+			e := s.Meter.EnergyOfJ(100)
+			if s.Engine.Now() > onset+time.Second && found == 0 && e-lastE < 1e-12 {
+				found = s.Engine.Now()
+			}
+			lastE = e
+		})
+		s.Run(onset + 30*time.Minute)
+		stop()
+		if found == 0 {
+			return 0, false
+		}
+		return found - onset, true
+	}
+
+	for _, pol := range []sim.Policy{sim.Vanilla, sim.LeaseOS, sim.DozeAggressive, sim.DefDroid, sim.Throttle} {
+		d, ok := measure(pol)
+		if !ok {
+			r.addf("%-16s never revoked within 30 minutes of onset", pol)
+			continue
+		}
+		r.addf("%-16s first revocation %6.0f s after onset", pol, d.Seconds())
+	}
+	r.notef("supplementary experiment (not in the paper): LeaseOS reacts within one lease term (~5 s);")
+	r.notef("threshold baselines wait out their conservative timers; vanilla never reacts")
+	return r
+}
+
+// windowCost quantifies Config.MisbehaviorWindow: larger windows slow
+// detection on steady defects but eliminate misjudgements of alternating
+// behaviour.
+func windowCost(window int) (steadyDetect time.Duration, burstyDeferrals int) {
+	cfg := lease.DefaultConfig()
+	cfg.MisbehaviorWindow = window
+	cfg.RecordTransitions = true
+
+	// Steady defect: time to first deferral.
+	s := sim.New(sim.Options{Policy: sim.LeaseOS, Lease: cfg})
+	s.Apps.NewProcess(100, "leak")
+	wl := s.Power.NewWakelock(100, hooks.Wakelock, "leak")
+	wl.Acquire()
+	s.Run(10 * time.Minute)
+	for _, tr := range s.Leases.Transitions {
+		if tr.To == lease.Deferred {
+			steadyDetect = time.Duration(tr.At)
+			break
+		}
+	}
+
+	// Bursty-but-legitimate app: deferral count (misjudgements).
+	b := sim.New(sim.Options{Policy: sim.LeaseOS, Lease: cfg})
+	p := b.Apps.NewProcess(100, "bursty")
+	wl2 := b.Power.NewWakelock(100, hooks.Wakelock, "bursty")
+	wl2.Acquire()
+	busy := false
+	b.Engine.Ticker(5*time.Second, func() { busy = !busy })
+	b.Engine.Ticker(time.Second, func() {
+		if busy {
+			p.RunWork(500*time.Millisecond, nil)
+		}
+	})
+	b.Run(10 * time.Minute)
+	for _, tr := range b.Leases.Transitions {
+		if tr.To == lease.Deferred {
+			burstyDeferrals++
+		}
+	}
+	return steadyDetect, burstyDeferrals
+}
+
+// WindowSweep renders the misbehaviour-window trade-off.
+func WindowSweep() Result {
+	r := Result{ID: "window-sweep", Title: "Decision window: detection latency vs misjudgement"}
+	r.addf("%-8s %-22s %-24s", "window", "steady-leak detection", "bursty-app deferrals")
+	for _, w := range []int{1, 2, 3, 4} {
+		detect, bursty := windowCost(w)
+		r.addf("%-8d %20.0f s %24d", w, detect.Seconds(), bursty)
+	}
+	r.notef("supplementary sweep of lease.Config.MisbehaviorWindow (§4.3's last-few-terms rule)")
+	return r
+}

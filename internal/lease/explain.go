@@ -1,0 +1,75 @@
+package lease
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Explain renders a human-readable account of a lease's most recent term
+// decision: the raw metrics, the derived ratios, the thresholds they were
+// compared against, and the resulting behaviour class and state. It exists
+// for operators and app developers wondering *why* their resource was
+// deferred — the question every runtime mitigation system must be able to
+// answer.
+func (m *Manager) Explain(id uint64) string {
+	l, ok := m.leases[id]
+	if !ok {
+		return fmt.Sprintf("lease %d: unknown or dead", id)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "lease %d: uid %d, %v, state %v, term #%d (%v)\n",
+		l.id, l.obj.UID, l.obj.Kind, l.state, l.termIndex, l.term)
+	if len(l.history) == 0 {
+		b.WriteString("  no completed terms yet\n")
+		return b.String()
+	}
+	rec := l.history[len(l.history)-1]
+	cfg := m.cfg
+	fmt.Fprintf(&b, "  last term: held %v of %v, active %v, cpu %v, %d data points, %.1f m moved\n",
+		rec.Held, rec.Duration, rec.Active, rec.CPUTime, rec.DataPoints, rec.DistanceM)
+	fmt.Fprintf(&b, "  signals: %d exceptions, %d ui updates, %d interactions\n",
+		rec.Exceptions, rec.UIUpdates, rec.Interactions)
+
+	mark := func(bad bool) string {
+		if bad {
+			return "FAIL"
+		}
+		return "ok"
+	}
+	if l.obj.Kind.CanFrequentAsk() {
+		fabAsk := float64(rec.RequestTime) >= cfg.FABMinAskFraction*float64(rec.Duration)
+		fabFail := rec.SuccessRatio <= cfg.FABSuccessThreshold
+		fmt.Fprintf(&b, "  frequent-ask: request %v (≥%.0f%% of term: %v), success ratio %.2f (≤%.2f: %s)\n",
+			rec.RequestTime, 100*cfg.FABMinAskFraction, fabAsk, rec.SuccessRatio,
+			cfg.FABSuccessThreshold, mark(fabAsk && fabFail))
+	}
+	longHold := float64(rec.Held) >= cfg.LHBHoldFraction*float64(rec.Duration)
+	fmt.Fprintf(&b, "  long-holding: held fraction %.2f (≥%.2f: %v), utilization %.3f (<%.2f: %s)\n",
+		ratioOf(rec.Held, rec.Duration), cfg.LHBHoldFraction, longHold,
+		rec.Utilization, cfg.UtilizationThreshold,
+		mark(longHold && rec.Utilization < cfg.UtilizationThreshold))
+	fmt.Fprintf(&b, "  low-utility: score %.0f (<%.0f: %s)\n",
+		rec.UtilityScore, cfg.UtilityThreshold,
+		mark(longHold && rec.Utilization >= cfg.UtilizationThreshold && rec.UtilityScore < cfg.UtilityThreshold))
+	fmt.Fprintf(&b, "  verdict: %v", rec.Behavior)
+	switch {
+	case rec.Behavior.Misbehaving() && l.state == Deferred:
+		fmt.Fprintf(&b, " -> deferred (escalation level %d)", l.escalation)
+	case rec.Behavior == EUB:
+		b.WriteString(" -> renewed (excessive use is a non-goal; observed only)")
+	default:
+		b.WriteString(" -> renewed")
+	}
+	b.WriteString("\n")
+	if rep := m.ReputationOf(l.obj.UID); rep.Deferrals > 0 || rep.NormalTerms > 0 {
+		fmt.Fprintf(&b, "  app history: %d normal terms, %d deferrals\n", rep.NormalTerms, rep.Deferrals)
+	}
+	return b.String()
+}
+
+func ratioOf(a, b interface{ Seconds() float64 }) float64 {
+	if b.Seconds() == 0 {
+		return 0
+	}
+	return a.Seconds() / b.Seconds()
+}

@@ -1,0 +1,260 @@
+package policy
+
+import (
+	"time"
+
+	"repro/internal/android/hooks"
+	"repro/internal/power"
+	"repro/internal/simclock"
+)
+
+// DefDroidConfig parameterises the DefDroid-style throttler.
+type DefDroidConfig struct {
+	// HoldLimit: a hold-style resource (wakelock, screen, Wi-Fi) held
+	// continuously this long is revoked. A re-acquire restores it and
+	// restarts the clock.
+	HoldLimit time.Duration
+	// AcquireRateLimit / RateWindow / RatePenalty: more than
+	// AcquireRateLimit acquisitions within RateWindow triggers a
+	// RatePenalty suppression (DefDroid throttles "excessive requests").
+	AcquireRateLimit int
+	RateWindow       time.Duration
+	RatePenalty      time.Duration
+	// ListenerGrace / DutyOn / DutyOff: a listener-style resource (GPS,
+	// sensor) that has been active for ListenerGrace in total is duty-
+	// cycled DutyOn on / DutyOff off thereafter.
+	ListenerGrace time.Duration
+	DutyOn        time.Duration
+	DutyOff       time.Duration
+}
+
+// DefaultDefDroidConfig uses the conservative settings the paper ascribes
+// to blind throttling: thresholds must be long to avoid breaking legitimate
+// heavy use, which is exactly why they mitigate less than LeaseOS.
+func DefaultDefDroidConfig() DefDroidConfig {
+	return DefDroidConfig{
+		HoldLimit:        5 * time.Minute,
+		AcquireRateLimit: 12,
+		RateWindow:       time.Minute,
+		RatePenalty:      time.Minute,
+		ListenerGrace:    5 * time.Minute,
+		DutyOn:           30 * time.Second,
+		DutyOff:          30 * time.Second,
+	}
+}
+
+type ddObject struct {
+	obj        hooks.Object
+	held       bool
+	suppressed bool
+
+	holdTimer simclock.EventID
+	dutyTimer simclock.EventID
+
+	activeSince  simclock.Time
+	activeTotal  time.Duration
+	dutyCycling  bool
+	acquireTimes []simclock.Time
+}
+
+// DefDroid applies fine-grained, threshold-based throttling per resource:
+// long continuous holds are revoked, rapid re-acquisition is rate-limited,
+// and long-running listeners are duty-cycled. It looks only at time, never
+// at utility — the paper's critique — so its thresholds must stay
+// conservative and it cannot tell navigation from a leak.
+type DefDroid struct {
+	engine *simclock.Engine
+	cfg    DefDroidConfig
+
+	objects map[objKey]*ddObject
+
+	// Revocations counts throttling actions, for observability.
+	Revocations int
+}
+
+// NewDefDroid creates the governor.
+func NewDefDroid(engine *simclock.Engine, cfg DefDroidConfig) *DefDroid {
+	def := DefaultDefDroidConfig()
+	if cfg.HoldLimit <= 0 {
+		cfg.HoldLimit = def.HoldLimit
+	}
+	if cfg.AcquireRateLimit <= 0 {
+		cfg.AcquireRateLimit = def.AcquireRateLimit
+	}
+	if cfg.RateWindow <= 0 {
+		cfg.RateWindow = def.RateWindow
+	}
+	if cfg.RatePenalty <= 0 {
+		cfg.RatePenalty = def.RatePenalty
+	}
+	if cfg.ListenerGrace <= 0 {
+		cfg.ListenerGrace = def.ListenerGrace
+	}
+	if cfg.DutyOn <= 0 {
+		cfg.DutyOn = def.DutyOn
+	}
+	if cfg.DutyOff <= 0 {
+		cfg.DutyOff = def.DutyOff
+	}
+	return &DefDroid{engine: engine, cfg: cfg, objects: make(map[objKey]*ddObject)}
+}
+
+func isListener(k hooks.Kind) bool {
+	return k == hooks.GPSListener || k == hooks.SensorListener
+}
+
+func (d *DefDroid) track(o hooks.Object) *ddObject {
+	key := objKey{o.Control.ServiceName(), o.ID}
+	obj, ok := d.objects[key]
+	if !ok {
+		obj = &ddObject{obj: o}
+		d.objects[key] = obj
+	}
+	return obj
+}
+
+func (d *DefDroid) onAcquire(o hooks.Object) {
+	obj := d.track(o)
+	obj.held = true
+	now := d.engine.Now()
+	obj.activeSince = now
+
+	// Rate limiting: prune the window, then count.
+	cutoff := now - d.cfg.RateWindow
+	kept := obj.acquireTimes[:0]
+	for _, t := range obj.acquireTimes {
+		if t >= cutoff {
+			kept = append(kept, t)
+		}
+	}
+	obj.acquireTimes = append(kept, now)
+	if len(obj.acquireTimes) > d.cfg.AcquireRateLimit {
+		d.suppressFor(obj, d.cfg.RatePenalty)
+		return
+	}
+
+	if obj.suppressed {
+		// A re-acquire lifts a hold-limit revocation and restarts the clock.
+		obj.suppressed = false
+		o.Control.Unsuppress(o.ID)
+	}
+	d.arm(obj)
+}
+
+// arm starts the threshold timer appropriate to the object's kind.
+func (d *DefDroid) arm(obj *ddObject) {
+	if obj.holdTimer != 0 {
+		d.engine.Cancel(obj.holdTimer)
+		obj.holdTimer = 0
+	}
+	if isListener(obj.obj.Kind) {
+		if obj.dutyCycling {
+			return // duty cycle timers already running
+		}
+		remaining := d.cfg.ListenerGrace - obj.activeTotal
+		if remaining < 0 {
+			remaining = 0
+		}
+		obj.holdTimer = d.engine.Schedule(remaining, func() {
+			obj.holdTimer = 0
+			if obj.held {
+				obj.dutyCycling = true
+				d.dutyOff(obj)
+			}
+		})
+		return
+	}
+	obj.holdTimer = d.engine.Schedule(d.cfg.HoldLimit, func() {
+		obj.holdTimer = 0
+		if obj.held && !obj.suppressed {
+			// Continuous hold exceeded the limit: revoke until re-acquire.
+			obj.suppressed = true
+			d.Revocations++
+			obj.obj.Control.Suppress(obj.obj.ID)
+		}
+	})
+}
+
+// dutyOff begins the off phase of a duty cycle.
+func (d *DefDroid) dutyOff(obj *ddObject) {
+	if !obj.held {
+		obj.dutyCycling = false
+		return
+	}
+	obj.suppressed = true
+	d.Revocations++
+	obj.obj.Control.Suppress(obj.obj.ID)
+	obj.dutyTimer = d.engine.Schedule(d.cfg.DutyOff, func() {
+		obj.dutyTimer = 0
+		if !obj.held {
+			obj.dutyCycling = false
+			return
+		}
+		obj.suppressed = false
+		obj.obj.Control.Unsuppress(obj.obj.ID)
+		obj.dutyTimer = d.engine.Schedule(d.cfg.DutyOn, func() {
+			obj.dutyTimer = 0
+			d.dutyOff(obj)
+		})
+	})
+}
+
+// suppressFor applies a temporary rate-limit penalty.
+func (d *DefDroid) suppressFor(obj *ddObject, penalty time.Duration) {
+	if !obj.suppressed {
+		obj.suppressed = true
+		d.Revocations++
+		obj.obj.Control.Suppress(obj.obj.ID)
+	}
+	d.engine.Schedule(penalty, func() {
+		if obj.suppressed && obj.held {
+			obj.suppressed = false
+			obj.obj.Control.Unsuppress(obj.obj.ID)
+			d.arm(obj)
+		}
+	})
+}
+
+// --- hooks.Governor implementation ---
+
+// ObjectCreated implements hooks.Governor.
+func (d *DefDroid) ObjectCreated(o hooks.Object) { d.onAcquire(o) }
+
+// ObjectReacquired implements hooks.Governor.
+func (d *DefDroid) ObjectReacquired(o hooks.Object) { d.onAcquire(o) }
+
+// ObjectReleased implements hooks.Governor.
+func (d *DefDroid) ObjectReleased(o hooks.Object) {
+	obj := d.track(o)
+	if obj.held && !obj.suppressed {
+		obj.activeTotal += d.engine.Now() - obj.activeSince
+	}
+	obj.held = false
+	if obj.suppressed {
+		// Clear the service-side suppression so a future re-acquire starts
+		// fresh (the object is released, so this has no power effect now).
+		obj.suppressed = false
+		o.Control.Unsuppress(o.ID)
+	}
+	if obj.holdTimer != 0 {
+		d.engine.Cancel(obj.holdTimer)
+		obj.holdTimer = 0
+	}
+	if obj.dutyTimer != 0 {
+		d.engine.Cancel(obj.dutyTimer)
+		obj.dutyTimer = 0
+	}
+	obj.dutyCycling = false
+}
+
+// ObjectDestroyed implements hooks.Governor.
+func (d *DefDroid) ObjectDestroyed(o hooks.Object) {
+	d.ObjectReleased(o)
+	delete(d.objects, objKey{o.Control.ServiceName(), o.ID})
+}
+
+// AllowBackgroundWork implements hooks.Governor; DefDroid throttles
+// resources, not work scheduling.
+func (d *DefDroid) AllowBackgroundWork(power.UID) bool { return true }
+
+var _ hooks.Governor = (*DefDroid)(nil)

@@ -1,0 +1,357 @@
+package policy
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/android/binder"
+	"repro/internal/android/hooks"
+	"repro/internal/android/location"
+	"repro/internal/android/powermgr"
+	"repro/internal/device"
+	"repro/internal/env"
+	"repro/internal/power"
+	"repro/internal/simclock"
+)
+
+type rig struct {
+	engine *simclock.Engine
+	meter  *power.Meter
+	reg    *binder.Registry
+	world  *env.Environment
+	pm     *powermgr.Service
+	loc    *location.Service
+}
+
+func newRig(gov hooks.Governor) *rig {
+	e := simclock.NewEngine()
+	m := power.NewMeter(e)
+	r := binder.NewRegistry(e)
+	w := env.New(e)
+	pm := powermgr.New(e, m, r, device.PixelXL, gov)
+	loc := location.New(e, m, r, device.PixelXL, w, gov)
+	return &rig{engine: e, meter: m, reg: r, world: w, pm: pm, loc: loc}
+}
+
+// --- Doze ---
+
+func TestDefaultDozeTooConservativeForShortRuns(t *testing.T) {
+	// Paper Table 5 footnote: "the default Doze mode is too conservative to
+	// be triggered for most cases" — a 30-minute experiment ends just as
+	// the idle threshold is reached.
+	e := simclock.NewEngine()
+	w := env.New(e)
+	d := NewDoze(e, w, DefaultDozeConfig(), nil, nil)
+	r := &rig{engine: e, world: w}
+	_ = r
+	e.RunUntil(29 * time.Minute)
+	if d.Dozing() {
+		t.Fatal("default doze engaged before the idle threshold")
+	}
+}
+
+func TestForcedDozeSuppressesBackgroundWakelock(t *testing.T) {
+	e := simclock.NewEngine()
+	w := env.New(e)
+	d := NewDoze(e, w, DozeConfig{Forced: true}, nil, nil)
+	m := power.NewMeter(e)
+	reg := binder.NewRegistry(e)
+	pm := powermgr.New(e, m, reg, device.PixelXL, d)
+	e.RunUntil(time.Second) // forced doze engages at t=0
+	if !d.Dozing() {
+		t.Fatal("forced doze should engage immediately")
+	}
+	wl := pm.NewWakelock(10, hooks.Wakelock, "bg")
+	wl.Acquire()
+	if pm.Awake() {
+		t.Fatal("dozing device should suppress a background wakelock")
+	}
+}
+
+func TestDozeMaintenanceWindowRestores(t *testing.T) {
+	e := simclock.NewEngine()
+	w := env.New(e)
+	d := NewDoze(e, w, DozeConfig{Forced: true, MaintenancePeriod: 5 * time.Minute, MaintenanceWindow: time.Minute}, nil, nil)
+	m := power.NewMeter(e)
+	reg := binder.NewRegistry(e)
+	pm := powermgr.New(e, m, reg, device.PixelXL, d)
+	e.RunUntil(time.Second)
+	wl := pm.NewWakelock(10, hooks.Wakelock, "bg")
+	wl.Acquire()
+	e.RunUntil(5*time.Minute + 30*time.Second) // inside maintenance window
+	if !pm.Awake() {
+		t.Fatal("maintenance window should restore the wakelock")
+	}
+	e.RunUntil(7 * time.Minute) // window over
+	if pm.Awake() {
+		t.Fatal("suppression should resume after the maintenance window")
+	}
+}
+
+func TestDozeNeverDefersScreen(t *testing.T) {
+	// Table 5: Doze reduces ConnectBot's screen defect by only 0.57%.
+	e := simclock.NewEngine()
+	w := env.New(e)
+	d := NewDoze(e, w, DozeConfig{Forced: true}, nil, nil)
+	m := power.NewMeter(e)
+	reg := binder.NewRegistry(e)
+	pm := powermgr.New(e, m, reg, device.PixelXL, d)
+	e.RunUntil(time.Second)
+	wl := pm.NewWakelock(10, hooks.ScreenWakelock, "screen")
+	wl.Acquire()
+	if !pm.ScreenOn() {
+		t.Fatal("Doze must not defer screen wakelocks")
+	}
+}
+
+func TestUserActivityInterruptsDoze(t *testing.T) {
+	e := simclock.NewEngine()
+	w := env.New(e)
+	d := NewDoze(e, w, DozeConfig{Forced: true}, nil, nil)
+	m := power.NewMeter(e)
+	reg := binder.NewRegistry(e)
+	pm := powermgr.New(e, m, reg, device.PixelXL, d)
+	e.RunUntil(time.Second)
+	wl := pm.NewWakelock(10, hooks.Wakelock, "bg")
+	wl.Acquire()
+	w.SetUserPresent(true)
+	if d.Dozing() {
+		t.Fatal("user presence must interrupt doze")
+	}
+	if !pm.Awake() {
+		t.Fatal("suppression should lift when doze exits")
+	}
+	// Activity ends; forced doze re-engages after its short re-arm delay.
+	w.SetUserPresent(false)
+	e.RunUntil(3 * time.Minute)
+	if !d.Dozing() {
+		t.Fatal("forced doze should re-engage after activity stops")
+	}
+}
+
+func TestDozeExemptsForegroundApp(t *testing.T) {
+	e := simclock.NewEngine()
+	w := env.New(e)
+	fgUID := power.UID(42)
+	d := NewDoze(e, w, DozeConfig{Forced: true}, func(u power.UID) bool { return u == fgUID }, nil)
+	m := power.NewMeter(e)
+	reg := binder.NewRegistry(e)
+	pm := powermgr.New(e, m, reg, device.PixelXL, d)
+	e.RunUntil(time.Second)
+	wl := pm.NewWakelock(fgUID, hooks.Wakelock, "fg")
+	wl.Acquire()
+	if !pm.Awake() {
+		t.Fatal("foreground app's wakelock must survive doze")
+	}
+	if !d.AllowBackgroundWork(fgUID) {
+		t.Fatal("foreground app work must be allowed in doze")
+	}
+	if d.AllowBackgroundWork(10) {
+		t.Fatal("background app work must be gated in doze")
+	}
+}
+
+func TestDefaultDozeEngagesAfterLongIdle(t *testing.T) {
+	e := simclock.NewEngine()
+	w := env.New(e)
+	d := NewDoze(e, w, DozeConfig{IdleThreshold: 10 * time.Minute}, nil, nil)
+	e.RunUntil(11 * time.Minute)
+	if !d.Dozing() {
+		t.Fatal("default doze should engage after the idle threshold")
+	}
+	if d.DozeEnterCount != 1 {
+		t.Fatalf("DozeEnterCount = %d", d.DozeEnterCount)
+	}
+}
+
+// --- DefDroid ---
+
+func TestDefDroidRevokesLongHold(t *testing.T) {
+	e := simclock.NewEngine()
+	d := NewDefDroid(e, DefDroidConfig{HoldLimit: time.Minute})
+	m := power.NewMeter(e)
+	reg := binder.NewRegistry(e)
+	pm := powermgr.New(e, m, reg, device.PixelXL, d)
+	wl := pm.NewWakelock(10, hooks.Wakelock, "leak")
+	wl.Acquire()
+	e.RunUntil(59 * time.Second)
+	if !pm.Awake() {
+		t.Fatal("revoked before the hold limit")
+	}
+	e.RunUntil(2 * time.Minute)
+	if pm.Awake() {
+		t.Fatal("hold limit exceeded; wakelock should be revoked")
+	}
+	if d.Revocations != 1 {
+		t.Fatalf("Revocations = %d, want 1", d.Revocations)
+	}
+	// One-shot: it stays revoked without app action…
+	e.RunUntil(30 * time.Minute)
+	if pm.Awake() {
+		t.Fatal("one-shot revocation should persist")
+	}
+	// …but a release+re-acquire resets it.
+	wl.Release()
+	wl.Acquire()
+	if !pm.Awake() {
+		t.Fatal("re-acquire should restore the wakelock")
+	}
+}
+
+func TestDefDroidRateLimitsFrequentAcquires(t *testing.T) {
+	e := simclock.NewEngine()
+	d := NewDefDroid(e, DefDroidConfig{AcquireRateLimit: 5, RateWindow: time.Minute, RatePenalty: time.Minute})
+	m := power.NewMeter(e)
+	reg := binder.NewRegistry(e)
+	pm := powermgr.New(e, m, reg, device.PixelXL, d)
+	wl := pm.NewWakelock(10, hooks.Wakelock, "loop")
+	// The K-9 loop: acquire/release every 2 s.
+	for i := 0; i < 6; i++ {
+		wl.Acquire()
+		e.RunUntil(e.Now() + time.Second)
+		wl.Release()
+		e.RunUntil(e.Now() + time.Second)
+	}
+	wl.Acquire()
+	if pm.Awake() {
+		t.Fatal("rate limit exceeded; acquire should be suppressed")
+	}
+}
+
+func TestDefDroidDutyCyclesGPS(t *testing.T) {
+	r := newRig(nil)
+	d := NewDefDroid(r.engine, DefDroidConfig{ListenerGrace: time.Minute, DutyOn: 30 * time.Second, DutyOff: 30 * time.Second})
+	r.loc.SetGovernor(d)
+	r.loc.Register(10, time.Second, nil)
+	r.engine.RunUntil(59 * time.Second)
+	if r.meter.InstantPowerOfW(10) == 0 {
+		t.Fatal("GPS should run during the grace period")
+	}
+	r.engine.RunUntil(75 * time.Second) // off phase 60–90 s
+	if r.meter.InstantPowerOfW(10) != 0 {
+		t.Fatal("duty-cycle off phase should cut GPS power")
+	}
+	r.engine.RunUntil(105 * time.Second) // on phase 90–120 s
+	if r.meter.InstantPowerOfW(10) == 0 {
+		t.Fatal("duty-cycle on phase should restore GPS power")
+	}
+}
+
+func TestDefDroidReleaseCancelsThrottling(t *testing.T) {
+	e := simclock.NewEngine()
+	d := NewDefDroid(e, DefDroidConfig{HoldLimit: time.Minute})
+	m := power.NewMeter(e)
+	reg := binder.NewRegistry(e)
+	pm := powermgr.New(e, m, reg, device.PixelXL, d)
+	wl := pm.NewWakelock(10, hooks.Wakelock, "ok")
+	wl.Acquire()
+	e.RunUntil(30 * time.Second)
+	wl.Release()
+	e.RunUntil(5 * time.Minute) // the old timer must not fire
+	wl.Acquire()
+	if !pm.Awake() {
+		t.Fatal("fresh acquire after release should not be throttled")
+	}
+}
+
+// --- Throttle ---
+
+func TestThrottleRevokesAfterSingleTerm(t *testing.T) {
+	e := simclock.NewEngine()
+	th := NewThrottle(e, time.Minute)
+	m := power.NewMeter(e)
+	reg := binder.NewRegistry(e)
+	pm := powermgr.New(e, m, reg, device.PixelXL, th)
+	wl := pm.NewWakelock(10, hooks.Wakelock, "x")
+	wl.Acquire()
+	e.RunUntil(2 * time.Minute)
+	if pm.Awake() {
+		t.Fatal("single-term throttle should have revoked the wakelock")
+	}
+	// No automatic restoration, ever — this is what disrupts normal apps.
+	e.RunUntil(30 * time.Minute)
+	if pm.Awake() {
+		t.Fatal("throttle must not restore on its own")
+	}
+	if th.Revocations != 1 {
+		t.Fatalf("Revocations = %d, want 1", th.Revocations)
+	}
+}
+
+func TestThrottleDisruptsLegitimateGPS(t *testing.T) {
+	// The §7.4 usability scenario: a RunKeeper-like tracker loses its GPS
+	// feed under pure throttling.
+	r := newRig(nil)
+	th := NewThrottle(r.engine, time.Minute)
+	r.loc.SetGovernor(th)
+	r.world.SetMotion(true, 3)
+	fixes := 0
+	r.loc.Register(10, time.Second, func(location.Fix) { fixes++ })
+	r.engine.RunUntil(10 * time.Minute)
+	// Fixes flow only in the first minute: ~55 of a possible ~595.
+	if fixes > 60 {
+		t.Fatalf("fixes = %d; throttle should have stopped tracking", fixes)
+	}
+	if th.Revocations != 1 {
+		t.Fatalf("Revocations = %d", th.Revocations)
+	}
+}
+
+func TestThrottleResetOnReacquire(t *testing.T) {
+	e := simclock.NewEngine()
+	th := NewThrottle(e, time.Minute)
+	m := power.NewMeter(e)
+	reg := binder.NewRegistry(e)
+	pm := powermgr.New(e, m, reg, device.PixelXL, th)
+	wl := pm.NewWakelock(10, hooks.Wakelock, "x")
+	wl.Acquire()
+	e.RunUntil(2 * time.Minute)
+	wl.Release()
+	wl.Acquire()
+	if !pm.Awake() {
+		t.Fatal("release + re-acquire should reset the throttle")
+	}
+}
+
+func TestThrottleDefaultTerm(t *testing.T) {
+	th := NewThrottle(simclock.NewEngine(), 0)
+	if th.term != time.Minute {
+		t.Fatalf("default term = %v, want 1m", th.term)
+	}
+}
+
+func TestDefDroidListenerGraceAccumulatesAcrossEpisodes(t *testing.T) {
+	// The listener grace is a *total* active budget, not per-episode: two
+	// 40-second sessions against a 60-second grace leave only 20 seconds
+	// before duty cycling starts in the second session.
+	r := newRig(nil)
+	d := NewDefDroid(r.engine, DefDroidConfig{ListenerGrace: time.Minute, DutyOn: 30 * time.Second, DutyOff: 30 * time.Second})
+	r.loc.SetGovernor(d)
+	req := r.loc.Register(10, time.Second, nil)
+	r.engine.RunUntil(40 * time.Second)
+	req.Unregister()
+	r.engine.RunUntil(50 * time.Second)
+	req.Reregister() // 20 s of grace left
+	r.engine.RunUntil(65 * time.Second)
+	if r.meter.InstantPowerOfW(10) == 0 {
+		t.Fatal("still inside the accumulated grace")
+	}
+	r.engine.RunUntil(75 * time.Second) // grace exhausted at 70 s → duty off
+	if r.meter.InstantPowerOfW(10) != 0 {
+		t.Fatal("grace should be exhausted across episodes")
+	}
+}
+
+func TestDozeObjectCreatedDuringDozeSuppressed(t *testing.T) {
+	e := simclock.NewEngine()
+	w := env.New(e)
+	d := NewDoze(e, w, DozeConfig{Forced: true}, nil, nil)
+	m := power.NewMeter(e)
+	reg := binder.NewRegistry(e)
+	loc := location.New(e, m, reg, device.PixelXL, w, d)
+	e.RunUntil(time.Second) // dozing
+	loc.Register(10, time.Second, nil)
+	if m.InstantPowerOfW(10) != 0 {
+		t.Fatal("a listener registered during doze must start suppressed")
+	}
+}

@@ -1,0 +1,107 @@
+package policy
+
+import (
+	"time"
+
+	"repro/internal/android/hooks"
+	"repro/internal/power"
+	"repro/internal/simclock"
+)
+
+// Throttle is the pure time-based throttling scheme of the paper's §7.4
+// comparison: "essentially leases with only a single term". Any resource
+// held continuously longer than the single term is revoked and stays
+// revoked until the app itself releases and re-acquires it. There is no
+// utility feedback and no automatic restoration, which is why it disrupts
+// legitimate background apps (RunKeeper's tracking, Spotify's streaming,
+// Haven's monitoring all stop).
+type Throttle struct {
+	engine *simclock.Engine
+	term   time.Duration
+
+	objects map[objKey]*thrObject
+
+	// Revocations counts one-shot revocations; Disruptions is incremented
+	// every time a revocation hits (it is the usability-impact metric of
+	// §7.4, counted per suppression of an in-use resource).
+	Revocations int
+}
+
+type thrObject struct {
+	obj        hooks.Object
+	held       bool
+	suppressed bool
+	timer      simclock.EventID
+}
+
+// NewThrottle creates the single-term throttler. A non-positive term
+// defaults to one minute.
+func NewThrottle(engine *simclock.Engine, term time.Duration) *Throttle {
+	if term <= 0 {
+		term = time.Minute
+	}
+	return &Throttle{engine: engine, term: term, objects: make(map[objKey]*thrObject)}
+}
+
+func (t *Throttle) onAcquire(o hooks.Object) {
+	key := objKey{o.Control.ServiceName(), o.ID}
+	obj, ok := t.objects[key]
+	if !ok {
+		obj = &thrObject{obj: o}
+		t.objects[key] = obj
+	}
+	obj.held = true
+	if obj.suppressed {
+		// Release + re-acquire resets the one-shot throttle.
+		obj.suppressed = false
+		o.Control.Unsuppress(o.ID)
+	}
+	if obj.timer != 0 {
+		t.engine.Cancel(obj.timer)
+	}
+	obj.timer = t.engine.Schedule(t.term, func() {
+		obj.timer = 0
+		if obj.held && !obj.suppressed {
+			obj.suppressed = true
+			t.Revocations++
+			obj.obj.Control.Suppress(obj.obj.ID)
+		}
+	})
+}
+
+// ObjectCreated implements hooks.Governor.
+func (t *Throttle) ObjectCreated(o hooks.Object) { t.onAcquire(o) }
+
+// ObjectReacquired implements hooks.Governor.
+func (t *Throttle) ObjectReacquired(o hooks.Object) { t.onAcquire(o) }
+
+// ObjectReleased implements hooks.Governor.
+func (t *Throttle) ObjectReleased(o hooks.Object) {
+	key := objKey{o.Control.ServiceName(), o.ID}
+	obj, ok := t.objects[key]
+	if !ok {
+		return
+	}
+	obj.held = false
+	if obj.suppressed {
+		// Clear the service-side suppression so release + re-acquire resets
+		// the one-shot throttle (no power effect on a released object).
+		obj.suppressed = false
+		o.Control.Unsuppress(o.ID)
+	}
+	if obj.timer != 0 {
+		t.engine.Cancel(obj.timer)
+		obj.timer = 0
+	}
+}
+
+// ObjectDestroyed implements hooks.Governor.
+func (t *Throttle) ObjectDestroyed(o hooks.Object) {
+	t.ObjectReleased(o)
+	delete(t.objects, objKey{o.Control.ServiceName(), o.ID})
+}
+
+// AllowBackgroundWork implements hooks.Governor.
+func (t *Throttle) AllowBackgroundWork(power.UID) bool { return true }
+
+var _ hooks.Governor = (*Throttle)(nil)

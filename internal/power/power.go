@@ -1,0 +1,305 @@
+// Package power implements energy accounting for the simulated device.
+//
+// The Meter is the single source of truth for energy: every system service
+// registers the draws it is responsible for as (owner, component, watts)
+// entries, and the meter integrates power into per-owner energy on every
+// change of any entry. Two instruments from the paper's methodology are
+// reproduced on top of it: a system-wide sampler standing in for the Monsoon
+// hardware power monitor and a per-app sampler standing in for the Qualcomm
+// Trepn profiler (paper §7.1), both sampling every 100 ms.
+package power
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/simclock"
+)
+
+// Component identifies a power-drawing hardware block.
+type Component int
+
+// The components the evaluated resources map onto (paper Table 1).
+const (
+	CPU Component = iota
+	Screen
+	WiFi
+	GPS
+	Sensor
+	Audio
+	Radio
+	System // base/suspend draw, owned by uid 0
+	numComponents
+)
+
+var componentNames = [...]string{
+	CPU: "cpu", Screen: "screen", WiFi: "wifi", GPS: "gps",
+	Sensor: "sensor", Audio: "audio", Radio: "radio", System: "system",
+}
+
+func (c Component) String() string {
+	if c < 0 || int(c) >= len(componentNames) {
+		return fmt.Sprintf("component(%d)", int(c))
+	}
+	return componentNames[c]
+}
+
+// UID identifies an app (or the system, UID 0) for attribution purposes,
+// mirroring Android's per-app Linux UIDs.
+type UID int
+
+// SystemUID owns baseline draws not attributable to any app.
+const SystemUID UID = 0
+
+// drawKey identifies one draw entry. A service may maintain several draws
+// for the same (owner, component) pair — e.g. two GPS listeners — so a
+// free-form tag disambiguates.
+type drawKey struct {
+	owner UID
+	comp  Component
+	tag   string
+}
+
+// Meter integrates component power draws into per-owner energy.
+type Meter struct {
+	engine *simclock.Engine
+
+	draws      map[drawKey]float64 // watts per entry
+	ownerWatts map[UID]float64     // cached sum per owner
+	totalWatts float64
+
+	compWatts map[Component]float64 // cached sum per component
+
+	lastAdvance simclock.Time
+	energyJ     map[UID]float64       // integrated joules per owner
+	compJ       map[Component]float64 // integrated joules per component
+	totalJ      float64
+}
+
+// NewMeter returns a meter bound to the engine's virtual clock.
+func NewMeter(engine *simclock.Engine) *Meter {
+	return &Meter{
+		engine:     engine,
+		draws:      make(map[drawKey]float64),
+		ownerWatts: make(map[UID]float64),
+		compWatts:  make(map[Component]float64),
+		energyJ:    make(map[UID]float64),
+		compJ:      make(map[Component]float64),
+	}
+}
+
+// advance integrates energy up to the current instant.
+func (m *Meter) advance() {
+	now := m.engine.Now()
+	dt := now - m.lastAdvance
+	if dt <= 0 {
+		return
+	}
+	sec := dt.Seconds()
+	for owner, w := range m.ownerWatts {
+		if w != 0 {
+			m.energyJ[owner] += w * sec
+		}
+	}
+	for comp, w := range m.compWatts {
+		if w != 0 {
+			m.compJ[comp] += w * sec
+		}
+	}
+	m.totalJ += m.totalWatts * sec
+	m.lastAdvance = now
+}
+
+// Set registers (or updates) a draw entry of watts for owner/comp/tag.
+// Setting zero watts removes the entry.
+func (m *Meter) Set(owner UID, comp Component, tag string, watts float64) {
+	if watts < 0 {
+		panic(fmt.Sprintf("power: negative draw %v W for uid %d %v/%s", watts, owner, comp, tag))
+	}
+	m.advance()
+	key := drawKey{owner, comp, tag}
+	old := m.draws[key]
+	if watts == old {
+		return
+	}
+	if watts == 0 {
+		delete(m.draws, key)
+	} else {
+		m.draws[key] = watts
+	}
+	m.ownerWatts[owner] += watts - old
+	if m.ownerWatts[owner] < 1e-12 && m.ownerWatts[owner] > -1e-12 {
+		m.ownerWatts[owner] = 0 // absorb float drift at zero
+	}
+	m.compWatts[comp] += watts - old
+	if m.compWatts[comp] < 1e-12 && m.compWatts[comp] > -1e-12 {
+		m.compWatts[comp] = 0
+	}
+	m.totalWatts += watts - old
+	if m.totalWatts < 1e-12 && m.totalWatts > -1e-12 {
+		m.totalWatts = 0
+	}
+}
+
+// Clear removes a draw entry.
+func (m *Meter) Clear(owner UID, comp Component, tag string) {
+	m.Set(owner, comp, tag, 0)
+}
+
+// ClearOwner removes every draw entry owned by owner, e.g. on process death.
+func (m *Meter) ClearOwner(owner UID) {
+	m.advance()
+	for key, w := range m.draws {
+		if key.owner == owner {
+			delete(m.draws, key)
+			m.ownerWatts[owner] -= w
+			m.compWatts[key.comp] -= w
+			m.totalWatts -= w
+		}
+	}
+	if m.ownerWatts[owner] < 1e-12 && m.ownerWatts[owner] > -1e-12 {
+		m.ownerWatts[owner] = 0
+	}
+}
+
+// AddEnergyJ charges a discrete energy cost to owner, for one-off costs
+// that are not modelled as continuous draws (IPC round trips, lease
+// accounting operations).
+func (m *Meter) AddEnergyJ(owner UID, j float64) {
+	if j < 0 {
+		panic("power: negative energy charge")
+	}
+	m.advance()
+	m.energyJ[owner] += j
+	m.totalJ += j
+}
+
+// InstantPowerW reports the current total draw in watts.
+func (m *Meter) InstantPowerW() float64 { return m.totalWatts }
+
+// InstantPowerOfW reports the current draw attributed to owner.
+func (m *Meter) InstantPowerOfW(owner UID) float64 { return m.ownerWatts[owner] }
+
+// EnergyJ reports total energy consumed so far, in joules, up to the
+// current virtual instant.
+func (m *Meter) EnergyJ() float64 {
+	m.advance()
+	return m.totalJ
+}
+
+// EnergyOfJ reports the energy attributed to owner so far, in joules.
+func (m *Meter) EnergyOfJ(owner UID) float64 {
+	m.advance()
+	return m.energyJ[owner]
+}
+
+// EnergyByComponentJ reports the energy consumed by each hardware
+// component so far, in joules — the breakdown a fine-grained profiler like
+// Trepn presents. Discrete AddEnergyJ charges are not component-attributed
+// and appear only in the totals.
+func (m *Meter) EnergyByComponentJ() map[Component]float64 {
+	m.advance()
+	out := make(map[Component]float64, len(m.compJ))
+	for c, j := range m.compJ {
+		if j != 0 {
+			out[c] = j
+		}
+	}
+	return out
+}
+
+// AvgPowerMW converts an energy delta over a duration into milliwatts.
+func AvgPowerMW(deltaJ float64, over time.Duration) float64 {
+	if over <= 0 {
+		return 0
+	}
+	return deltaJ / over.Seconds() * 1000
+}
+
+// Sample is one instrument reading.
+type Sample struct {
+	At      simclock.Time
+	PowerMW float64
+}
+
+// Sampler periodically records power readings, standing in for the Monsoon
+// monitor (system-wide) or the Trepn profiler (per-app), per paper §7.1.
+type Sampler struct {
+	Samples []Sample
+	stop    func()
+}
+
+// SampleInterval matches the paper's 100 ms power-sampling period.
+const SampleInterval = 100 * time.Millisecond
+
+// NewSystemSampler starts sampling total system power every interval.
+func NewSystemSampler(engine *simclock.Engine, m *Meter, interval time.Duration) *Sampler {
+	s := &Sampler{}
+	s.stop = engine.Ticker(interval, func() {
+		s.Samples = append(s.Samples, Sample{engine.Now(), m.InstantPowerW() * 1000})
+	})
+	return s
+}
+
+// NewAppSampler starts sampling the power attributed to uid every interval.
+func NewAppSampler(engine *simclock.Engine, m *Meter, uid UID, interval time.Duration) *Sampler {
+	s := &Sampler{}
+	s.stop = engine.Ticker(interval, func() {
+		s.Samples = append(s.Samples, Sample{engine.Now(), m.InstantPowerOfW(uid) * 1000})
+	})
+	return s
+}
+
+// Stop halts sampling. Samples remain available.
+func (s *Sampler) Stop() {
+	if s.stop != nil {
+		s.stop()
+		s.stop = nil
+	}
+}
+
+// MeanMW returns the mean of the recorded samples in milliwatts.
+func (s *Sampler) MeanMW() float64 {
+	if len(s.Samples) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, sm := range s.Samples {
+		sum += sm.PowerMW
+	}
+	return sum / float64(len(s.Samples))
+}
+
+// Battery tracks remaining charge against a capacity, draining from a Meter.
+type Battery struct {
+	meter     *Meter
+	capacityJ float64
+	baselineJ float64
+}
+
+// NewBattery returns a battery of the given capacity that starts draining
+// from the meter's current energy reading.
+func NewBattery(m *Meter, capacityJ float64) *Battery {
+	return &Battery{meter: m, capacityJ: capacityJ, baselineJ: m.EnergyJ()}
+}
+
+// RemainingJ reports the remaining charge in joules (never negative).
+func (b *Battery) RemainingJ() float64 {
+	used := b.meter.EnergyJ() - b.baselineJ
+	rem := b.capacityJ - used
+	if rem < 0 {
+		rem = 0
+	}
+	return rem
+}
+
+// Empty reports whether the battery has fully drained.
+func (b *Battery) Empty() bool { return b.RemainingJ() == 0 }
+
+// FractionRemaining reports remaining charge as a 0..1 fraction.
+func (b *Battery) FractionRemaining() float64 {
+	if b.capacityJ == 0 {
+		return 0
+	}
+	return b.RemainingJ() / b.capacityJ
+}

@@ -1,0 +1,258 @@
+package power
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/simclock"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestMeterIntegratesSingleDraw(t *testing.T) {
+	e := simclock.NewEngine()
+	m := NewMeter(e)
+	m.Set(1, CPU, "wl", 0.5) // 0.5 W
+	e.RunUntil(10 * time.Second)
+	if got := m.EnergyOfJ(1); !almost(got, 5.0) {
+		t.Fatalf("EnergyOfJ = %v, want 5 J", got)
+	}
+	if got := m.EnergyJ(); !almost(got, 5.0) {
+		t.Fatalf("EnergyJ = %v, want 5 J", got)
+	}
+}
+
+func TestMeterDrawChangeMidway(t *testing.T) {
+	e := simclock.NewEngine()
+	m := NewMeter(e)
+	m.Set(1, CPU, "wl", 1.0)
+	e.RunUntil(2 * time.Second)
+	m.Set(1, CPU, "wl", 0.25)
+	e.RunUntil(6 * time.Second)
+	// 2s @ 1W + 4s @ 0.25W = 3 J
+	if got := m.EnergyOfJ(1); !almost(got, 3.0) {
+		t.Fatalf("EnergyOfJ = %v, want 3 J", got)
+	}
+}
+
+func TestMeterMultipleOwnersAndComponents(t *testing.T) {
+	e := simclock.NewEngine()
+	m := NewMeter(e)
+	m.Set(1, CPU, "a", 0.1)
+	m.Set(1, GPS, "b", 0.2)
+	m.Set(2, Screen, "c", 0.5)
+	e.RunUntil(10 * time.Second)
+	if got := m.EnergyOfJ(1); !almost(got, 3.0) {
+		t.Fatalf("uid1 energy = %v, want 3", got)
+	}
+	if got := m.EnergyOfJ(2); !almost(got, 5.0) {
+		t.Fatalf("uid2 energy = %v, want 5", got)
+	}
+	if got := m.EnergyJ(); !almost(got, 8.0) {
+		t.Fatalf("total = %v, want 8", got)
+	}
+}
+
+func TestMeterSameComponentDistinctTags(t *testing.T) {
+	e := simclock.NewEngine()
+	m := NewMeter(e)
+	m.Set(1, GPS, "listener1", 0.1)
+	m.Set(1, GPS, "listener2", 0.1)
+	if got := m.InstantPowerOfW(1); !almost(got, 0.2) {
+		t.Fatalf("two tagged draws should sum: %v", got)
+	}
+	m.Set(1, GPS, "listener1", 0.1) // idempotent re-set
+	if got := m.InstantPowerOfW(1); !almost(got, 0.2) {
+		t.Fatalf("idempotent re-set changed power: %v", got)
+	}
+}
+
+func TestMeterClear(t *testing.T) {
+	e := simclock.NewEngine()
+	m := NewMeter(e)
+	m.Set(1, CPU, "wl", 1.0)
+	e.RunUntil(time.Second)
+	m.Clear(1, CPU, "wl")
+	e.RunUntil(10 * time.Second)
+	if got := m.EnergyOfJ(1); !almost(got, 1.0) {
+		t.Fatalf("energy after clear = %v, want 1", got)
+	}
+	if m.InstantPowerW() != 0 {
+		t.Fatalf("power after clear = %v, want 0", m.InstantPowerW())
+	}
+}
+
+func TestMeterClearOwner(t *testing.T) {
+	e := simclock.NewEngine()
+	m := NewMeter(e)
+	m.Set(1, CPU, "a", 0.1)
+	m.Set(1, GPS, "b", 0.2)
+	m.Set(2, CPU, "c", 0.4)
+	m.ClearOwner(1)
+	if got := m.InstantPowerW(); !almost(got, 0.4) {
+		t.Fatalf("power after ClearOwner = %v, want 0.4", got)
+	}
+	if got := m.InstantPowerOfW(1); got != 0 {
+		t.Fatalf("uid1 power = %v, want 0", got)
+	}
+}
+
+func TestMeterNegativeDrawPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative draw did not panic")
+		}
+	}()
+	NewMeter(simclock.NewEngine()).Set(1, CPU, "x", -1)
+}
+
+func TestAvgPowerMW(t *testing.T) {
+	if got := AvgPowerMW(9, 3*time.Second); !almost(got, 3000) {
+		t.Fatalf("AvgPowerMW = %v, want 3000", got)
+	}
+	if AvgPowerMW(9, 0) != 0 {
+		t.Fatal("zero duration should yield 0")
+	}
+}
+
+func TestSystemSampler(t *testing.T) {
+	e := simclock.NewEngine()
+	m := NewMeter(e)
+	m.Set(1, CPU, "wl", 0.1) // 100 mW
+	s := NewSystemSampler(e, m, SampleInterval)
+	e.RunUntil(time.Second)
+	s.Stop()
+	e.RunUntil(2 * time.Second)
+	if len(s.Samples) != 10 {
+		t.Fatalf("samples = %d, want 10", len(s.Samples))
+	}
+	if got := s.MeanMW(); !almost(got, 100) {
+		t.Fatalf("MeanMW = %v, want 100", got)
+	}
+}
+
+func TestAppSamplerIsolation(t *testing.T) {
+	e := simclock.NewEngine()
+	m := NewMeter(e)
+	m.Set(1, CPU, "wl", 0.1)
+	m.Set(2, Screen, "s", 0.5)
+	s := NewAppSampler(e, m, 1, SampleInterval)
+	e.RunUntil(time.Second)
+	if got := s.MeanMW(); !almost(got, 100) {
+		t.Fatalf("per-app sampler leaked other uid's power: %v", got)
+	}
+}
+
+func TestSamplerMeanEmpty(t *testing.T) {
+	var s Sampler
+	if s.MeanMW() != 0 {
+		t.Fatal("empty sampler mean should be 0")
+	}
+	s.Stop() // no-op, must not panic
+}
+
+func TestBatteryDrain(t *testing.T) {
+	e := simclock.NewEngine()
+	m := NewMeter(e)
+	m.Set(1, CPU, "wl", 1.0)
+	b := NewBattery(m, 10) // 10 J capacity
+	e.RunUntil(4 * time.Second)
+	if got := b.RemainingJ(); !almost(got, 6) {
+		t.Fatalf("remaining = %v, want 6", got)
+	}
+	if b.Empty() {
+		t.Fatal("battery reported empty early")
+	}
+	e.RunUntil(20 * time.Second)
+	if !b.Empty() {
+		t.Fatalf("battery should be empty, remaining %v", b.RemainingJ())
+	}
+	if b.FractionRemaining() != 0 {
+		t.Fatal("fraction should be 0 when empty")
+	}
+}
+
+func TestBatteryBaselineExcludesPriorEnergy(t *testing.T) {
+	e := simclock.NewEngine()
+	m := NewMeter(e)
+	m.Set(1, CPU, "wl", 1.0)
+	e.RunUntil(5 * time.Second)
+	b := NewBattery(m, 10)
+	e.RunUntil(8 * time.Second)
+	if got := b.RemainingJ(); !almost(got, 7) {
+		t.Fatalf("remaining = %v, want 7 (prior 5 J must not count)", got)
+	}
+}
+
+// Property: total energy equals the sum of per-owner energies, and energy is
+// monotone non-decreasing over time, for arbitrary draw schedules.
+func TestPropertyEnergyConservation(t *testing.T) {
+	type step struct {
+		Owner uint8
+		Comp  uint8
+		Watts uint16 // milliwatt-scale
+		DtMS  uint16
+	}
+	f := func(steps []step) bool {
+		e := simclock.NewEngine()
+		m := NewMeter(e)
+		owners := map[UID]bool{}
+		prevTotal := 0.0
+		for _, s := range steps {
+			owner := UID(s.Owner % 8)
+			comp := Component(int(s.Comp) % int(numComponents))
+			owners[owner] = true
+			m.Set(owner, comp, "t", float64(s.Watts)/1000)
+			e.RunUntil(e.Now() + time.Duration(s.DtMS)*time.Millisecond)
+			total := m.EnergyJ()
+			if total+1e-9 < prevTotal {
+				return false // energy decreased
+			}
+			prevTotal = total
+		}
+		sum := 0.0
+		for o := range owners {
+			sum += m.EnergyOfJ(o)
+		}
+		return math.Abs(sum-m.EnergyJ()) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEnergyByComponent(t *testing.T) {
+	e := simclock.NewEngine()
+	m := NewMeter(e)
+	m.Set(1, CPU, "w", 0.5)
+	m.Set(2, GPS, "g", 0.1)
+	e.RunUntil(10 * time.Second)
+	by := m.EnergyByComponentJ()
+	if !almost(by[CPU], 5.0) || !almost(by[GPS], 1.0) {
+		t.Fatalf("component breakdown = %v", by)
+	}
+	if _, ok := by[Screen]; ok {
+		t.Fatal("zero-energy components should be omitted")
+	}
+	// Component energies sum to total.
+	sum := 0.0
+	for _, j := range by {
+		sum += j
+	}
+	if !almost(sum, m.EnergyJ()) {
+		t.Fatalf("component sum %v != total %v", sum, m.EnergyJ())
+	}
+}
+
+func TestClearOwnerUpdatesComponentWatts(t *testing.T) {
+	e := simclock.NewEngine()
+	m := NewMeter(e)
+	m.Set(1, CPU, "w", 0.5)
+	m.ClearOwner(1)
+	e.RunUntil(10 * time.Second)
+	if by := m.EnergyByComponentJ(); len(by) != 0 {
+		t.Fatalf("cleared owner still accrues component energy: %v", by)
+	}
+}

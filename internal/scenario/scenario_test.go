@@ -1,0 +1,165 @@
+package scenario
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/lease"
+)
+
+const sample = `{
+  "device":   "Google Pixel XL",
+  "policy":   "leaseos",
+  "duration": "20m",
+  "apps": [
+    {"name": "K-9", "uid": 100},
+    {"name": "runkeeper", "uid": 101}
+  ],
+  "env": [
+    {"at": "0s",  "motion_mps": 2.5, "gps": "good"},
+    {"at": "5m",  "network": "down"},
+    {"at": "15m", "network": "wifi"}
+  ]
+}`
+
+func TestParseValid(t *testing.T) {
+	sc, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Policy != "leaseos" || len(sc.Apps) != 2 || len(sc.Env) != 3 {
+		t.Fatalf("parsed = %+v", sc)
+	}
+}
+
+func TestParseDefaults(t *testing.T) {
+	sc, err := Parse(strings.NewReader(`{"apps":[{"name":"Torch","uid":1}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Duration != "30m" || sc.Policy != "leaseos" || sc.Device == "" {
+		t.Fatalf("defaults = %+v", sc)
+	}
+}
+
+func TestParseRejectsBadInput(t *testing.T) {
+	bad := []string{
+		`{`,                                   // malformed
+		`{"apps":[]}`,                         // no apps
+		`{"apps":[{"name":"Nope","uid":1}]}`,  // unknown app
+		`{"apps":[{"name":"Torch","uid":0}]}`, // bad uid
+		`{"apps":[{"name":"Torch","uid":1},{"name":"K-9","uid":1}]}`,               // dup uid
+		`{"apps":[{"name":"Torch","uid":1}],"policy":"magic"}`,                     // bad policy
+		`{"apps":[{"name":"Torch","uid":1}],"device":"iPhone"}`,                    // bad device
+		`{"apps":[{"name":"Torch","uid":1}],"duration":"-5m"}`,                     // bad duration
+		`{"apps":[{"name":"Torch","uid":1}],"env":[{"at":"xx"}]}`,                  // bad at
+		`{"apps":[{"name":"Torch","uid":1}],"env":[{"at":"1s","gps":"sideways"}]}`, // bad gps
+		`{"apps":[{"name":"Torch","uid":1}],"bogus":true}`,                         // unknown field
+	}
+	for _, in := range bad {
+		if _, err := Parse(strings.NewReader(in)); err == nil {
+			t.Fatalf("Parse accepted %q", in)
+		}
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	sc, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Duration != 20*time.Minute {
+		t.Fatalf("duration = %v", res.Duration)
+	}
+	if len(res.Apps) != 2 {
+		t.Fatalf("apps = %+v", res.Apps)
+	}
+	// The tracker keeps working under LeaseOS: meaningful energy.
+	var k9, tracker AppResult
+	for _, a := range res.Apps {
+		switch a.UID {
+		case 100:
+			k9 = a
+		case 101:
+			tracker = a
+		}
+	}
+	if tracker.EnergyJ <= 0 || k9.EnergyJ <= 0 {
+		t.Fatalf("zero energies: %+v", res.Apps)
+	}
+	// The outage (5–15 min) triggers K-9's defect; LeaseOS defers it.
+	deferred := false
+	for _, tr := range res.Sim.Leases.Transitions {
+		if tr.To == lease.Deferred {
+			deferred = true
+		}
+	}
+	if !deferred {
+		t.Fatal("the scripted outage should have produced a deferral")
+	}
+}
+
+func TestRunAppliesEnvTimeline(t *testing.T) {
+	in := `{
+	  "duration": "2m",
+	  "apps": [{"name": "Torch", "uid": 1}],
+	  "env": [
+	    {"at": "0s", "user": "present"},
+	    {"at": "1m", "user": "away", "network": "cellular", "server": "bad",
+	     "gps": "none", "motion_mps": -1}
+	  ]
+	}`
+	sc, err := Parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := res.Sim.World
+	if w.NetworkOnWiFi() || w.ServerHealthy() || w.Moving() || w.UserPresent() {
+		t.Fatal("final env state not applied")
+	}
+	if res.Sim.Power.ScreenOn() {
+		t.Fatal("user away should turn the screen off")
+	}
+}
+
+func TestFixedAppNamesResolve(t *testing.T) {
+	for _, name := range []string{"K-9 (fixed)", "Kontalk (fixed)", "BetterWeather (fixed)", "spotify", "haven"} {
+		in := `{"apps":[{"name":"` + name + `","uid":7}],"duration":"1m"}`
+		sc, err := Parse(strings.NewReader(in))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if _, err := sc.Run(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestShippedScenarioFilesParse(t *testing.T) {
+	paths, err := filepath.Glob("../../examples/scenarios/*.json")
+	if err != nil || len(paths) == 0 {
+		t.Fatalf("no shipped scenario files found: %v", err)
+	}
+	for _, path := range paths {
+		f, err := os.Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, err = Parse(f)
+		f.Close()
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+	}
+}

@@ -1,0 +1,192 @@
+// Package sim assembles a complete simulated device: the event engine,
+// power meter, environment, the Android system services, the app framework,
+// and one resource-management policy (vanilla, LeaseOS, Doze, DefDroid, or
+// the single-term throttler). Experiments and app models build on this.
+package sim
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/android/appfw"
+	"repro/internal/android/audio"
+	"repro/internal/android/binder"
+	"repro/internal/android/hooks"
+	"repro/internal/android/location"
+	"repro/internal/android/powermgr"
+	"repro/internal/android/sensor"
+	"repro/internal/android/wifi"
+	"repro/internal/device"
+	"repro/internal/env"
+	"repro/internal/lease"
+	"repro/internal/policy"
+	"repro/internal/power"
+	"repro/internal/simclock"
+)
+
+// Policy selects the resource-management mechanism under test.
+type Policy int
+
+const (
+	// Vanilla is stock resource management: grants persist until released.
+	Vanilla Policy = iota
+	// LeaseOS is the paper's lease-based utilitarian manager.
+	LeaseOS
+	// DozeDefault is stock Android Doze with its conservative idle detector.
+	DozeDefault
+	// DozeAggressive is Doze forced on at experiment start (Table 5's Doze*).
+	DozeAggressive
+	// DefDroid is threshold-based fine-grained throttling.
+	DefDroid
+	// Throttle is the pure time-based, single-term throttler of §7.4.
+	Throttle
+)
+
+var policyNames = map[Policy]string{
+	Vanilla: "vanilla", LeaseOS: "leaseos", DozeDefault: "doze",
+	DozeAggressive: "doze-aggressive", DefDroid: "defdroid", Throttle: "throttle",
+}
+
+func (p Policy) String() string {
+	if s, ok := policyNames[p]; ok {
+		return s
+	}
+	return fmt.Sprintf("policy(%d)", int(p))
+}
+
+// ParsePolicy resolves a policy name as used on CLI flags.
+func ParsePolicy(s string) (Policy, error) {
+	for p, name := range policyNames {
+		if name == s {
+			return p, nil
+		}
+	}
+	return Vanilla, fmt.Errorf("sim: unknown policy %q (want vanilla|leaseos|doze|doze-aggressive|defdroid|throttle)", s)
+}
+
+// Policies lists every policy, in comparison order.
+func Policies() []Policy {
+	return []Policy{Vanilla, LeaseOS, DozeDefault, DozeAggressive, DefDroid, Throttle}
+}
+
+// Options configures a simulation.
+type Options struct {
+	// Device profile; zero value defaults to the Pixel XL (the paper's
+	// main experiment phone, §7.1).
+	Device device.Profile
+	// Policy under test.
+	Policy Policy
+	// Lease manager configuration (LeaseOS only); zero fields take
+	// defaults.
+	Lease lease.Config
+	// Doze configuration (Doze policies only). Forced is set automatically
+	// for DozeAggressive.
+	Doze policy.DozeConfig
+	// DefDroid configuration (DefDroid only).
+	DefDroid policy.DefDroidConfig
+	// ThrottleTerm is the single term for the Throttle policy (default 1m).
+	ThrottleTerm time.Duration
+}
+
+// Sim is an assembled device simulation.
+type Sim struct {
+	Engine   *simclock.Engine
+	Meter    *power.Meter
+	Registry *binder.Registry
+	World    *env.Environment
+	Profile  device.Profile
+	Policy   Policy
+
+	Power    *powermgr.Service
+	Location *location.Service
+	Sensors  *sensor.Service
+	Wifi     *wifi.Service
+	Audio    *audio.Service
+	Apps     *appfw.Framework
+
+	// Leases is non-nil only under the LeaseOS policy.
+	Leases *lease.Manager
+	// Doze, DefDroidGov, ThrottleGov are non-nil only under their policies.
+	Doze        *policy.Doze
+	DefDroidGov *policy.DefDroid
+	ThrottleGov *policy.Throttle
+
+	// Gov is the governor in effect (hooks.Nop for Vanilla).
+	Gov hooks.Governor
+}
+
+// New builds a simulation.
+func New(opts Options) *Sim {
+	prof := opts.Device
+	if prof.Name == "" {
+		prof = device.PixelXL
+	}
+
+	engine := simclock.NewEngine()
+	meter := power.NewMeter(engine)
+	registry := binder.NewRegistry(engine)
+	world := env.New(engine)
+
+	s := &Sim{
+		Engine: engine, Meter: meter, Registry: registry, World: world,
+		Profile: prof, Policy: opts.Policy,
+	}
+
+	// Build services and framework with the no-op governor first, then
+	// swap in the real policy: some policies need references to the
+	// framework that do not exist yet.
+	nop := hooks.Nop{}
+	s.Power = powermgr.New(engine, meter, registry, prof, nop)
+	s.Location = location.New(engine, meter, registry, prof, world, nop)
+	s.Sensors = sensor.New(engine, meter, registry, prof, nop)
+	s.Wifi = wifi.New(engine, meter, registry, prof, nop)
+	s.Audio = audio.New(engine, meter, registry, prof, nop)
+	s.Apps = appfw.New(engine, meter, prof, world, s.Power, registry, nop)
+
+	var gov hooks.Governor = nop
+	switch opts.Policy {
+	case Vanilla:
+	case LeaseOS:
+		s.Leases = lease.NewManager(engine, s.Apps, opts.Lease)
+		gov = s.Leases
+	case DozeDefault, DozeAggressive:
+		cfg := opts.Doze
+		cfg.Forced = opts.Policy == DozeAggressive
+		s.Doze = policy.NewDoze(engine, world, cfg, s.foreground, s.Apps.Reevaluate)
+		gov = s.Doze
+	case DefDroid:
+		s.DefDroidGov = policy.NewDefDroid(engine, opts.DefDroid)
+		gov = s.DefDroidGov
+	case Throttle:
+		s.ThrottleGov = policy.NewThrottle(engine, opts.ThrottleTerm)
+		gov = s.ThrottleGov
+	default:
+		panic(fmt.Sprintf("sim: unknown policy %v", opts.Policy))
+	}
+	s.Gov = gov
+
+	s.Power.SetGovernor(gov)
+	s.Location.SetGovernor(gov)
+	s.Sensors.SetGovernor(gov)
+	s.Wifi.SetGovernor(gov)
+	s.Audio.SetGovernor(gov)
+	s.Apps.SetGovernor(gov)
+	return s
+}
+
+func (s *Sim) foreground(uid power.UID) bool {
+	p := s.Apps.ProcessOf(uid)
+	return p != nil && p.Foreground()
+}
+
+// Now returns the current virtual time.
+func (s *Sim) Now() simclock.Time { return s.Engine.Now() }
+
+// Run advances the simulation by d.
+func (s *Sim) Run(d time.Duration) { s.Engine.RunUntil(s.Engine.Now() + d) }
+
+// AppPowerMW returns the average power attributed to uid over the window
+// since from, in milliwatts.
+func (s *Sim) AppPowerMW(uid power.UID, from simclock.Time, fromEnergyJ float64) float64 {
+	return power.AvgPowerMW(s.Meter.EnergyOfJ(uid)-fromEnergyJ, s.Engine.Now()-from)
+}

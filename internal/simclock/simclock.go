@@ -1,0 +1,206 @@
+// Package simclock provides the discrete-event simulation kernel that every
+// other subsystem in this repository is built on.
+//
+// The kernel models virtual time as a time.Duration measured from the start
+// of the simulation. Work is expressed as events: closures scheduled to fire
+// at a particular virtual instant. Events fire in timestamp order; events
+// with equal timestamps fire in scheduling order, which makes every run of a
+// simulation fully deterministic for a fixed input.
+package simclock
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Time is a virtual instant, measured as the duration elapsed since the
+// simulation started.
+type Time = time.Duration
+
+// EventID identifies a scheduled event so that it can be cancelled.
+// The zero EventID is never issued and is safe to use as a sentinel.
+type EventID uint64
+
+// event is one pending closure on the queue.
+type event struct {
+	at    Time
+	seq   uint64 // tie-breaker: preserves scheduling order at equal times
+	id    EventID
+	fn    func()
+	index int // heap index, -1 once removed
+}
+
+// eventQueue implements heap.Interface ordered by (at, seq).
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*q = old[:n-1]
+	return ev
+}
+
+// Engine is a discrete-event simulator. The zero value is not usable; create
+// one with NewEngine. Engine is not safe for concurrent use: simulations are
+// single-threaded by design so that runs are reproducible.
+type Engine struct {
+	now     Time
+	queue   eventQueue
+	byID    map[EventID]*event
+	nextSeq uint64
+	nextID  EventID
+	running bool
+}
+
+// NewEngine returns an engine positioned at virtual time zero with an empty
+// event queue.
+func NewEngine() *Engine {
+	return &Engine{byID: make(map[EventID]*event)}
+}
+
+// Now reports the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Len reports the number of pending events.
+func (e *Engine) Len() int { return len(e.queue) }
+
+// Schedule arranges for fn to run after delay d. A negative d is treated as
+// zero: the event fires at the current instant, after any events already
+// queued for that instant. Schedule returns an EventID usable with Cancel.
+func (e *Engine) Schedule(d time.Duration, fn func()) EventID {
+	if fn == nil {
+		panic("simclock: Schedule called with nil fn")
+	}
+	if d < 0 {
+		d = 0
+	}
+	return e.ScheduleAt(e.now+d, fn)
+}
+
+// ScheduleAt arranges for fn to run at the absolute virtual instant at.
+// Scheduling in the past is an error that panics: it would break causality
+// and silently reorder history.
+func (e *Engine) ScheduleAt(at Time, fn func()) EventID {
+	if fn == nil {
+		panic("simclock: ScheduleAt called with nil fn")
+	}
+	if at < e.now {
+		panic(fmt.Sprintf("simclock: ScheduleAt(%v) is in the past (now %v)", at, e.now))
+	}
+	e.nextSeq++
+	e.nextID++
+	ev := &event{at: at, seq: e.nextSeq, id: e.nextID, fn: fn}
+	heap.Push(&e.queue, ev)
+	e.byID[ev.id] = ev
+	return ev.id
+}
+
+// Cancel removes a pending event. It reports whether the event was still
+// pending; cancelling an already-fired or already-cancelled event is a
+// harmless no-op returning false.
+func (e *Engine) Cancel(id EventID) bool {
+	ev, ok := e.byID[id]
+	if !ok {
+		return false
+	}
+	delete(e.byID, id)
+	heap.Remove(&e.queue, ev.index)
+	return true
+}
+
+// Step fires the single earliest pending event, advancing the clock to its
+// timestamp. It reports false if the queue was empty.
+func (e *Engine) Step() bool {
+	if len(e.queue) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.queue).(*event)
+	delete(e.byID, ev.id)
+	e.now = ev.at
+	ev.fn()
+	return true
+}
+
+// RunUntil fires events in order until the queue is exhausted or the next
+// event lies strictly after the horizon, then advances the clock to horizon.
+// Events scheduled exactly at the horizon do fire.
+func (e *Engine) RunUntil(horizon Time) {
+	if horizon < e.now {
+		panic(fmt.Sprintf("simclock: RunUntil(%v) is in the past (now %v)", horizon, e.now))
+	}
+	if e.running {
+		panic("simclock: RunUntil re-entered from an event callback")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+	for len(e.queue) > 0 && e.queue[0].at <= horizon {
+		ev := heap.Pop(&e.queue).(*event)
+		delete(e.byID, ev.id)
+		e.now = ev.at
+		ev.fn()
+	}
+	e.now = horizon
+}
+
+// Run fires events until the queue is empty. Use with care: a self-renewing
+// periodic event makes Run diverge; prefer RunUntil for simulations.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// Ticker invokes fn every period until cancelled via the returned stop
+// function. The first invocation happens one period from now. fn observes
+// the tick time via the engine clock.
+func (e *Engine) Ticker(period time.Duration, fn func()) (stop func()) {
+	if period <= 0 {
+		panic("simclock: Ticker period must be positive")
+	}
+	var (
+		id      EventID
+		stopped bool
+	)
+	var tick func()
+	tick = func() {
+		if stopped {
+			return
+		}
+		fn()
+		if !stopped { // fn may have called stop
+			id = e.Schedule(period, tick)
+		}
+	}
+	id = e.Schedule(period, tick)
+	return func() {
+		if stopped {
+			return
+		}
+		stopped = true
+		e.Cancel(id)
+	}
+}

@@ -1,0 +1,276 @@
+package simclock
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestScheduleOrdering(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	e.Schedule(3*time.Second, func() { got = append(got, 3) })
+	e.Schedule(1*time.Second, func() { got = append(got, 1) })
+	e.Schedule(2*time.Second, func() { got = append(got, 2) })
+	e.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if e.Now() != 3*time.Second {
+		t.Fatalf("Now = %v, want 3s", e.Now())
+	}
+}
+
+func TestEqualTimestampsFIFO(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(time.Second, func() { got = append(got, i) })
+	}
+	e.Run()
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("equal-timestamp events fired out of order: %v", got)
+		}
+	}
+}
+
+func TestNegativeDelayClampsToNow(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	e.Schedule(-5*time.Second, func() { fired = true })
+	e.Run()
+	if !fired {
+		t.Fatal("negative-delay event never fired")
+	}
+	if e.Now() != 0 {
+		t.Fatalf("Now = %v, want 0", e.Now())
+	}
+}
+
+func TestCancel(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	id := e.Schedule(time.Second, func() { fired = true })
+	if !e.Cancel(id) {
+		t.Fatal("Cancel returned false for a pending event")
+	}
+	if e.Cancel(id) {
+		t.Fatal("second Cancel returned true")
+	}
+	e.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+}
+
+func TestCancelMiddleOfHeap(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	ids := make([]EventID, 0, 5)
+	for i := 0; i < 5; i++ {
+		i := i
+		ids = append(ids, e.Schedule(time.Duration(i+1)*time.Second, func() { got = append(got, i) }))
+	}
+	e.Cancel(ids[2])
+	e.Run()
+	want := []int{0, 1, 3, 4}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRunUntilHorizon(t *testing.T) {
+	e := NewEngine()
+	var got []time.Duration
+	for _, d := range []time.Duration{time.Second, 2 * time.Second, 3 * time.Second} {
+		d := d
+		e.Schedule(d, func() { got = append(got, d) })
+	}
+	e.RunUntil(2 * time.Second)
+	if len(got) != 2 {
+		t.Fatalf("fired %d events, want 2 (inclusive horizon)", len(got))
+	}
+	if e.Now() != 2*time.Second {
+		t.Fatalf("Now = %v, want 2s", e.Now())
+	}
+	if e.Len() != 1 {
+		t.Fatalf("pending = %d, want 1", e.Len())
+	}
+}
+
+func TestRunUntilAdvancesClockWithEmptyQueue(t *testing.T) {
+	e := NewEngine()
+	e.RunUntil(time.Minute)
+	if e.Now() != time.Minute {
+		t.Fatalf("Now = %v, want 1m", e.Now())
+	}
+}
+
+func TestScheduleAtPastPanics(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(time.Second, func() {})
+	e.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ScheduleAt in the past did not panic")
+		}
+	}()
+	e.ScheduleAt(0, func() {})
+}
+
+func TestNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	var got []string
+	e.Schedule(time.Second, func() {
+		got = append(got, "outer")
+		e.Schedule(time.Second, func() { got = append(got, "inner") })
+	})
+	e.RunUntil(5 * time.Second)
+	if len(got) != 2 || got[0] != "outer" || got[1] != "inner" {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestTicker(t *testing.T) {
+	e := NewEngine()
+	var ticks []Time
+	stop := e.Ticker(time.Second, func() { ticks = append(ticks, e.Now()) })
+	e.RunUntil(3500 * time.Millisecond)
+	stop()
+	e.RunUntil(10 * time.Second)
+	if len(ticks) != 3 {
+		t.Fatalf("ticks = %v, want 3 ticks", ticks)
+	}
+	for i, at := range ticks {
+		if want := time.Duration(i+1) * time.Second; at != want {
+			t.Fatalf("tick %d at %v, want %v", i, at, want)
+		}
+	}
+}
+
+func TestTickerStopFromWithinCallback(t *testing.T) {
+	e := NewEngine()
+	n := 0
+	var stop func()
+	stop = e.Ticker(time.Second, func() {
+		n++
+		if n == 2 {
+			stop()
+		}
+	})
+	e.RunUntil(10 * time.Second)
+	if n != 2 {
+		t.Fatalf("ticker fired %d times after self-stop, want 2", n)
+	}
+}
+
+func TestTickerStopIdempotent(t *testing.T) {
+	e := NewEngine()
+	stop := e.Ticker(time.Second, func() {})
+	stop()
+	stop() // must not panic
+	e.RunUntil(3 * time.Second)
+}
+
+func TestStepEmptyQueue(t *testing.T) {
+	e := NewEngine()
+	if e.Step() {
+		t.Fatal("Step on an empty queue returned true")
+	}
+}
+
+// TestPropertyFiringOrderMatchesSort checks, for arbitrary delay sets, that
+// events fire in non-decreasing timestamp order and that every scheduled
+// event fires exactly once.
+func TestPropertyFiringOrderMatchesSort(t *testing.T) {
+	f := func(delaysRaw []uint16) bool {
+		e := NewEngine()
+		var fired []time.Duration
+		for _, d := range delaysRaw {
+			d := time.Duration(d) * time.Millisecond
+			e.Schedule(d, func() { fired = append(fired, e.Now()) })
+		}
+		e.Run()
+		if len(fired) != len(delaysRaw) {
+			return false
+		}
+		want := make([]time.Duration, len(delaysRaw))
+		for i, d := range delaysRaw {
+			want[i] = time.Duration(d) * time.Millisecond
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		for i := range want {
+			if fired[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyCancelNeverFires cancels a random subset and checks only the
+// survivors fire.
+func TestPropertyCancelNeverFires(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := NewEngine()
+		total := int(n%64) + 1
+		firedBy := make(map[int]bool)
+		ids := make([]EventID, total)
+		for i := 0; i < total; i++ {
+			i := i
+			ids[i] = e.Schedule(time.Duration(rng.Intn(1000))*time.Millisecond, func() { firedBy[i] = true })
+		}
+		cancelled := make(map[int]bool)
+		for i := 0; i < total; i++ {
+			if rng.Intn(2) == 0 {
+				e.Cancel(ids[i])
+				cancelled[i] = true
+			}
+		}
+		e.Run()
+		for i := 0; i < total; i++ {
+			if cancelled[i] == firedBy[i] {
+				return false // cancelled ⟺ did not fire
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClockMonotonicAcrossManyEvents(t *testing.T) {
+	e := NewEngine()
+	rng := rand.New(rand.NewSource(42))
+	last := Time(0)
+	ok := true
+	for i := 0; i < 1000; i++ {
+		e.Schedule(time.Duration(rng.Intn(10000))*time.Millisecond, func() {
+			if e.Now() < last {
+				ok = false
+			}
+			last = e.Now()
+		})
+	}
+	e.Run()
+	if !ok {
+		t.Fatal("clock moved backwards")
+	}
+}

@@ -1,0 +1,94 @@
+package study
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/lease"
+)
+
+func TestCaseCount(t *testing.T) {
+	if got := len(Cases()); got != 109 {
+		t.Fatalf("cases = %d, want 109", got)
+	}
+}
+
+func TestTable2MatchesPaper(t *testing.T) {
+	want := map[lease.Behavior][5]int{ // bug, config, enhance, na, total
+		lease.FAB:  {10, 1, 1, 0, 12},
+		lease.LHB:  {18, 5, 0, 0, 23},
+		lease.LUB:  {23, 4, 1, 0, 28},
+		lease.EUB:  {8, 18, 5, 3, 34},
+		BehaviorNA: {0, 0, 0, 12, 12},
+	}
+	for _, row := range Table2() {
+		w := want[row.Behavior]
+		if row.Bug != w[0] || row.Config != w[1] || row.Enhance != w[2] || row.NA != w[3] || row.Total != w[4] {
+			t.Errorf("row %v = %+v, want %v", row.Behavior, row, w)
+		}
+	}
+}
+
+func TestTable2Percentages(t *testing.T) {
+	for _, row := range Table2() {
+		var wantPct float64
+		switch row.Behavior {
+		case lease.FAB:
+			wantPct = 11
+		case lease.LHB:
+			wantPct = 21
+		case lease.LUB:
+			wantPct = 26
+		case lease.EUB:
+			wantPct = 31
+		default:
+			wantPct = 11
+		}
+		if math.Abs(row.Percent-wantPct) > 0.6 {
+			t.Errorf("%v percent = %.1f, want ≈ %v", row.Behavior, row.Percent, wantPct)
+		}
+	}
+}
+
+func TestFindingsMatchPaper(t *testing.T) {
+	f := ComputeFindings()
+	// Finding 1: FAB+LHB+LUB ≈ 58%, EUB ≈ 31%.
+	if math.Abs(f.DefectShare-58) > 1 {
+		t.Errorf("DefectShare = %.1f, want ≈ 58", f.DefectShare)
+	}
+	if math.Abs(f.EUBShare-31) > 1 {
+		t.Errorf("EUBShare = %.1f, want ≈ 31", f.EUBShare)
+	}
+	// Finding 2: ~80% of the defect classes are bugs; ~77% of EUB is not.
+	if math.Abs(f.DefectBugShare-80) > 2 {
+		t.Errorf("DefectBugShare = %.1f, want ≈ 80", f.DefectBugShare)
+	}
+	if math.Abs(f.EUBNonBugShare-77) > 2 {
+		t.Errorf("EUBNonBugShare = %.1f, want ≈ 77", f.EUBNonBugShare)
+	}
+}
+
+func TestCasesDeterministicAndWellFormed(t *testing.T) {
+	a, b := Cases(), Cases()
+	apps := map[string]bool{}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("Cases() is not deterministic")
+		}
+		if a[i].App == "" || a[i].Source == "" {
+			t.Fatalf("case %d malformed: %+v", i, a[i])
+		}
+		apps[a[i].App] = true
+	}
+	if len(apps) != 81 {
+		t.Fatalf("distinct apps = %d, want 81", len(apps))
+	}
+}
+
+func TestRootCauseStrings(t *testing.T) {
+	for c, want := range map[RootCause]string{Bug: "bug", Config: "configuration", Enhancement: "enhancement", UnknownCause: "n/a"} {
+		if c.String() != want {
+			t.Errorf("%d.String() = %q", c, c.String())
+		}
+	}
+}

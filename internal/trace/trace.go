@@ -1,0 +1,151 @@
+// Package trace records simulation event traces for external analysis:
+// periodic power samples per app, lease-population snapshots, and the full
+// lease transition log. Traces serialise as JSON lines (one event per
+// line) or as a CSV power matrix, using only the standard library.
+package trace
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"time"
+
+	"repro/internal/power"
+	"repro/internal/sim"
+)
+
+// Event is one trace record. Exactly one of the payload groups is set,
+// selected by Kind.
+type Event struct {
+	// AtMS is the virtual timestamp in milliseconds.
+	AtMS int64 `json:"at_ms"`
+	// Kind is "power", "leases" or "transition".
+	Kind string `json:"kind"`
+
+	// power: total system draw and per-app draws in milliwatts.
+	TotalMW float64            `json:"total_mw,omitempty"`
+	AppsMW  map[string]float64 `json:"apps_mw,omitempty"`
+
+	// leases: population snapshot.
+	LeasesLive   int `json:"leases_live,omitempty"`
+	LeasesActive int `json:"leases_active,omitempty"`
+
+	// transition: one lease state change.
+	LeaseID uint64 `json:"lease_id,omitempty"`
+	From    string `json:"from,omitempty"`
+	To      string `json:"to,omitempty"`
+	Reason  string `json:"reason,omitempty"`
+}
+
+// Recorder samples a simulation while it runs.
+type Recorder struct {
+	s        *sim.Sim
+	uids     []power.UID
+	events   []Event
+	lastTxns int
+	stop     func()
+}
+
+// Attach starts recording on s: a power and lease snapshot every interval,
+// plus any lease transitions that occurred since the previous sample
+// (requires Lease.Config.RecordTransitions for transition events). uids
+// selects the apps whose draw is broken out per sample.
+func Attach(s *sim.Sim, interval time.Duration, uids ...power.UID) *Recorder {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	r := &Recorder{s: s, uids: uids}
+	r.stop = s.Engine.Ticker(interval, r.sample)
+	return r
+}
+
+func (r *Recorder) sample() {
+	now := r.s.Engine.Now().Milliseconds()
+	apps := make(map[string]float64, len(r.uids))
+	for _, uid := range r.uids {
+		apps[fmt.Sprintf("uid%d", uid)] = r.s.Meter.InstantPowerOfW(uid) * 1000
+	}
+	r.events = append(r.events, Event{
+		AtMS: now, Kind: "power",
+		TotalMW: r.s.Meter.InstantPowerW() * 1000, AppsMW: apps,
+	})
+	if r.s.Leases != nil {
+		r.events = append(r.events, Event{
+			AtMS: now, Kind: "leases",
+			LeasesLive: r.s.Leases.LeaseCount(), LeasesActive: r.s.Leases.ActiveLeaseCount(),
+		})
+		txns := r.s.Leases.Transitions
+		for _, tr := range txns[r.lastTxns:] {
+			r.events = append(r.events, Event{
+				AtMS: tr.At.Milliseconds(), Kind: "transition",
+				LeaseID: tr.LeaseID, From: tr.From.String(), To: tr.To.String(), Reason: tr.Reason,
+			})
+		}
+		r.lastTxns = len(txns)
+	}
+}
+
+// Stop halts sampling; recorded events remain available.
+func (r *Recorder) Stop() {
+	if r.stop != nil {
+		r.stop()
+		r.stop = nil
+	}
+}
+
+// Events returns the recorded events in timestamp order.
+func (r *Recorder) Events() []Event { return r.events }
+
+// WriteJSON writes the trace as JSON lines.
+func (r *Recorder) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, ev := range r.events {
+		if err := enc.Encode(ev); err != nil {
+			return fmt.Errorf("trace: %w", err)
+		}
+	}
+	return nil
+}
+
+// WriteCSV writes the power samples as a CSV matrix: at_ms, total_mw, then
+// one column per tracked uid (sorted by uid label).
+func (r *Recorder) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	defer cw.Flush()
+
+	var cols []string
+	seen := map[string]bool{}
+	for _, ev := range r.events {
+		for k := range ev.AppsMW {
+			if !seen[k] {
+				seen[k] = true
+				cols = append(cols, k)
+			}
+		}
+	}
+	sort.Strings(cols)
+
+	header := append([]string{"at_ms", "total_mw"}, cols...)
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	for _, ev := range r.events {
+		if ev.Kind != "power" {
+			continue
+		}
+		row := []string{
+			strconv.FormatInt(ev.AtMS, 10),
+			strconv.FormatFloat(ev.TotalMW, 'f', 3, 64),
+		}
+		for _, c := range cols {
+			row = append(row, strconv.FormatFloat(ev.AppsMW[c], 'f', 3, 64))
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("trace: %w", err)
+		}
+	}
+	return cw.Error()
+}

@@ -1,0 +1,117 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/android/hooks"
+	"repro/internal/lease"
+	"repro/internal/sim"
+)
+
+func buildTracedSim(t *testing.T) (*sim.Sim, *Recorder) {
+	t.Helper()
+	s := sim.New(sim.Options{Policy: sim.LeaseOS, Lease: lease.Config{RecordTransitions: true}})
+	s.Apps.NewProcess(100, "app")
+	wl := s.Power.NewWakelock(100, hooks.Wakelock, "x")
+	wl.Acquire()
+	r := Attach(s, time.Second, 100)
+	s.Run(time.Minute)
+	r.Stop()
+	return s, r
+}
+
+func TestRecorderCapturesAllKinds(t *testing.T) {
+	_, r := buildTracedSim(t)
+	kinds := map[string]int{}
+	for _, ev := range r.Events() {
+		kinds[ev.Kind]++
+	}
+	if kinds["power"] != 60 {
+		t.Fatalf("power samples = %d, want 60", kinds["power"])
+	}
+	if kinds["leases"] != 60 {
+		t.Fatalf("lease snapshots = %d, want 60", kinds["leases"])
+	}
+	if kinds["transition"] == 0 {
+		t.Fatal("no transitions captured (the leak defers at 5 s)")
+	}
+}
+
+func TestRecorderStopsSampling(t *testing.T) {
+	s, r := buildTracedSim(t)
+	n := len(r.Events())
+	s.Run(time.Minute)
+	if len(r.Events()) != n {
+		t.Fatal("recorder kept sampling after Stop")
+	}
+}
+
+func TestWriteJSONRoundTrips(t *testing.T) {
+	_, r := buildTracedSim(t)
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != len(r.Events()) {
+		t.Fatalf("lines = %d, events = %d", len(lines), len(r.Events()))
+	}
+	var ev Event
+	if err := json.Unmarshal([]byte(lines[0]), &ev); err != nil {
+		t.Fatalf("first line is not valid JSON: %v", err)
+	}
+	if ev.Kind != "power" || ev.AppsMW["uid100"] <= 0 {
+		t.Fatalf("first event unexpected: %+v", ev)
+	}
+}
+
+func TestWriteCSVMatrix(t *testing.T) {
+	_, r := buildTracedSim(t)
+	var buf bytes.Buffer
+	if err := r.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 61 { // header + 60 samples
+		t.Fatalf("rows = %d, want 61", len(rows))
+	}
+	if rows[0][0] != "at_ms" || rows[0][1] != "total_mw" || rows[0][2] != "uid100" {
+		t.Fatalf("header = %v", rows[0])
+	}
+	// The deferral at 5 s must be visible as the uid's draw dropping to 0.
+	sawPositive, sawZero := false, false
+	for _, row := range rows[1:] {
+		switch row[2] {
+		case "0.000":
+			sawZero = true
+		default:
+			sawPositive = true
+		}
+	}
+	if !sawPositive || !sawZero {
+		t.Fatal("trace should show the draw both before and during the deferral")
+	}
+}
+
+func TestAttachDefaults(t *testing.T) {
+	s := sim.New(sim.Options{Policy: sim.Vanilla})
+	r := Attach(s, 0) // default interval, no tracked uids, no lease manager
+	s.Run(5 * time.Second)
+	r.Stop()
+	if len(r.Events()) != 5 {
+		t.Fatalf("events = %d, want 5 power samples", len(r.Events()))
+	}
+	for _, ev := range r.Events() {
+		if ev.Kind != "power" {
+			t.Fatalf("vanilla trace should be power-only, got %q", ev.Kind)
+		}
+	}
+}

@@ -1,0 +1,109 @@
+package workload
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/power"
+	"repro/internal/sim"
+)
+
+func TestNormalHourProducesLeaseActivity(t *testing.T) {
+	s := sim.New(sim.Options{Policy: sim.LeaseOS})
+	NormalHour(s, 1)
+	s.Run(time.Hour)
+	// The paper's §7.2 run created 160 leases; ours should create a
+	// healthy double-digit population.
+	if n := s.Leases.CreatedTotal(); n < 20 {
+		t.Fatalf("leases created = %d, want a busy hour", n)
+	}
+}
+
+func TestNormalHourActiveThenIdle(t *testing.T) {
+	s := sim.New(sim.Options{Policy: sim.LeaseOS})
+	NormalHour(s, 2)
+	s.Run(20 * time.Minute)
+	activeEnergy := s.Meter.EnergyJ()
+	if !s.Power.ScreenOn() {
+		t.Fatal("screen should be on during the active half")
+	}
+	s.Run(25 * time.Minute) // now at 45 min, idle half
+	if s.Power.ScreenOn() {
+		t.Fatal("screen should be off during the idle half")
+	}
+	s.Run(15 * time.Minute)
+	idleEnergy := s.Meter.EnergyJ() - activeEnergy
+	if idleEnergy > activeEnergy {
+		t.Fatalf("idle half used more energy (%v J) than the active 20 min (%v J)", idleEnergy, activeEnergy)
+	}
+}
+
+func TestNormalHourDeterministicPerSeed(t *testing.T) {
+	run := func(seed int64) float64 {
+		s := sim.New(sim.Options{Policy: sim.LeaseOS})
+		NormalHour(s, seed)
+		s.Run(time.Hour)
+		return s.Meter.EnergyJ()
+	}
+	if run(7) != run(7) {
+		t.Fatal("same seed should reproduce exactly")
+	}
+	if run(7) == run(8) {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+func TestOverheadSettingsOrdering(t *testing.T) {
+	// Energy must rise monotonically from Idle to the heavy settings.
+	energies := map[OverheadSetting]float64{}
+	for _, setting := range OverheadSettings() {
+		s := sim.New(sim.Options{Policy: sim.Vanilla})
+		InstallOverheadSetting(s, setting, 1)
+		s.Run(OverheadRunLength)
+		energies[setting] = s.Meter.EnergyJ()
+	}
+	if energies[Idle] >= energies[NoInteraction] {
+		t.Fatalf("Idle (%v) should draw less than NoInteraction (%v)", energies[Idle], energies[NoInteraction])
+	}
+	if energies[NoInteraction] >= energies[UseYouTube] {
+		t.Fatalf("NoInteraction (%v) should draw less than YouTube (%v)", energies[NoInteraction], energies[UseYouTube])
+	}
+	if energies[Use10Apps] <= energies[Idle] {
+		t.Fatal("app usage should dominate idle")
+	}
+}
+
+func TestOverheadSettingNames(t *testing.T) {
+	for _, o := range OverheadSettings() {
+		if o.String() == "unknown" {
+			t.Fatalf("setting %d unnamed", o)
+		}
+	}
+}
+
+func TestBatteryDayLeaseExtendsLifetime(t *testing.T) {
+	lifetime := func(pol sim.Policy) time.Duration {
+		s := sim.New(sim.Options{Policy: pol})
+		BatteryDay(s)
+		batt := power.NewBattery(s.Meter, s.Profile.CapacityJ())
+		for s.Now() < 48*time.Hour {
+			s.Run(5 * time.Minute)
+			if batt.Empty() {
+				break
+			}
+		}
+		return s.Now()
+	}
+	vanilla := lifetime(sim.Vanilla)
+	leaseos := lifetime(sim.LeaseOS)
+	if vanilla < 6*time.Hour || vanilla > 24*time.Hour {
+		t.Fatalf("vanilla lifetime = %v, want a plausible phone day", vanilla)
+	}
+	if leaseos <= vanilla {
+		t.Fatalf("LeaseOS lifetime (%v) should exceed vanilla (%v)", leaseos, vanilla)
+	}
+	gain := float64(leaseos-vanilla) / float64(vanilla)
+	if gain < 0.10 || gain > 0.60 {
+		t.Fatalf("lifetime gain = %.0f%%, want the paper's 10–60%% band (12h → 15h)", gain*100)
+	}
+}
