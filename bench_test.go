@@ -92,6 +92,30 @@ func BenchmarkLeaseUpdate(b *testing.B) {
 	}
 }
 
+// --- harness fan-out: the sequential/parallel pair for the worker pool ---
+//
+// The same artefact regenerated at parallelism 1 (the reference path) and
+// at GOMAXPROCS. On a 4+ core machine the parallel variant should be ≥ 2×
+// faster in wall-clock ns/op while producing byte-identical output (see
+// TestAllParallelDeterminism in internal/exp).
+
+func benchParallelism(b *testing.B, workers int, fn func() exp.Result) {
+	b.Helper()
+	exp.SetParallelism(workers)
+	defer exp.SetParallelism(0)
+	runExperiment(b, fn)
+}
+
+func BenchmarkTable5Sequential(b *testing.B) { benchParallelism(b, 1, exp.Table5) }
+func BenchmarkTable5Parallel(b *testing.B)   { benchParallelism(b, 0, exp.Table5) }
+
+func BenchmarkFigure13Sequential(b *testing.B) {
+	benchParallelism(b, 1, func() exp.Result { return exp.Figure13(4) })
+}
+func BenchmarkFigure13Parallel(b *testing.B) {
+	benchParallelism(b, 0, func() exp.Result { return exp.Figure13(4) })
+}
+
 // BenchmarkEngineThroughput measures raw event-kernel throughput, the floor
 // for every simulation in this repository.
 func BenchmarkEngineThroughput(b *testing.B) {

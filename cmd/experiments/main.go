@@ -3,7 +3,11 @@
 //
 // Usage:
 //
-//	experiments [-quick] [-only figure-9,table-5] [-format markdown] [-out dir]
+//	experiments [-quick] [-only figure-9,table-5] [-format markdown] [-out dir] [-parallel N]
+//
+// Independent simulations fan out across -parallel workers (default
+// GOMAXPROCS); the rendered output is byte-identical at any worker count,
+// and -parallel 1 is the sequential reference path.
 package main
 
 import (
@@ -21,6 +25,7 @@ func main() {
 	only := flag.String("only", "", "comma-separated artefact ids to run (e.g. figure-9,table-5)")
 	format := flag.String("format", "text", "output format: text|markdown")
 	outDir := flag.String("out", "", "also write one file per artefact into this directory")
+	par := flag.Int("parallel", 0, "worker count for independent sims (0 = GOMAXPROCS, 1 = sequential)")
 	flag.Parse()
 
 	if *format != "text" && *format != "markdown" {
@@ -33,21 +38,46 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	exp.SetParallelism(*par)
 
-	want := map[string]bool{}
+	runners := exp.Runners(*quick)
+	selected := runners
 	if *only != "" {
+		// Validate ids before any experiment runs: a typo must fail fast,
+		// not after a full (and possibly hours-long) regeneration pass.
+		known := make(map[string]bool, len(runners))
+		for _, r := range runners {
+			known[r.ID] = true
+		}
+		want := map[string]bool{}
+		var unknown []string
 		for _, id := range strings.Split(*only, ",") {
-			want[strings.TrimSpace(id)] = true
+			id = strings.TrimSpace(id)
+			if id == "" || want[id] {
+				continue // dedupe: -only table-5,table-5 runs table-5 once
+			}
+			if !known[id] {
+				unknown = append(unknown, id)
+				continue
+			}
+			want[id] = true
+		}
+		if len(unknown) > 0 {
+			fmt.Fprintf(os.Stderr, "experiments: unknown ids %s; known ids:\n", strings.Join(unknown, ", "))
+			for _, r := range runners {
+				fmt.Fprintf(os.Stderr, "  %s\n", r.ID)
+			}
+			os.Exit(1)
+		}
+		selected = selected[:0:0]
+		for _, r := range runners {
+			if want[r.ID] {
+				selected = append(selected, r)
+			}
 		}
 	}
 
-	matched := 0
-	for _, runner := range exp.Runners(*quick) {
-		if len(want) > 0 && !want[runner.ID] {
-			continue
-		}
-		matched++
-		result := runner.Run()
+	for _, result := range exp.RunSelected(selected) {
 		rendered := render(result, *format)
 		fmt.Println(rendered)
 		if *outDir != "" {
@@ -61,13 +91,6 @@ func main() {
 				os.Exit(1)
 			}
 		}
-	}
-	if len(want) > 0 && matched != len(want) {
-		fmt.Fprintf(os.Stderr, "experiments: some requested ids were not found; known ids:\n")
-		for _, runner := range exp.Runners(*quick) {
-			fmt.Fprintf(os.Stderr, "  %s\n", runner.ID)
-		}
-		os.Exit(1)
 	}
 }
 

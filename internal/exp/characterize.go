@@ -70,7 +70,8 @@ func Figure2() Result {
 // both, despite the ~2x hardware difference.
 func Figure3() Result {
 	r := Result{ID: "figure-3", Title: "Kontalk wakelock holding + CPU/WL ratio (Nexus vs Samsung)"}
-	for _, prof := range []device.Profile{device.Nexus6, device.GalaxyS4} {
+	profiles := []device.Profile{device.Nexus6, device.GalaxyS4}
+	lines := fanOut(profiles, func(_ int, prof device.Profile) string {
 		s := sim.New(sim.Options{Policy: sim.Vanilla, Device: prof})
 		app := apps.NewKontalk(s, 100)
 		app.Start()
@@ -83,9 +84,10 @@ func Figure3() Result {
 			holdSum += p.Held[i].Seconds()
 			cpuSum += p.CPU[i].Seconds()
 		}
-		r.addf("%s: mean holding %.1f s/min, CPU/WL ratio %.4f",
+		return fmt.Sprintf("%s: mean holding %.1f s/min, CPU/WL ratio %.4f",
 			prof.Name, holdSum/float64(len(p.Held)), cpuSum/holdSum)
-	}
+	})
+	r.Lines = append(r.Lines, lines...)
 	r.addf("paper: the ultralow utilization pattern is consistent across phones and ecosystems")
 	return r
 }

@@ -9,13 +9,41 @@ package exp
 import (
 	"fmt"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/android/hooks"
+	"repro/internal/parallel"
 	"repro/internal/power"
 	"repro/internal/sim"
 	"repro/internal/simclock"
 )
+
+// workers is the harness-wide worker count for fanning independent sims
+// out across CPUs. Zero means the default (GOMAXPROCS); every runner
+// guarantees byte-identical rendered output at any value.
+var workers atomic.Int32
+
+// SetParallelism sets the number of workers the harness uses for
+// independent simulations. n ≤ 0 restores the default (GOMAXPROCS);
+// n = 1 is the sequential reference path.
+func SetParallelism(n int) {
+	if n <= 0 {
+		workers.Store(0)
+		return
+	}
+	workers.Store(int32(n))
+}
+
+// Parallelism reports the effective worker count.
+func Parallelism() int { return parallel.Normalize(int(workers.Load())) }
+
+// fanOut runs fn over items on the harness worker pool, results in input
+// order. Every call site fans out *across* whole simulations; no two
+// goroutines ever share one Sim.
+func fanOut[T, R any](items []T, fn func(i int, item T) R) []R {
+	return parallel.Map(Parallelism(), items, fn)
+}
 
 // Result is one regenerated artefact.
 type Result struct {
@@ -71,6 +99,10 @@ type Runner struct {
 	ID    string
 	Title string
 	Run   func() Result
+	// Isolated marks runners that time host wall-clock operations (Table 4):
+	// they must not share the machine with concurrently running sims, so the
+	// harness executes them alone, after the parallel batch drains.
+	Isolated bool
 }
 
 // Runners lists every experiment in paper order. Quick mode shrinks the
@@ -83,36 +115,58 @@ func Runners(quick bool) []Runner {
 		cases = 10
 	}
 	return []Runner{
-		{"figure-1", "BetterWeather GPS try duration", Figure1},
-		{"figure-2", "K-9 holding vs CPU, bad server", Figure2},
-		{"figure-3", "Kontalk on two phones", Figure3},
-		{"figure-4", "K-9 holding vs CPU, disconnected", Figure4},
-		{"section-2.3", "holding time is a misleading classifier", Section23},
-		{"table-1", "misbehaviour applicability matrix", Table1},
-		{"table-2", "109-case prevalence study", Table2},
-		{"figure-5", "lease state transitions", Figure5},
-		{"figure-9", "holding time vs lease term", Figure9},
-		{"table-4", "lease operation latency", Table4},
-		{"figure-11", "active leases over one hour", Figure11},
-		{"table-5", "20 buggy apps under four policies", Table5},
-		{"usability", "normal apps: LeaseOS vs throttling", Usability},
-		{"figure-12", "waste reduction vs λ", func() Result { return Figure12(cases) }},
-		{"figure-13", "system power overhead", func() Result { return Figure13(seeds) }},
-		{"figure-14", "end-to-end interaction latency", Figure14},
-		{"battery-life", "battery-life day", BatteryLife},
-		{"detection-latency", "time from defect onset to revocation", DetectionLatency},
-		{"window-sweep", "decision-window trade-off", WindowSweep},
-		{"fixed-apps", "buggy app + LeaseOS vs the developers' fix", FixedApps},
-		{"cross-device", "Table 5 averages on every device profile", CrossDevice},
+		{ID: "figure-1", Title: "BetterWeather GPS try duration", Run: Figure1},
+		{ID: "figure-2", Title: "K-9 holding vs CPU, bad server", Run: Figure2},
+		{ID: "figure-3", Title: "Kontalk on two phones", Run: Figure3},
+		{ID: "figure-4", Title: "K-9 holding vs CPU, disconnected", Run: Figure4},
+		{ID: "section-2.3", Title: "holding time is a misleading classifier", Run: Section23},
+		{ID: "table-1", Title: "misbehaviour applicability matrix", Run: Table1},
+		{ID: "table-2", Title: "109-case prevalence study", Run: Table2},
+		{ID: "figure-5", Title: "lease state transitions", Run: Figure5},
+		{ID: "figure-9", Title: "holding time vs lease term", Run: Figure9},
+		{ID: "table-4", Title: "lease operation latency", Run: Table4, Isolated: true},
+		{ID: "figure-11", Title: "active leases over one hour", Run: Figure11},
+		{ID: "table-5", Title: "20 buggy apps under four policies", Run: Table5},
+		{ID: "usability", Title: "normal apps: LeaseOS vs throttling", Run: Usability},
+		{ID: "figure-12", Title: "waste reduction vs λ", Run: func() Result { return Figure12(cases) }},
+		{ID: "figure-13", Title: "system power overhead", Run: func() Result { return Figure13(seeds) }},
+		{ID: "figure-14", Title: "end-to-end interaction latency", Run: Figure14},
+		{ID: "battery-life", Title: "battery-life day", Run: BatteryLife},
+		{ID: "detection-latency", Title: "time from defect onset to revocation", Run: DetectionLatency},
+		{ID: "window-sweep", Title: "decision-window trade-off", Run: WindowSweep},
+		{ID: "fixed-apps", Title: "buggy app + LeaseOS vs the developers' fix", Run: FixedApps},
+		{ID: "cross-device", Title: "Table 5 averages on every device profile", Run: CrossDevice},
 	}
 }
 
-// All runs every experiment in paper order.
+// All runs every experiment in paper order. Independent runners execute on
+// the harness worker pool (see SetParallelism); the output slice is always
+// in paper order regardless of completion order.
 func All(quick bool) []Result {
-	runners := Runners(quick)
+	return RunSelected(Runners(quick))
+}
+
+// RunSelected executes the given runners and returns their results in the
+// given order. Non-isolated runners fan out across the worker pool;
+// isolated runners (host wall-clock micro benchmarks) run strictly alone
+// after the parallel batch has drained, so their timings never share the
+// machine with other sims.
+func RunSelected(runners []Runner) []Result {
 	out := make([]Result, len(runners))
+	var batch, isolated []int
 	for i, r := range runners {
-		out[i] = r.Run()
+		if r.Isolated {
+			isolated = append(isolated, i)
+		} else {
+			batch = append(batch, i)
+		}
+	}
+	batchResults := fanOut(batch, func(_ int, i int) Result { return runners[i].Run() })
+	for k, i := range batch {
+		out[i] = batchResults[k]
+	}
+	for _, i := range isolated {
+		out[i] = runners[i].Run()
 	}
 	return out
 }

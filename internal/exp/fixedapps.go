@@ -50,11 +50,24 @@ func FixedApps() Result {
 	}
 
 	r.addf("%-14s | %14s %16s %16s", "app", "buggy+vanilla", "buggy+LeaseOS", "fixed+vanilla")
+	// Three independent sims per case; flatten so all nine fan out at once.
+	type variant struct {
+		pol     sim.Policy
+		build   func(s *sim.Sim) apps.App
+		trigger func(*env.Environment)
+	}
+	var variants []variant
 	for _, c := range cases {
-		buggyVanilla := run(sim.Vanilla, c.buggy, c.trigger)
-		buggyLease := run(sim.LeaseOS, c.buggy, c.trigger)
-		fixedVanilla := run(sim.Vanilla, c.fixed, c.trigger)
-		r.addf("%-14s | %11.2f mW %13.2f mW %13.2f mW", c.name, buggyVanilla, buggyLease, fixedVanilla)
+		variants = append(variants,
+			variant{sim.Vanilla, c.buggy, c.trigger},
+			variant{sim.LeaseOS, c.buggy, c.trigger},
+			variant{sim.Vanilla, c.fixed, c.trigger})
+	}
+	mw := fanOut(variants, func(_ int, v variant) float64 {
+		return run(v.pol, v.build, v.trigger)
+	})
+	for i, c := range cases {
+		r.addf("%-14s | %11.2f mW %13.2f mW %13.2f mW", c.name, mw[3*i], mw[3*i+1], mw[3*i+2])
 	}
 	r.notef("supplementary experiment: the lease mechanism recovers the bulk of what the hand-fix")
 	r.notef("recovers, with zero app changes — §1's \"developers are relieved from the burden\"")

@@ -47,13 +47,21 @@ func DetectionLatency() Result {
 		return found - onset, true
 	}
 
-	for _, pol := range []sim.Policy{sim.Vanilla, sim.LeaseOS, sim.DozeAggressive, sim.DefDroid, sim.Throttle} {
+	policies := []sim.Policy{sim.Vanilla, sim.LeaseOS, sim.DozeAggressive, sim.DefDroid, sim.Throttle}
+	type outcome struct {
+		d  time.Duration
+		ok bool
+	}
+	outcomes := fanOut(policies, func(_ int, pol sim.Policy) outcome {
 		d, ok := measure(pol)
-		if !ok {
+		return outcome{d, ok}
+	})
+	for i, pol := range policies {
+		if !outcomes[i].ok {
 			r.addf("%-16s never revoked within 30 minutes of onset", pol)
 			continue
 		}
-		r.addf("%-16s first revocation %6.0f s after onset", pol, d.Seconds())
+		r.addf("%-16s first revocation %6.0f s after onset", pol, outcomes[i].d.Seconds())
 	}
 	r.notef("supplementary experiment (not in the paper): LeaseOS reacts within one lease term (~5 s);")
 	r.notef("threshold baselines wait out their conservative timers; vanilla never reacts")
@@ -106,9 +114,17 @@ func windowCost(window int) (steadyDetect time.Duration, burstyDeferrals int) {
 func WindowSweep() Result {
 	r := Result{ID: "window-sweep", Title: "Decision window: detection latency vs misjudgement"}
 	r.addf("%-8s %-22s %-24s", "window", "steady-leak detection", "bursty-app deferrals")
-	for _, w := range []int{1, 2, 3, 4} {
+	windows := []int{1, 2, 3, 4}
+	type cost struct {
+		detect time.Duration
+		bursty int
+	}
+	costs := fanOut(windows, func(_ int, w int) cost {
 		detect, bursty := windowCost(w)
-		r.addf("%-8d %20.0f s %24d", w, detect.Seconds(), bursty)
+		return cost{detect, bursty}
+	})
+	for i, w := range windows {
+		r.addf("%-8d %20.0f s %24d", w, costs[i].detect.Seconds(), costs[i].bursty)
 	}
 	r.notef("supplementary sweep of lease.Config.MisbehaviorWindow (§4.3's last-few-terms rule)")
 	return r

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"math"
 	"time"
 
 	"repro/internal/apps"
@@ -43,15 +44,25 @@ func Figure9() Result {
 		return time.Duration(s.Meter.EnergyOfJ(100) / s.Profile.CPUIdleAwakeW * float64(time.Second))
 	}
 
+	// Both sweeps fan out: each (term, τ) cell is one independent sim.
+	type cell struct{ term, tau time.Duration }
+	var cells []cell
+	for _, term := range terms {
+		cells = append(cells, cell{term, 30 * time.Second})
+	}
+	for _, term := range terms {
+		cells = append(cells, cell{term, term})
+	}
+	holdings := fanOut(cells, func(_ int, c cell) time.Duration {
+		return holding(c.term, c.tau)
+	})
 	r.addf("(a) fixed deferral interval τ = 30 s")
-	for i, term := range terms {
-		h := holding(term, 30*time.Second)
-		r.addf("  term %-5s holding %6.0f s", labels[i], h.Seconds())
+	for i := range terms {
+		r.addf("  term %-5s holding %6.0f s", labels[i], holdings[i].Seconds())
 	}
 	r.addf("(b) fixed λ = 1 (τ scales with the term)")
-	for i, term := range terms {
-		h := holding(term, term)
-		r.addf("  term %-5s holding %6.0f s", labels[i], h.Seconds())
+	for i := range terms {
+		r.addf("  term %-5s holding %6.0f s", labels[i], holdings[len(terms)+i].Seconds())
 	}
 	r.notef("paper (a): 904 / 1201 / 1560 / 1800; (b): 900 / 900 / 899 / 1800")
 	return r
@@ -106,17 +117,33 @@ func Figure12(cases int) Result {
 	}
 
 	r.addf("%-4s %-16s", "λ", "reduction ratio")
+	// One unit of pool work per (λ, case) pair: the vanilla baseline and
+	// its LeaseOS counterpart share a seed, so they stay in one closure.
+	type cell struct {
+		lambda int
+		seed   int64
+	}
+	var cells []cell
 	for lambda := 1; lambda <= 5; lambda++ {
-		ratios := make([]float64, 0, cases)
 		for c := 0; c < cases; c++ {
-			seed := int64(c + 1)
-			base := waste(seed, sim.Vanilla, 0)
-			withLease := waste(seed, sim.LeaseOS, time.Duration(lambda)*term)
-			if base > 0 {
-				ratios = append(ratios, 1-withLease/base)
+			cells = append(cells, cell{lambda, int64(c + 1)})
+		}
+	}
+	ratios := fanOut(cells, func(_ int, c cell) float64 {
+		base := waste(c.seed, sim.Vanilla, 0)
+		if base <= 0 {
+			return math.NaN()
+		}
+		return 1 - waste(c.seed, sim.LeaseOS, time.Duration(c.lambda)*term)/base
+	})
+	for lambda := 1; lambda <= 5; lambda++ {
+		kept := make([]float64, 0, cases)
+		for c := 0; c < cases; c++ {
+			if v := ratios[(lambda-1)*cases+c]; !math.IsNaN(v) {
+				kept = append(kept, v)
 			}
 		}
-		r.addf("%-4d %.2f (± %.2f over %d cases)", lambda, stats.Mean(ratios), stats.StdErr(ratios), len(ratios))
+		r.addf("%-4d %.2f (± %.2f over %d cases)", lambda, stats.Mean(kept), stats.StdErr(kept), len(kept))
 	}
 	r.notef("paper: 0.49 / 0.66 / 0.74 / 0.78 / 0.82 — larger λ reduces more waste but raises the misjudgement penalty")
 	r.notef("scaled: %d cases of %d+%d slices (paper: 1000 cases of 1000+1000 slices)", cases, 20, 20)

@@ -35,19 +35,20 @@ func Section23() Result {
 	}
 
 	r.addf("%-18s %14s %14s %12s", "app", "hold (s/30min)", "CPU (s)", "utilization")
-	for _, row := range rows {
+	type measured struct{ holdS, cpuS float64 }
+	ms := fanOut(rows, func(_ int, row row) measured {
 		s := sim.New(sim.Options{Policy: sim.Vanilla})
 		app := row.build(s)
 		app.Start()
 		s.Run(d)
-		holdS := s.Power.TotalAwakeTime().Seconds()
-		cpu := s.Apps.CPUTimeOf(100)
-		util := cpu.Seconds() / holdS
+		return measured{s.Power.TotalAwakeTime().Seconds(), s.Apps.CPUTimeOf(100).Seconds()}
+	})
+	for i, row := range rows {
 		flag := ""
 		if row.buggy {
 			flag = "  <- ultralow utilisation, the real signal"
 		}
-		r.addf("%-18s %14.0f %14.1f %12.4f%s", row.name, holdS, cpu.Seconds(), util, flag)
+		r.addf("%-18s %14.0f %14.1f %12.4f%s", row.name, ms[i].holdS, ms[i].cpuS, ms[i].cpuS/ms[i].holdS, flag)
 	}
 	r.notef("all five apps hold a wakelock for essentially the whole run; only utilisation separates them")
 	return r

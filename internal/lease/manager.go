@@ -590,14 +590,14 @@ func (m *Manager) Activity() ActivityReport {
 	for i, r := range records {
 		actives[i] = float64(r.Active)
 		termSum += r.Terms
-		if r.Active > rep.MaxActive {
-			rep.MaxActive = r.Active
-		}
 		if r.Terms > rep.MaxTerms {
 			rep.MaxTerms = r.Terms
 		}
 	}
-	rep.MedianActive = time.Duration(stats.Median(actives))
+	// Median and max are two quantiles of one series: one sort, one pass.
+	qs := stats.Percentiles(actives, 50, 100)
+	rep.MedianActive = time.Duration(qs[0])
+	rep.MaxActive = time.Duration(qs[1])
 	rep.MeanTerms = float64(termSum) / float64(len(records))
 	return rep
 }

@@ -1,0 +1,76 @@
+// Package parallel provides the deterministic fan-out primitive the
+// experiment harness is built on. Every simulation in this repository is a
+// self-contained, seeded, virtual-time run, so independent sims can execute
+// concurrently — but the paper's artefacts must render byte-identically at
+// any worker count. Map delivers exactly that: results come back in input
+// order regardless of completion order, and the work function receives the
+// item index so output assembly never depends on scheduling.
+//
+// Parallelism lives strictly *across* simulations, never inside one: the
+// simclock event queue is single-threaded by design (see DESIGN.md).
+package parallel
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Normalize clamps a requested worker count to a usable value: any n ≤ 0
+// selects GOMAXPROCS, the harness default.
+func Normalize(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// Map runs fn over every item on at most n workers and returns the results
+// in input order, regardless of completion order. n ≤ 0 means GOMAXPROCS;
+// n = 1 is the sequential reference path (no goroutines are spawned). If
+// any fn panics, the pool drains its in-flight items and the first panic
+// value is re-raised on the caller's goroutine.
+func Map[T, R any](n int, items []T, fn func(i int, item T) R) []R {
+	out := make([]R, len(items))
+	n = Normalize(n)
+	if n > len(items) {
+		n = len(items)
+	}
+	if n <= 1 {
+		for i, item := range items {
+			out[i] = fn(i, item)
+		}
+		return out
+	}
+
+	var (
+		wg        sync.WaitGroup
+		panicOnce sync.Once
+		panicked  any
+	)
+	idx := make(chan int)
+	for w := 0; w < n; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							panicOnce.Do(func() { panicked = r })
+						}
+					}()
+					out[i] = fn(i, items[i])
+				}()
+			}
+		}()
+	}
+	for i := range items {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	if panicked != nil {
+		panic(panicked)
+	}
+	return out
+}

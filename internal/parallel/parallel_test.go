@@ -1,0 +1,103 @@
+package parallel
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestMapPreservesInputOrder(t *testing.T) {
+	// Later items finish first: each worker sleeps inversely to its index,
+	// so completion order is (roughly) the reverse of input order.
+	items := make([]int, 32)
+	for i := range items {
+		items[i] = i
+	}
+	out := Map(8, items, func(i, item int) int {
+		time.Sleep(time.Duration(len(items)-i) * 100 * time.Microsecond)
+		return item * item
+	})
+	for i, got := range out {
+		if got != i*i {
+			t.Fatalf("out[%d] = %d, want %d", i, got, i*i)
+		}
+	}
+}
+
+func TestMapSequentialEquivalence(t *testing.T) {
+	items := []string{"a", "bb", "ccc", "dddd"}
+	fn := func(i int, s string) int { return i + len(s) }
+	seq := Map(1, items, fn)
+	par := Map(4, items, fn)
+	for i := range seq {
+		if seq[i] != par[i] {
+			t.Fatalf("index %d: sequential %d vs parallel %d", i, seq[i], par[i])
+		}
+	}
+}
+
+func TestMapPanicPropagation(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("panic did not propagate to the caller")
+		}
+		if s, ok := r.(string); !ok || s != "boom" {
+			t.Fatalf("recovered %v, want the original panic value", r)
+		}
+	}()
+	Map(4, []int{0, 1, 2, 3, 4, 5, 6, 7}, func(i, item int) int {
+		if item == 3 {
+			panic("boom")
+		}
+		return item
+	})
+}
+
+func TestMapPanicStillRunsOtherItems(t *testing.T) {
+	var ran atomic.Int32
+	func() {
+		defer func() { recover() }()
+		Map(2, []int{0, 1, 2, 3}, func(i, item int) int {
+			if item == 0 {
+				panic("first item")
+			}
+			ran.Add(1)
+			return item
+		})
+	}()
+	if ran.Load() != 3 {
+		t.Fatalf("ran %d non-panicking items, want 3 (pool must drain)", ran.Load())
+	}
+}
+
+func TestMapNormalizesWorkerCount(t *testing.T) {
+	want := runtime.GOMAXPROCS(0)
+	for _, n := range []int{0, -1, -100} {
+		if got := Normalize(n); got != want {
+			t.Fatalf("Normalize(%d) = %d, want GOMAXPROCS (%d)", n, got, want)
+		}
+	}
+	if got := Normalize(7); got != 7 {
+		t.Fatalf("Normalize(7) = %d, want 7", got)
+	}
+	// Map must accept non-positive n, not deadlock or panic.
+	out := Map(-3, []int{10, 20, 30}, func(i, item int) int { return item + i })
+	for i, want := range []int{10, 21, 32} {
+		if out[i] != want {
+			t.Fatalf("out[%d] = %d, want %d", i, out[i], want)
+		}
+	}
+}
+
+func TestMapEmptyAndOversizedPool(t *testing.T) {
+	if out := Map(4, nil, func(i, item int) int { return item }); len(out) != 0 {
+		t.Fatalf("empty input produced %v", out)
+	}
+	// More workers than items must not deadlock.
+	out := Map(16, []int{1, 2}, func(i, item int) int { return item * 10 })
+	if out[0] != 10 || out[1] != 20 {
+		t.Fatalf("out = %v", out)
+	}
+}

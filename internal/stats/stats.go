@@ -90,20 +90,16 @@ func Sum(xs []float64) float64 {
 	return s
 }
 
-// Percentile returns the p-th percentile (0 ≤ p ≤ 100) of xs using linear
-// interpolation between closest ranks. It returns 0 for an empty slice.
-func Percentile(xs []float64, p float64) float64 {
-	if len(xs) == 0 {
-		return 0
-	}
+// percentileSorted returns the p-th percentile (0 ≤ p ≤ 100) of an
+// already-sorted, non-empty slice using linear interpolation between
+// closest ranks.
+func percentileSorted(sorted []float64, p float64) float64 {
 	if p < 0 {
 		p = 0
 	}
 	if p > 100 {
 		p = 100
 	}
-	sorted := append([]float64(nil), xs...)
-	sort.Float64s(sorted)
 	if len(sorted) == 1 {
 		return sorted[0]
 	}
@@ -115,6 +111,36 @@ func Percentile(xs []float64, p float64) float64 {
 	}
 	frac := rank - float64(lo)
 	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Percentile returns the p-th percentile (0 ≤ p ≤ 100) of xs using linear
+// interpolation between closest ranks. It returns 0 for an empty slice.
+// The input is copied, not mutated. Callers that need several quantiles of
+// one series should use Percentiles, which sorts the copy only once.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return percentileSorted(sorted, p)
+}
+
+// Percentiles returns the requested percentiles of xs, in the order asked,
+// from a single sorted copy of the input — the batch form of Percentile
+// for call sites that take several quantiles of the same series. An empty
+// xs yields all zeros.
+func Percentiles(xs []float64, ps ...float64) []float64 {
+	out := make([]float64, len(ps))
+	if len(xs) == 0 {
+		return out
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	for i, p := range ps {
+		out[i] = percentileSorted(sorted, p)
+	}
+	return out
 }
 
 // Median returns the 50th percentile of xs.

@@ -84,6 +84,39 @@ func TestPercentileDoesNotMutateInput(t *testing.T) {
 	}
 }
 
+func TestPercentilesMatchesPercentile(t *testing.T) {
+	xs := []float64{9, 2, 7, 4, 1, 8, 3}
+	ps := []float64{0, 10, 25, 50, 75, 90, 100, -5, 120}
+	got := Percentiles(xs, ps...)
+	if len(got) != len(ps) {
+		t.Fatalf("len = %d, want %d", len(got), len(ps))
+	}
+	for i, p := range ps {
+		if want := Percentile(xs, p); !almostEqual(got[i], want) {
+			t.Errorf("Percentiles(...)[%d] (p=%v) = %v, want %v", i, p, got[i], want)
+		}
+	}
+	// Order of results follows the order asked, not sorted order.
+	rev := Percentiles(xs, 100, 0)
+	if !almostEqual(rev[0], 9) || !almostEqual(rev[1], 1) {
+		t.Errorf("Percentiles(xs, 100, 0) = %v, want [9 1]", rev)
+	}
+}
+
+func TestPercentilesEmptyAndImmutability(t *testing.T) {
+	if got := Percentiles(nil, 25, 50, 75); got[0] != 0 || got[1] != 0 || got[2] != 0 {
+		t.Errorf("Percentiles(nil, ...) = %v, want zeros", got)
+	}
+	if got := Percentiles([]float64{1, 2, 3}); len(got) != 0 {
+		t.Errorf("Percentiles with no ps = %v, want empty", got)
+	}
+	xs := []float64{3, 1, 2}
+	Percentiles(xs, 50, 90)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Errorf("input mutated: %v", xs)
+	}
+}
+
 func TestMedian(t *testing.T) {
 	if got := Median([]float64{5, 1, 3}); !almostEqual(got, 3) {
 		t.Errorf("Median = %v, want 3", got)

@@ -155,3 +155,17 @@ type (
 // Experiments lists every regenerable table and figure in paper order.
 // Quick mode shrinks the randomised sweeps.
 func Experiments(quick bool) []Experiment { return exp.Runners(quick) }
+
+// WithParallelism sets how many workers the experiment harness uses to fan
+// independent simulations out across CPUs. n ≤ 0 restores the default
+// (GOMAXPROCS); n = 1 selects the sequential reference path. Parallelism
+// lives strictly across whole simulations — the event queue inside one Sim
+// stays single-threaded — so rendered experiment output is byte-identical
+// at any worker count.
+func WithParallelism(n int) { exp.SetParallelism(n) }
+
+// RunExperiments executes the given experiments and returns their results
+// in the same order, fanning independent simulations out across the
+// harness worker pool (see WithParallelism). Wall-clock micro benchmarks
+// (Table 4) always run in isolation after the parallel batch drains.
+func RunExperiments(es []Experiment) []ExperimentResult { return exp.RunSelected(es) }

@@ -2,6 +2,7 @@ package leaseos_test
 
 import (
 	"fmt"
+	"strings"
 	"testing"
 	"time"
 
@@ -83,6 +84,38 @@ func TestFacadeDeviceProfiles(t *testing.T) {
 	}
 	if leaseos.PixelXL.WithDVFS(0.3).DVFSAlpha != 0.3 {
 		t.Fatal("WithDVFS lost the alpha")
+	}
+}
+
+// TestFacadeRunExperimentsParallel drives the parallel harness through the
+// public facade: a small selection of experiments runs at two worker
+// counts and must render identically, in the requested order.
+func TestFacadeRunExperimentsParallel(t *testing.T) {
+	defer leaseos.WithParallelism(0)
+	var selected []leaseos.Experiment
+	for _, e := range leaseos.Experiments(true) {
+		switch e.ID {
+		case "table-1", "figure-5", "figure-9":
+			selected = append(selected, e)
+		}
+	}
+	if len(selected) != 3 {
+		t.Fatalf("selected %d experiments, want 3", len(selected))
+	}
+	render := func(n int) string {
+		leaseos.WithParallelism(n)
+		var b strings.Builder
+		results := leaseos.RunExperiments(selected)
+		for i, r := range results {
+			if r.ID != selected[i].ID {
+				t.Fatalf("result %d = %s, want %s (input order must be preserved)", i, r.ID, selected[i].ID)
+			}
+			b.WriteString(r.String())
+		}
+		return b.String()
+	}
+	if seq, par := render(1), render(4); seq != par {
+		t.Fatalf("facade output differs between 1 and 4 workers:\n%s\n---\n%s", seq, par)
 	}
 }
 
