@@ -3,11 +3,16 @@
 //
 // Usage:
 //
-//	experiments [-quick] [-only figure-9,table-5] [-format markdown] [-out dir] [-parallel N]
+//	experiments [-quick] [-only figure-9,table-5] [-format markdown] [-out dir]
+//	            [-parallel N] [-cpuprofile f] [-memprofile f]
 //
 // Independent simulations fan out across -parallel workers (default
 // GOMAXPROCS); the rendered output is byte-identical at any worker count,
 // and -parallel 1 is the sequential reference path.
+//
+// -cpuprofile and -memprofile write pprof profiles covering the experiment
+// run, so a kernel (simclock/power) regression can be diagnosed from a
+// normal regeneration pass: `go tool pprof expx cpu.out`.
 package main
 
 import (
@@ -15,27 +20,35 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"repro/internal/exp"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	quick := flag.Bool("quick", false, "shrink the randomised sweeps for a fast pass")
 	only := flag.String("only", "", "comma-separated artefact ids to run (e.g. figure-9,table-5)")
 	format := flag.String("format", "text", "output format: text|markdown")
 	outDir := flag.String("out", "", "also write one file per artefact into this directory")
 	par := flag.Int("parallel", 0, "worker count for independent sims (0 = GOMAXPROCS, 1 = sequential)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file after the run")
 	flag.Parse()
 
 	if *format != "text" && *format != "markdown" {
 		fmt.Fprintf(os.Stderr, "experiments: unknown format %q\n", *format)
-		os.Exit(1)
+		return 1
 	}
 	if *outDir != "" {
 		if err := os.MkdirAll(*outDir, 0o755); err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
-			os.Exit(1)
+			return 1
 		}
 	}
 	exp.SetParallelism(*par)
@@ -67,7 +80,7 @@ func main() {
 			for _, r := range runners {
 				fmt.Fprintf(os.Stderr, "  %s\n", r.ID)
 			}
-			os.Exit(1)
+			return 1
 		}
 		selected = selected[:0:0]
 		for _, r := range runners {
@@ -75,6 +88,36 @@ func main() {
 				selected = append(selected, r)
 			}
 		}
+	}
+
+	// Start profiling only once flag validation is done, so profiles cover
+	// the experiments themselves rather than argument parsing.
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows live objects
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+			}
+		}()
 	}
 
 	for _, result := range exp.RunSelected(selected) {
@@ -88,10 +131,11 @@ func main() {
 			path := filepath.Join(*outDir, result.ID+ext)
 			if err := os.WriteFile(path, []byte(rendered+"\n"), 0o644); err != nil {
 				fmt.Fprintln(os.Stderr, "experiments:", err)
-				os.Exit(1)
+				return 1
 			}
 		}
 	}
+	return 0
 }
 
 // render formats one result in the requested format.

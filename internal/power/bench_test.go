@@ -1,0 +1,65 @@
+package power
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/simclock"
+)
+
+// meterWithLoad builds a meter with owners 0..nOwners-1 each holding one
+// CPU draw, approximating a device with nOwners installed apps.
+func meterWithLoad(e *simclock.Engine, nOwners int) *Meter {
+	m := NewMeter(e)
+	for uid := 0; uid < nOwners; uid++ {
+		m.Set(UID(uid), CPU, "base", 0.05)
+	}
+	return m
+}
+
+// BenchmarkMeterSet measures one draw change on a device with 32 resident
+// owners — the path every service rides on acquire/release. Before the
+// dense-array meter this integrated every owner per call.
+func BenchmarkMeterSet(b *testing.B) {
+	e := simclock.NewEngine()
+	m := meterWithLoad(e, 32)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.RunUntil(e.Now() + time.Millisecond)
+		if i%2 == 0 {
+			m.Set(5, GPS, "fix", 0.6)
+		} else {
+			m.Set(5, GPS, "fix", 0)
+		}
+	}
+}
+
+// BenchmarkMeterEnergyOf measures the per-owner energy query used by every
+// utility computation and experiment readout.
+func BenchmarkMeterEnergyOf(b *testing.B) {
+	e := simclock.NewEngine()
+	m := meterWithLoad(e, 32)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var j float64
+	for i := 0; i < b.N; i++ {
+		e.RunUntil(e.Now() + time.Millisecond)
+		j = m.EnergyOfJ(5)
+	}
+	_ = j
+}
+
+// BenchmarkMeterSampler measures one sampler tick, the 100 ms Monsoon /
+// Trepn instrument loop of paper §7.1.
+func BenchmarkMeterSampler(b *testing.B) {
+	e := simclock.NewEngine()
+	m := meterWithLoad(e, 32)
+	s := NewSystemSampler(e, m, SampleInterval)
+	defer s.Stop()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.RunUntil(e.Now() + SampleInterval)
+	}
+}

@@ -2,11 +2,17 @@
 //
 // The Meter is the single source of truth for energy: every system service
 // registers the draws it is responsible for as (owner, component, watts)
-// entries, and the meter integrates power into per-owner energy on every
-// change of any entry. Two instruments from the paper's methodology are
-// reproduced on top of it: a system-wide sampler standing in for the Monsoon
-// hardware power monitor and a per-app sampler standing in for the Qualcomm
-// Trepn profiler (paper §7.1), both sampling every 100 ms.
+// entries, and the meter integrates power into per-owner energy lazily —
+// each owner, each component, and the device total carry their own
+// last-integrated timestamp, so a draw change only integrates the
+// accumulators whose wattage actually changes instead of walking every
+// owner on the device. Accumulators are dense: per-owner state is a slice
+// indexed by UID (grown on demand; Android UIDs are small and dense) and
+// per-component state is a fixed array, so the hot paths touch no maps.
+// Two instruments from the paper's methodology are reproduced on top of it:
+// a system-wide sampler standing in for the Monsoon hardware power monitor
+// and a per-app sampler standing in for the Qualcomm Trepn profiler (paper
+// §7.1), both sampling every 100 ms.
 package power
 
 import (
@@ -51,63 +57,82 @@ type UID int
 // SystemUID owns baseline draws not attributable to any app.
 const SystemUID UID = 0
 
-// drawKey identifies one draw entry. A service may maintain several draws
+// drawEntry is one registered draw. A service may maintain several draws
 // for the same (owner, component) pair — e.g. two GPS listeners — so a
-// free-form tag disambiguates.
-type drawKey struct {
-	owner UID
+// free-form tag disambiguates. An owner holds a handful of draws at most,
+// so entries live in a small per-owner slice scanned linearly: cheaper
+// than hashing a struct-with-string key, and allocation-free on lookup.
+type drawEntry struct {
 	comp  Component
 	tag   string
+	watts float64
+}
+
+// accum is one lazily-integrated accumulator: watts is the current draw,
+// energyJ the joules integrated so far, and last the instant up to which
+// energyJ is current.
+type accum struct {
+	watts   float64
+	energyJ float64
+	last    simclock.Time
+}
+
+// advance integrates the accumulator up to now.
+func (a *accum) advance(now simclock.Time) {
+	if dt := now - a.last; dt > 0 {
+		if a.watts != 0 {
+			a.energyJ += a.watts * dt.Seconds()
+		}
+		a.last = now
+	}
+}
+
+// addWatts applies a draw delta, absorbing float drift at zero so that a
+// fully-released accumulator reads exactly 0 W.
+func (a *accum) addWatts(delta float64) {
+	a.watts += delta
+	if a.watts < 1e-12 && a.watts > -1e-12 {
+		a.watts = 0
+	}
+}
+
+// ownerState is the per-UID accounting record.
+type ownerState struct {
+	accum
+	draws []drawEntry
 }
 
 // Meter integrates component power draws into per-owner energy.
 type Meter struct {
 	engine *simclock.Engine
 
-	draws      map[drawKey]float64 // watts per entry
-	ownerWatts map[UID]float64     // cached sum per owner
-	totalWatts float64
-
-	compWatts map[Component]float64 // cached sum per component
-
-	lastAdvance simclock.Time
-	energyJ     map[UID]float64       // integrated joules per owner
-	compJ       map[Component]float64 // integrated joules per component
-	totalJ      float64
+	owners []ownerState // indexed by UID, grown on demand
+	comps  [numComponents]accum
+	total  accum
 }
 
 // NewMeter returns a meter bound to the engine's virtual clock.
 func NewMeter(engine *simclock.Engine) *Meter {
-	return &Meter{
-		engine:     engine,
-		draws:      make(map[drawKey]float64),
-		ownerWatts: make(map[UID]float64),
-		compWatts:  make(map[Component]float64),
-		energyJ:    make(map[UID]float64),
-		compJ:      make(map[Component]float64),
-	}
+	return &Meter{engine: engine}
 }
 
-// advance integrates energy up to the current instant.
-func (m *Meter) advance() {
-	now := m.engine.Now()
-	dt := now - m.lastAdvance
-	if dt <= 0 {
-		return
+// owner returns the state for uid, growing the dense table on demand.
+func (m *Meter) owner(uid UID) *ownerState {
+	if uid < 0 {
+		panic(fmt.Sprintf("power: negative uid %d", uid))
 	}
-	sec := dt.Seconds()
-	for owner, w := range m.ownerWatts {
-		if w != 0 {
-			m.energyJ[owner] += w * sec
+	if int(uid) >= len(m.owners) {
+		grown := make([]ownerState, uid+1, (uid+1)*2)
+		copy(grown, m.owners)
+		// Newly materialised owners start integrating from now: they had
+		// zero draw for all time before this instant.
+		now := m.engine.Now()
+		for i := len(m.owners); i < len(grown); i++ {
+			grown[i].last = now
 		}
+		m.owners = grown
 	}
-	for comp, w := range m.compWatts {
-		if w != 0 {
-			m.compJ[comp] += w * sec
-		}
-	}
-	m.totalJ += m.totalWatts * sec
-	m.lastAdvance = now
+	return &m.owners[uid]
 }
 
 // Set registers (or updates) a draw entry of watts for owner/comp/tag.
@@ -116,29 +141,38 @@ func (m *Meter) Set(owner UID, comp Component, tag string, watts float64) {
 	if watts < 0 {
 		panic(fmt.Sprintf("power: negative draw %v W for uid %d %v/%s", watts, owner, comp, tag))
 	}
-	m.advance()
-	key := drawKey{owner, comp, tag}
-	old := m.draws[key]
+	o := m.owner(owner)
+	old := 0.0
+	entry := -1
+	for i := range o.draws {
+		if o.draws[i].comp == comp && o.draws[i].tag == tag {
+			old, entry = o.draws[i].watts, i
+			break
+		}
+	}
 	if watts == old {
 		return
 	}
-	if watts == 0 {
-		delete(m.draws, key)
-	} else {
-		m.draws[key] = watts
+	// Integrate the three affected accumulators at the old wattage before
+	// applying the change; everyone else's integral is untouched by this
+	// draw, so they stay lazy.
+	now := m.engine.Now()
+	o.advance(now)
+	m.comps[comp].advance(now)
+	m.total.advance(now)
+	switch {
+	case watts == 0: // remove
+		o.draws[entry] = o.draws[len(o.draws)-1]
+		o.draws = o.draws[:len(o.draws)-1]
+	case entry >= 0: // update
+		o.draws[entry].watts = watts
+	default: // insert
+		o.draws = append(o.draws, drawEntry{comp, tag, watts})
 	}
-	m.ownerWatts[owner] += watts - old
-	if m.ownerWatts[owner] < 1e-12 && m.ownerWatts[owner] > -1e-12 {
-		m.ownerWatts[owner] = 0 // absorb float drift at zero
-	}
-	m.compWatts[comp] += watts - old
-	if m.compWatts[comp] < 1e-12 && m.compWatts[comp] > -1e-12 {
-		m.compWatts[comp] = 0
-	}
-	m.totalWatts += watts - old
-	if m.totalWatts < 1e-12 && m.totalWatts > -1e-12 {
-		m.totalWatts = 0
-	}
+	delta := watts - old
+	o.addWatts(delta)
+	m.comps[comp].addWatts(delta)
+	m.total.addWatts(delta)
 }
 
 // Clear removes a draw entry.
@@ -147,50 +181,66 @@ func (m *Meter) Clear(owner UID, comp Component, tag string) {
 }
 
 // ClearOwner removes every draw entry owned by owner, e.g. on process death.
+// Component and total watts absorb float drift at zero exactly as Set does,
+// so repeated register/death cycles cannot leave ±1e-13 W residue behind.
 func (m *Meter) ClearOwner(owner UID) {
-	m.advance()
-	for key, w := range m.draws {
-		if key.owner == owner {
-			delete(m.draws, key)
-			m.ownerWatts[owner] -= w
-			m.compWatts[key.comp] -= w
-			m.totalWatts -= w
-		}
+	if owner < 0 || int(owner) >= len(m.owners) {
+		return
 	}
-	if m.ownerWatts[owner] < 1e-12 && m.ownerWatts[owner] > -1e-12 {
-		m.ownerWatts[owner] = 0
+	o := &m.owners[owner]
+	if len(o.draws) == 0 {
+		return
 	}
+	now := m.engine.Now()
+	o.advance(now)
+	m.total.advance(now)
+	for _, d := range o.draws {
+		m.comps[d.comp].advance(now)
+		m.comps[d.comp].addWatts(-d.watts)
+		m.total.addWatts(-d.watts)
+	}
+	o.draws = o.draws[:0]
+	o.watts = 0
 }
 
 // AddEnergyJ charges a discrete energy cost to owner, for one-off costs
 // that are not modelled as continuous draws (IPC round trips, lease
-// accounting operations).
+// accounting operations). The charge is independent of integration, so no
+// accumulator needs advancing.
 func (m *Meter) AddEnergyJ(owner UID, j float64) {
 	if j < 0 {
 		panic("power: negative energy charge")
 	}
-	m.advance()
-	m.energyJ[owner] += j
-	m.totalJ += j
+	m.owner(owner).energyJ += j
+	m.total.energyJ += j
 }
 
 // InstantPowerW reports the current total draw in watts.
-func (m *Meter) InstantPowerW() float64 { return m.totalWatts }
+func (m *Meter) InstantPowerW() float64 { return m.total.watts }
 
 // InstantPowerOfW reports the current draw attributed to owner.
-func (m *Meter) InstantPowerOfW(owner UID) float64 { return m.ownerWatts[owner] }
+func (m *Meter) InstantPowerOfW(owner UID) float64 {
+	if owner < 0 || int(owner) >= len(m.owners) {
+		return 0
+	}
+	return m.owners[owner].watts
+}
 
 // EnergyJ reports total energy consumed so far, in joules, up to the
 // current virtual instant.
 func (m *Meter) EnergyJ() float64 {
-	m.advance()
-	return m.totalJ
+	m.total.advance(m.engine.Now())
+	return m.total.energyJ
 }
 
 // EnergyOfJ reports the energy attributed to owner so far, in joules.
 func (m *Meter) EnergyOfJ(owner UID) float64 {
-	m.advance()
-	return m.energyJ[owner]
+	if owner < 0 || int(owner) >= len(m.owners) {
+		return 0
+	}
+	o := &m.owners[owner]
+	o.advance(m.engine.Now())
+	return o.energyJ
 }
 
 // EnergyByComponentJ reports the energy consumed by each hardware
@@ -198,11 +248,12 @@ func (m *Meter) EnergyOfJ(owner UID) float64 {
 // Trepn presents. Discrete AddEnergyJ charges are not component-attributed
 // and appear only in the totals.
 func (m *Meter) EnergyByComponentJ() map[Component]float64 {
-	m.advance()
-	out := make(map[Component]float64, len(m.compJ))
-	for c, j := range m.compJ {
-		if j != 0 {
-			out[c] = j
+	now := m.engine.Now()
+	out := make(map[Component]float64, numComponents)
+	for c := range m.comps {
+		m.comps[c].advance(now)
+		if j := m.comps[c].energyJ; j != 0 {
+			out[Component(c)] = j
 		}
 	}
 	return out
@@ -232,9 +283,24 @@ type Sampler struct {
 // SampleInterval matches the paper's 100 ms power-sampling period.
 const SampleInterval = 100 * time.Millisecond
 
+// sampleCap sizes the Samples slice for a run of the given horizon so the
+// steady sampling loop never reallocates.
+func sampleCap(interval, horizon time.Duration) int {
+	if horizon <= 0 || interval <= 0 {
+		return 0
+	}
+	return int(horizon / interval)
+}
+
 // NewSystemSampler starts sampling total system power every interval.
 func NewSystemSampler(engine *simclock.Engine, m *Meter, interval time.Duration) *Sampler {
-	s := &Sampler{}
+	return NewSystemSamplerFor(engine, m, interval, 0)
+}
+
+// NewSystemSamplerFor is NewSystemSampler with a run-horizon hint: Samples
+// is preallocated to hold horizon/interval readings up front.
+func NewSystemSamplerFor(engine *simclock.Engine, m *Meter, interval, horizon time.Duration) *Sampler {
+	s := &Sampler{Samples: make([]Sample, 0, sampleCap(interval, horizon))}
 	s.stop = engine.Ticker(interval, func() {
 		s.Samples = append(s.Samples, Sample{engine.Now(), m.InstantPowerW() * 1000})
 	})
@@ -243,7 +309,13 @@ func NewSystemSampler(engine *simclock.Engine, m *Meter, interval time.Duration)
 
 // NewAppSampler starts sampling the power attributed to uid every interval.
 func NewAppSampler(engine *simclock.Engine, m *Meter, uid UID, interval time.Duration) *Sampler {
-	s := &Sampler{}
+	return NewAppSamplerFor(engine, m, uid, interval, 0)
+}
+
+// NewAppSamplerFor is NewAppSampler with a run-horizon hint: Samples is
+// preallocated to hold horizon/interval readings up front.
+func NewAppSamplerFor(engine *simclock.Engine, m *Meter, uid UID, interval, horizon time.Duration) *Sampler {
+	s := &Sampler{Samples: make([]Sample, 0, sampleCap(interval, horizon))}
 	s.stop = engine.Ticker(interval, func() {
 		s.Samples = append(s.Samples, Sample{engine.Now(), m.InstantPowerOfW(uid) * 1000})
 	})

@@ -99,6 +99,70 @@ func TestMeterClearOwner(t *testing.T) {
 	}
 }
 
+// TestClearOwnerAbsorbsDriftEverywhere pins the ClearOwner fix: removing an
+// owner's draws absorbs float drift at zero for the component and total
+// watt sums, not just the owner's. 0.1+0.7 is not exact in binary, so
+// subtracting the two entries one by one leaves ~4e-17 W behind without the
+// absorption — residue that InstantPowerW would report as nonzero draw and
+// that repeated register/death cycles would compound.
+func TestClearOwnerAbsorbsDriftEverywhere(t *testing.T) {
+	e := simclock.NewEngine()
+	m := NewMeter(e)
+	for cycle := 0; cycle < 100; cycle++ {
+		m.Set(3, GPS, "fix", 0.1)
+		m.Set(7, GPS, "fix", 0.7)
+		m.Set(7, CPU, "wl", 0.3)
+		e.RunUntil(e.Now() + time.Millisecond)
+		m.ClearOwner(3)
+		m.ClearOwner(7)
+	}
+	if got := m.InstantPowerW(); got != 0 {
+		t.Fatalf("total watts after register/death cycles = %g, want exactly 0", got)
+	}
+	for c := range m.comps {
+		if got := m.comps[c].watts; got != 0 {
+			t.Fatalf("%v watts after register/death cycles = %g, want exactly 0", Component(c), got)
+		}
+	}
+	// An idle stretch after the churn must accrue no energy anywhere.
+	before := m.EnergyJ()
+	byBefore := m.EnergyByComponentJ()
+	e.RunUntil(e.Now() + time.Hour)
+	if got := m.EnergyJ(); got != before {
+		t.Fatalf("idle device accrued %g J from residue", got-before)
+	}
+	byAfter := m.EnergyByComponentJ()
+	for c, j := range byAfter {
+		if j != byBefore[c] {
+			t.Fatalf("idle device accrued %v energy from residue: %g → %g", c, byBefore[c], j)
+		}
+	}
+}
+
+// TestMeterDenseGrowth: owner state is a dense slice grown on demand;
+// touching a high UID must not disturb existing accounting, and queries on
+// never-seen UIDs stay zero without materialising state.
+func TestMeterDenseGrowth(t *testing.T) {
+	e := simclock.NewEngine()
+	m := NewMeter(e)
+	m.Set(1, CPU, "a", 0.5)
+	e.RunUntil(10 * time.Second)
+	m.Set(5000, GPS, "b", 0.25) // forces the owner table to grow mid-run
+	e.RunUntil(20 * time.Second)
+	if got := m.EnergyOfJ(1); !almost(got, 10.0) {
+		t.Fatalf("uid1 energy across growth = %v, want 10", got)
+	}
+	if got := m.EnergyOfJ(5000); !almost(got, 2.5) {
+		t.Fatalf("uid5000 energy = %v, want 2.5", got)
+	}
+	if got := m.EnergyOfJ(4999); got != 0 {
+		t.Fatalf("untouched uid energy = %v, want 0", got)
+	}
+	if got := m.InstantPowerOfW(99999); got != 0 {
+		t.Fatalf("never-seen uid power = %v, want 0", got)
+	}
+}
+
 func TestMeterNegativeDrawPanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {
@@ -142,6 +206,31 @@ func TestAppSamplerIsolation(t *testing.T) {
 	e.RunUntil(time.Second)
 	if got := s.MeanMW(); !almost(got, 100) {
 		t.Fatalf("per-app sampler leaked other uid's power: %v", got)
+	}
+}
+
+// TestSamplerForPreallocates: the horizon-hinted constructors size Samples
+// up front so the steady sampling loop never reallocates, and record
+// exactly the same readings as the unhinted ones.
+func TestSamplerForPreallocates(t *testing.T) {
+	e := simclock.NewEngine()
+	m := NewMeter(e)
+	m.Set(1, CPU, "wl", 0.1)
+	horizon := 10 * time.Second
+	s := NewSystemSamplerFor(e, m, SampleInterval, horizon)
+	a := NewAppSamplerFor(e, m, 1, SampleInterval, horizon)
+	if cap(s.Samples) != 100 || cap(a.Samples) != 100 {
+		t.Fatalf("preallocated caps = %d, %d, want 100", cap(s.Samples), cap(a.Samples))
+	}
+	e.RunUntil(horizon)
+	if len(s.Samples) != 100 || cap(s.Samples) != 100 {
+		t.Fatalf("system sampler reallocated: len %d cap %d", len(s.Samples), cap(s.Samples))
+	}
+	if got := s.MeanMW(); !almost(got, 100) {
+		t.Fatalf("MeanMW = %v, want 100", got)
+	}
+	if got := a.MeanMW(); !almost(got, 100) {
+		t.Fatalf("per-app MeanMW = %v, want 100", got)
 	}
 }
 

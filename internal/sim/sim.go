@@ -54,10 +54,12 @@ func (p Policy) String() string {
 	return fmt.Sprintf("policy(%d)", int(p))
 }
 
-// ParsePolicy resolves a policy name as used on CLI flags.
+// ParsePolicy resolves a policy name as used on CLI flags. It scans
+// Policies() in comparison order rather than ranging over the name map, so
+// resolution order is deterministic even if a duplicate name ever sneaks in.
 func ParsePolicy(s string) (Policy, error) {
-	for p, name := range policyNames {
-		if name == s {
+	for _, p := range Policies() {
+		if policyNames[p] == s {
 			return p, nil
 		}
 	}

@@ -81,6 +81,33 @@ func TestParsePolicy(t *testing.T) {
 	}
 }
 
+// TestParsePolicyDeterministic pins the fix for map-order resolution:
+// ParsePolicy scans Policies() in comparison order (never the name map), so
+// repeated parses always resolve identically, and Policies() must cover
+// every named policy or the ordered scan could miss a name the map knows.
+func TestParsePolicyDeterministic(t *testing.T) {
+	ordered := Policies()
+	inOrder := map[Policy]bool{}
+	for _, p := range ordered {
+		inOrder[p] = true
+	}
+	for p, name := range policyNames {
+		if !inOrder[p] {
+			t.Errorf("policy %v (%q) missing from Policies(): unreachable by ParsePolicy", p, name)
+			continue
+		}
+		first, err := ParsePolicy(name)
+		if err != nil {
+			t.Fatalf("ParsePolicy(%q): %v", name, err)
+		}
+		for i := 0; i < 100; i++ {
+			if got, _ := ParsePolicy(name); got != first {
+				t.Fatalf("ParsePolicy(%q) flapped: %v then %v", name, first, got)
+			}
+		}
+	}
+}
+
 func TestRunAdvancesClock(t *testing.T) {
 	s := New(Options{})
 	s.Run(time.Minute)

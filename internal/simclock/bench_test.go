@@ -1,0 +1,68 @@
+package simclock
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkEngineSchedule measures the schedule+fire round trip, the single
+// hottest path in every simulation: one op is one Schedule and the Step that
+// fires it.
+func BenchmarkEngineSchedule(b *testing.B) {
+	e := NewEngine()
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Schedule(time.Millisecond, fn)
+		e.Step()
+	}
+}
+
+// BenchmarkEngineScheduleDeep is Schedule+fire with a standing population of
+// pending events, so sift cost at realistic queue depth is included.
+func BenchmarkEngineScheduleDeep(b *testing.B) {
+	e := NewEngine()
+	fn := func() {}
+	for i := 0; i < 1024; i++ {
+		e.Schedule(time.Duration(i+1)*time.Hour, fn)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Schedule(time.Millisecond, fn)
+		e.Step()
+	}
+}
+
+// BenchmarkEngineCancel measures the schedule+cancel round trip taken by
+// every timer that is reset before it fires (wakelock timeouts, lease term
+// checks, radio tails).
+func BenchmarkEngineCancel(b *testing.B) {
+	e := NewEngine()
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := e.Schedule(time.Millisecond, fn)
+		e.Cancel(id)
+	}
+}
+
+// BenchmarkEngineTicker measures one periodic tick end to end: the 100 ms
+// power samplers and per-second stat feeds ride this path millions of times
+// in a long battery-drain run.
+func BenchmarkEngineTicker(b *testing.B) {
+	e := NewEngine()
+	n := 0
+	stop := e.Ticker(time.Millisecond, func() { n++ })
+	defer stop()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.RunUntil(e.Now() + time.Millisecond)
+	}
+	if n != b.N {
+		b.Fatalf("ticked %d, want %d", n, b.N)
+	}
+}

@@ -6,10 +6,17 @@
 // at a particular virtual instant. Events fire in timestamp order; events
 // with equal timestamps fire in scheduling order, which makes every run of a
 // simulation fully deterministic for a fixed input.
+//
+// Internally the engine is allocation-free on the steady state: pending
+// events live in a slice of value slots addressed by index, scheduling
+// reuses slots through a free list, and the priority queue is a slice-backed
+// binary min-heap over (at, seq) value structs sifted inline — no
+// container/heap interface dispatch, no per-event pointer, no id→event map.
+// EventIDs carry a per-slot generation so Cancel is an O(1) slot probe that
+// can never confuse a stale id with the slot's current occupant.
 package simclock
 
 import (
-	"container/heap"
 	"fmt"
 	"time"
 )
@@ -20,49 +27,49 @@ type Time = time.Duration
 
 // EventID identifies a scheduled event so that it can be cancelled.
 // The zero EventID is never issued and is safe to use as a sentinel.
+//
+// An EventID packs the slot index (low 32 bits, offset by one so the zero
+// id stays invalid) and the slot's generation at scheduling time (high 32
+// bits). Slots are recycled; the generation is bumped on every release, so
+// an id held across its event's firing simply stops matching.
 type EventID uint64
 
-// event is one pending closure on the queue.
-type event struct {
-	at    Time
-	seq   uint64 // tie-breaker: preserves scheduling order at equal times
-	id    EventID
-	fn    func()
-	index int // heap index, -1 once removed
+func makeID(idx int32, gen uint32) EventID {
+	return EventID(uint64(gen)<<32 | uint64(uint32(idx)+1))
 }
 
-// eventQueue implements heap.Interface ordered by (at, seq).
-type eventQueue []*event
-
-func (q eventQueue) Len() int { return len(q) }
-
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
-	}
-	return q[i].seq < q[j].seq
+func splitID(id EventID) (idx int32, gen uint32) {
+	return int32(uint32(id) - 1), uint32(id >> 32)
 }
 
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
+// slot state machine: free → queued → (firing for periodic slots) → free.
+const (
+	slotFree = iota
+	slotQueued  // in the heap, waiting to fire
+	slotFiring  // periodic slot popped, callback running
+	slotStopped // periodic slot cancelled from inside its own callback
+)
+
+// slot is the storage for one event. Slots are value structs owned by the
+// engine's slots slice and recycled through the free list; only the closure
+// itself forces an allocation (at the caller, not here).
+type slot struct {
+	fn        func()
+	at        Time
+	seq       uint64 // tie-breaker: preserves scheduling order at equal times
+	period    Time   // > 0 for periodic (Ticker) slots
+	gen       uint32 // bumped on release; stale EventIDs stop matching
+	state     uint8
+	heapIndex int32 // position in Engine.heap while queued, else -1
 }
 
-func (q *eventQueue) Push(x any) {
-	ev := x.(*event)
-	ev.index = len(*q)
-	*q = append(*q, ev)
-}
-
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.index = -1
-	*q = old[:n-1]
-	return ev
+// heapItem is one entry of the slice-backed min-heap. The ordering key is
+// held inline so sifting touches contiguous memory and never chases the
+// slot pointer; idx links back to the slot for firing and index upkeep.
+type heapItem struct {
+	at  Time
+	seq uint64
+	idx int32
 }
 
 // Engine is a discrete-event simulator. The zero value is not usable; create
@@ -70,24 +77,128 @@ func (q *eventQueue) Pop() any {
 // single-threaded by design so that runs are reproducible.
 type Engine struct {
 	now     Time
-	queue   eventQueue
-	byID    map[EventID]*event
+	heap    []heapItem
+	slots   []slot
+	free    []int32 // released slot indices awaiting reuse
 	nextSeq uint64
-	nextID  EventID
 	running bool
 }
 
 // NewEngine returns an engine positioned at virtual time zero with an empty
 // event queue.
 func NewEngine() *Engine {
-	return &Engine{byID: make(map[EventID]*event)}
+	return &Engine{}
 }
 
 // Now reports the current virtual time.
 func (e *Engine) Now() Time { return e.now }
 
 // Len reports the number of pending events.
-func (e *Engine) Len() int { return len(e.queue) }
+func (e *Engine) Len() int { return len(e.heap) }
+
+// alloc takes a slot index from the free list, or grows the slots slice.
+func (e *Engine) alloc() int32 {
+	if n := len(e.free); n > 0 {
+		idx := e.free[n-1]
+		e.free = e.free[:n-1]
+		return idx
+	}
+	e.slots = append(e.slots, slot{heapIndex: -1})
+	return int32(len(e.slots) - 1)
+}
+
+// release returns a slot to the free list, bumping its generation so any
+// outstanding EventID for it stops matching, and dropping the closure so
+// the GC can reclaim captured state.
+func (e *Engine) release(idx int32) {
+	s := &e.slots[idx]
+	s.fn = nil
+	s.gen++
+	s.state = slotFree
+	s.heapIndex = -1
+	e.free = append(e.free, idx)
+}
+
+// --- inline binary min-heap over (at, seq) ---
+
+func (e *Engine) less(a, b heapItem) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// heapPush appends item and sifts it up.
+func (e *Engine) heapPush(item heapItem) {
+	e.heap = append(e.heap, item)
+	e.siftUp(len(e.heap) - 1)
+}
+
+// heapRemove deletes the item at heap position i, keeping the heap ordered.
+func (e *Engine) heapRemove(i int) {
+	n := len(e.heap) - 1
+	if i != n {
+		e.heap[i] = e.heap[n]
+		e.heap = e.heap[:n]
+		if !e.siftDown(i) {
+			e.siftUp(i)
+		}
+	} else {
+		e.heap = e.heap[:n]
+	}
+}
+
+// heapPop removes and returns the minimum item. The caller guarantees the
+// heap is non-empty.
+func (e *Engine) heapPop() heapItem {
+	top := e.heap[0]
+	n := len(e.heap) - 1
+	e.heap[0] = e.heap[n]
+	e.heap = e.heap[:n]
+	if n > 0 {
+		e.siftDown(0)
+	}
+	return top
+}
+
+func (e *Engine) siftUp(i int) {
+	item := e.heap[i]
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !e.less(item, e.heap[parent]) {
+			break
+		}
+		e.heap[i] = e.heap[parent]
+		e.slots[e.heap[i].idx].heapIndex = int32(i)
+		i = parent
+	}
+	e.heap[i] = item
+	e.slots[item.idx].heapIndex = int32(i)
+}
+
+func (e *Engine) siftDown(i int) bool {
+	item := e.heap[i]
+	start, n := i, len(e.heap)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		child := left
+		if right := left + 1; right < n && e.less(e.heap[right], e.heap[left]) {
+			child = right
+		}
+		if !e.less(e.heap[child], item) {
+			break
+		}
+		e.heap[i] = e.heap[child]
+		e.slots[e.heap[i].idx].heapIndex = int32(i)
+		i = child
+	}
+	e.heap[i] = item
+	e.slots[item.idx].heapIndex = int32(i)
+	return i > start
+}
 
 // Schedule arranges for fn to run after delay d. A negative d is treated as
 // zero: the event fires at the current instant, after any events already
@@ -113,36 +224,86 @@ func (e *Engine) ScheduleAt(at Time, fn func()) EventID {
 		panic(fmt.Sprintf("simclock: ScheduleAt(%v) is in the past (now %v)", at, e.now))
 	}
 	e.nextSeq++
-	e.nextID++
-	ev := &event{at: at, seq: e.nextSeq, id: e.nextID, fn: fn}
-	heap.Push(&e.queue, ev)
-	e.byID[ev.id] = ev
-	return ev.id
+	idx := e.alloc()
+	s := &e.slots[idx]
+	s.fn = fn
+	s.at = at
+	s.seq = e.nextSeq
+	s.period = 0
+	s.state = slotQueued
+	e.heapPush(heapItem{at: at, seq: e.nextSeq, idx: idx})
+	return makeID(idx, s.gen)
 }
 
 // Cancel removes a pending event. It reports whether the event was still
 // pending; cancelling an already-fired or already-cancelled event is a
-// harmless no-op returning false.
+// harmless no-op returning false. Slot generations make this safe even
+// after the event's storage has been recycled for a newer event: the stale
+// id no longer matches and Cancel leaves the newcomer alone.
 func (e *Engine) Cancel(id EventID) bool {
-	ev, ok := e.byID[id]
-	if !ok {
+	idx, gen := splitID(id)
+	if idx < 0 || int(idx) >= len(e.slots) {
 		return false
 	}
-	delete(e.byID, id)
-	heap.Remove(&e.queue, ev.index)
-	return true
+	s := &e.slots[idx]
+	if s.gen != gen {
+		return false
+	}
+	switch s.state {
+	case slotQueued:
+		e.heapRemove(int(s.heapIndex))
+		e.release(idx)
+		return true
+	case slotFiring:
+		// A periodic slot cancelled from inside its own callback: it is
+		// not in the heap right now, so just tell the fire loop not to
+		// reschedule it.
+		s.state = slotStopped
+		return true
+	default:
+		return false
+	}
+}
+
+// fire pops the earliest item, advances the clock, and runs its callback.
+// One-shot slots are released before the callback runs, so the callback can
+// immediately reuse the slot for new events and a Cancel of the firing id
+// from inside the callback is a no-op — the same semantics the map-based
+// kernel had. Periodic slots are rescheduled in place afterwards.
+func (e *Engine) fire() {
+	item := e.heapPop()
+	s := &e.slots[item.idx]
+	e.now = item.at
+	if s.period <= 0 {
+		fn := s.fn
+		e.release(item.idx)
+		fn()
+		return
+	}
+	s.state = slotFiring
+	s.heapIndex = -1
+	s.fn()
+	if s.state != slotFiring { // stopped from inside the callback
+		e.release(item.idx)
+		return
+	}
+	// Reschedule in place: same slot, same generation (so the ticker's
+	// stop function keeps working), fresh seq — exactly the ordering a
+	// hand-rolled "fn then Schedule(period, tick)" chain would produce.
+	e.nextSeq++
+	s.at = item.at + s.period
+	s.seq = e.nextSeq
+	s.state = slotQueued
+	e.heapPush(heapItem{at: s.at, seq: s.seq, idx: item.idx})
 }
 
 // Step fires the single earliest pending event, advancing the clock to its
 // timestamp. It reports false if the queue was empty.
 func (e *Engine) Step() bool {
-	if len(e.queue) == 0 {
+	if len(e.heap) == 0 {
 		return false
 	}
-	ev := heap.Pop(&e.queue).(*event)
-	delete(e.byID, ev.id)
-	e.now = ev.at
-	ev.fn()
+	e.fire()
 	return true
 }
 
@@ -158,11 +319,8 @@ func (e *Engine) RunUntil(horizon Time) {
 	}
 	e.running = true
 	defer func() { e.running = false }()
-	for len(e.queue) > 0 && e.queue[0].at <= horizon {
-		ev := heap.Pop(&e.queue).(*event)
-		delete(e.byID, ev.id)
-		e.now = ev.at
-		ev.fn()
+	for len(e.heap) > 0 && e.heap[0].at <= horizon {
+		e.fire()
 	}
 	e.now = horizon
 }
@@ -177,30 +335,26 @@ func (e *Engine) Run() {
 // Ticker invokes fn every period until cancelled via the returned stop
 // function. The first invocation happens one period from now. fn observes
 // the tick time via the engine clock.
+//
+// Tickers are periodic slots inside the engine: each tick reschedules the
+// same slot in place rather than chaining a fresh event per tick, so the
+// steady-state cost is one heap pop + push with no allocation.
 func (e *Engine) Ticker(period time.Duration, fn func()) (stop func()) {
 	if period <= 0 {
 		panic("simclock: Ticker period must be positive")
 	}
-	var (
-		id      EventID
-		stopped bool
-	)
-	var tick func()
-	tick = func() {
-		if stopped {
-			return
-		}
-		fn()
-		if !stopped { // fn may have called stop
-			id = e.Schedule(period, tick)
-		}
+	if fn == nil {
+		panic("simclock: Ticker called with nil fn")
 	}
-	id = e.Schedule(period, tick)
-	return func() {
-		if stopped {
-			return
-		}
-		stopped = true
-		e.Cancel(id)
-	}
+	e.nextSeq++
+	idx := e.alloc()
+	s := &e.slots[idx]
+	s.fn = fn
+	s.at = e.now + period
+	s.seq = e.nextSeq
+	s.period = period
+	s.state = slotQueued
+	e.heapPush(heapItem{at: s.at, seq: s.seq, idx: idx})
+	id := makeID(idx, s.gen)
+	return func() { e.Cancel(id) }
 }

@@ -184,6 +184,127 @@ func TestTickerStopIdempotent(t *testing.T) {
 	e.RunUntil(3 * time.Second)
 }
 
+// TestCancelFiredIDAfterSlotReuse is the generation check: once an event
+// has fired, its slot is recycled for the next scheduled event, and a
+// Cancel with the stale id must not touch the newcomer.
+func TestCancelFiredIDAfterSlotReuse(t *testing.T) {
+	e := NewEngine()
+	idA := e.Schedule(time.Second, func() {})
+	e.Run() // A fires; its slot goes back on the free list
+	fired := false
+	idB := e.Schedule(time.Second, func() { fired = true }) // reuses A's slot
+	if idA == idB {
+		t.Fatalf("recycled slot reissued the same EventID %#x", idA)
+	}
+	if e.Cancel(idA) {
+		t.Fatal("Cancel of an already-fired id returned true")
+	}
+	if e.Len() != 1 {
+		t.Fatalf("stale Cancel removed the reusing event: Len = %d, want 1", e.Len())
+	}
+	e.Run()
+	if !fired {
+		t.Fatal("event in the recycled slot never fired")
+	}
+}
+
+// TestCancelOwnIDInsideCallback: by the time fn runs, the event is no
+// longer pending, so cancelling its own id from inside fn is a no-op even
+// though the slot may already hold a replacement.
+func TestCancelOwnIDInsideCallback(t *testing.T) {
+	e := NewEngine()
+	var id EventID
+	replacementFired := false
+	id = e.Schedule(time.Second, func() {
+		// The firing slot was released before fn ran, so this schedule may
+		// reuse it for the replacement...
+		e.Schedule(time.Second, func() { replacementFired = true })
+		// ...and the stale self-cancel must not evict the replacement.
+		if e.Cancel(id) {
+			t.Error("Cancel of the firing event's own id returned true")
+		}
+	})
+	e.Run()
+	if !replacementFired {
+		t.Fatal("self-cancel evicted the replacement event from the recycled slot")
+	}
+}
+
+// TestTickerSelfStopReleasesSlot: a ticker whose fn stops itself mid-tick
+// must not be rescheduled, its stop must stay idempotent, and its slot must
+// become reusable.
+func TestTickerSelfStopReleasesSlot(t *testing.T) {
+	e := NewEngine()
+	n := 0
+	var stop func()
+	stop = e.Ticker(time.Second, func() {
+		n++
+		stop()
+		stop() // idempotent even inside the tick being cancelled
+	})
+	e.RunUntil(10 * time.Second)
+	if n != 1 {
+		t.Fatalf("self-stopped ticker fired %d times, want 1", n)
+	}
+	if e.Len() != 0 {
+		t.Fatalf("self-stopped ticker left %d pending events", e.Len())
+	}
+	stop() // and idempotent afterwards
+	fired := false
+	e.Schedule(time.Second, func() { fired = true }) // may reuse the ticker's slot
+	e.Run()
+	if !fired {
+		t.Fatal("event scheduled after ticker self-stop never fired")
+	}
+}
+
+// TestScheduleAtExactHorizon: events scheduled exactly at the RunUntil
+// horizon fire (the boundary is inclusive), including an event scheduled
+// for the horizon instant from inside another horizon-instant callback.
+func TestScheduleAtExactHorizon(t *testing.T) {
+	e := NewEngine()
+	var got []string
+	e.ScheduleAt(2*time.Second, func() {
+		got = append(got, "at-horizon")
+		e.ScheduleAt(2*time.Second, func() { got = append(got, "nested-at-horizon") })
+	})
+	e.ScheduleAt(2*time.Second+1, func() { got = append(got, "past-horizon") })
+	e.RunUntil(2 * time.Second)
+	if len(got) != 2 || got[0] != "at-horizon" || got[1] != "nested-at-horizon" {
+		t.Fatalf("horizon-instant events = %v, want [at-horizon nested-at-horizon]", got)
+	}
+	if e.Now() != 2*time.Second {
+		t.Fatalf("Now = %v, want 2s", e.Now())
+	}
+	if e.Len() != 1 {
+		t.Fatalf("pending = %d, want the strictly-later event to survive", e.Len())
+	}
+}
+
+// TestTickerRescheduleOrdering: the in-place reschedule must order the next
+// tick after events scheduled by fn for the same instant, exactly as the
+// old fn-then-Schedule closure chain did.
+func TestTickerRescheduleOrdering(t *testing.T) {
+	e := NewEngine()
+	var got []string
+	e.Ticker(time.Second, func() {
+		if e.Now() == time.Second {
+			e.ScheduleAt(2*time.Second, func() { got = append(got, "scheduled-by-tick1") })
+		}
+		got = append(got, "tick")
+	})
+	e.RunUntil(2 * time.Second)
+	want := []string{"tick", "scheduled-by-tick1", "tick"}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
 func TestStepEmptyQueue(t *testing.T) {
 	e := NewEngine()
 	if e.Step() {
