@@ -122,15 +122,13 @@ func (m *Meter) owner(uid UID) *ownerState {
 		panic(fmt.Sprintf("power: negative uid %d", uid))
 	}
 	if int(uid) >= len(m.owners) {
-		grown := make([]ownerState, uid+1, (uid+1)*2)
-		copy(grown, m.owners)
 		// Newly materialised owners start integrating from now: they had
-		// zero draw for all time before this instant.
+		// zero draw for all time before this instant. append amortises the
+		// growth, so a rising max-UID does not copy the table every time.
 		now := m.engine.Now()
-		for i := len(m.owners); i < len(grown); i++ {
-			grown[i].last = now
+		for int(uid) >= len(m.owners) {
+			m.owners = append(m.owners, ownerState{accum: accum{last: now}})
 		}
-		m.owners = grown
 	}
 	return &m.owners[uid]
 }

@@ -32,6 +32,11 @@ type Time = time.Duration
 // id stays invalid) and the slot's generation at scheduling time (high 32
 // bits). Slots are recycled; the generation is bumped on every release, so
 // an id held across its event's firing simply stops matching.
+//
+// The generation is 32 bits wide, so a stale id aliases its slot's current
+// occupant only after the same slot has been reused 2^32 times while the id
+// is still retained. Callers must not hold EventIDs across ~4 billion
+// reuses of a single slot; no realistic simulation approaches that.
 type EventID uint64
 
 func makeID(idx int32, gen uint32) EventID {
@@ -283,6 +288,10 @@ func (e *Engine) fire() {
 	s.state = slotFiring
 	s.heapIndex = -1
 	s.fn()
+	// The callback may have scheduled events and grown e.slots, moving the
+	// backing array out from under s — re-fetch the pointer before touching
+	// the slot again.
+	s = &e.slots[item.idx]
 	if s.state != slotFiring { // stopped from inside the callback
 		e.release(item.idx)
 		return

@@ -258,6 +258,52 @@ func TestTickerSelfStopReleasesSlot(t *testing.T) {
 	}
 }
 
+// TestTickerSelfStopAfterSlotsGrowInsideCallback: the tick callback
+// schedules enough new events to force the engine's slots slice to
+// reallocate while the ticker's own slot is firing, then stops itself.
+// The stop must land on the live slot, not a stale copy in the old
+// backing array, or the ticker keeps firing forever.
+func TestTickerSelfStopAfterSlotsGrowInsideCallback(t *testing.T) {
+	e := NewEngine()
+	n := 0
+	var stop func()
+	stop = e.Ticker(time.Second, func() {
+		n++
+		for i := 0; i < 64; i++ {
+			e.Schedule(time.Hour, func() {})
+		}
+		stop()
+	})
+	e.RunUntil(10 * time.Second)
+	if n != 1 {
+		t.Fatalf("ticker fired %d times after self-stop, want 1", n)
+	}
+}
+
+// TestTickerStopAfterSlotsGrowInsideCallback: same reallocation hazard,
+// but the stop comes later from outside the callback. The in-place
+// reschedule after each tick must update the live slot's state, or the
+// eventual stop() reports success while leaving the heap entry behind.
+func TestTickerStopAfterSlotsGrowInsideCallback(t *testing.T) {
+	e := NewEngine()
+	n := 0
+	stop := e.Ticker(time.Second, func() {
+		n++
+		for i := 0; i < 64; i++ {
+			e.Schedule(time.Hour, func() {})
+		}
+	})
+	e.RunUntil(3500 * time.Millisecond)
+	if n != 3 {
+		t.Fatalf("ticker fired %d times before stop, want 3", n)
+	}
+	stop()
+	e.RunUntil(20 * time.Second)
+	if n != 3 {
+		t.Fatalf("ticker fired %d more times after stop", n-3)
+	}
+}
+
 // TestScheduleAtExactHorizon: events scheduled exactly at the RunUntil
 // horizon fire (the boundary is inclusive), including an event scheduled
 // for the horizon instant from inside another horizon-instant callback.
