@@ -8,6 +8,15 @@
 // enters deep sleep and resumes when it wakes (paper §4.6: "the execution
 // is paused and will be resumed seamlessly later"), which is exactly how a
 // deferred wakelock slows down low-utility execution.
+//
+// Because pause/resume runs on every simulated CPU transition, the whole
+// layer is engineered to be allocation-free in steady state, mirroring the
+// simclock/power fast paths (DESIGN.md §9): work items are pooled on a
+// per-framework free list and linked into an intrusive per-process list
+// (O(1) completion removal), their completion callbacks and draw slots are
+// bound once per pooled slot, timers reuse a bound tick callback per tick,
+// DVFS repricing walks a dense slice, and per-UID accounting is one dense
+// counters table instead of four maps.
 package appfw
 
 import (
@@ -24,6 +33,16 @@ import (
 	"repro/internal/simclock"
 )
 
+// uidCounters is the per-UID accounting record: the paper's per-app signal
+// vector (§2.1, §3.3) kept dense and map-free, like the power meter's
+// owner table.
+type uidCounters struct {
+	cpuTime      time.Duration
+	exceptions   int
+	uiUpdates    int
+	interactions int
+}
+
 // Framework owns processes and their execution.
 type Framework struct {
 	engine   *simclock.Engine
@@ -35,15 +54,29 @@ type Framework struct {
 	gov      hooks.Governor
 
 	procs map[power.UID]*Process
+	// procList holds the processes in registration order. Reevaluate walks
+	// it instead of ranging the map so that the order in which processes
+	// schedule resume events (and thus engine seq numbers at equal
+	// timestamps) is deterministic across runs.
+	procList  []*Process
+	procIter  int  // > 0 while Reevaluate walks procList
+	procSweep bool // a process died mid-walk; compact afterwards
 
-	cpuTime      map[power.UID]time.Duration
-	exceptions   map[power.UID]int
-	uiUpdates    map[power.UID]int
-	interactions map[power.UID]int
+	// counters is the dense per-UID accounting table, indexed by UID and
+	// grown on demand. Entries survive process death (CPUTimeOf of a dead
+	// uid still reports its total, as the old map did).
+	counters []uidCounters
 
 	// runningCPU tracks the work items currently burning CPU, for the
-	// DVFS-aware draw model (device.Profile.DVFSAlpha).
-	runningCPU map[*workItem]bool
+	// DVFS-aware draw model (device.Profile.DVFSAlpha). Dense slice with
+	// swap-delete (workItem.runIdx is the backindex), so the repricing
+	// loop is an index walk.
+	runningCPU []*workItem
+
+	// freeWork heads the pool of recycled work-item slots, threaded
+	// through workItem.next. Steady-state RunWork/NetworkRequest pop a
+	// slot here instead of allocating.
+	freeWork *workItem
 }
 
 // New creates the framework. gov gates background work (hooks.Nop for all
@@ -53,12 +86,7 @@ func New(engine *simclock.Engine, meter *power.Meter, profile device.Profile, wo
 	fw := &Framework{
 		engine: engine, meter: meter, profile: profile, world: world,
 		pm: pm, registry: registry, gov: gov,
-		procs:        make(map[power.UID]*Process),
-		cpuTime:      make(map[power.UID]time.Duration),
-		exceptions:   make(map[power.UID]int),
-		uiUpdates:    make(map[power.UID]int),
-		interactions: make(map[power.UID]int),
-		runningCPU:   make(map[*workItem]bool),
+		procs: make(map[power.UID]*Process),
 	}
 	pm.OnAwakeChange(func(bool) { fw.Reevaluate() })
 	return fw
@@ -66,6 +94,26 @@ func New(engine *simclock.Engine, meter *power.Meter, profile device.Profile, wo
 
 // SetGovernor replaces the work-gating governor before app activity begins.
 func (fw *Framework) SetGovernor(gov hooks.Governor) { fw.gov = gov }
+
+// counter returns the accounting record for uid, growing the dense table
+// on demand (append amortises the growth, like power's owner table).
+func (fw *Framework) counter(uid power.UID) *uidCounters {
+	if uid < 0 {
+		panic(fmt.Sprintf("appfw: negative uid %d", uid))
+	}
+	for int(uid) >= len(fw.counters) {
+		fw.counters = append(fw.counters, uidCounters{})
+	}
+	return &fw.counters[uid]
+}
+
+// counterOf is the read-only lookup: no growth, zero value for unseen uids.
+func (fw *Framework) counterOf(uid power.UID) uidCounters {
+	if uid < 0 || int(uid) >= len(fw.counters) {
+		return uidCounters{}
+	}
+	return fw.counters[uid]
+}
 
 // NewProcess registers an app process. Each app has a unique uid, like
 // Android's per-app Linux uids.
@@ -78,6 +126,7 @@ func (fw *Framework) NewProcess(uid power.UID, name string) *Process {
 	}
 	p := &Process{fw: fw, uid: uid, name: name}
 	fw.procs[uid] = p
+	fw.procList = append(fw.procList, p)
 	return p
 }
 
@@ -87,12 +136,12 @@ func (fw *Framework) ProcessOf(uid power.UID) *Process { return fw.procs[uid] }
 // CPUTimeOf reports the cumulative CPU busy time attributed to uid
 // (the paper's sysTime+userTime metric, §2.1).
 func (fw *Framework) CPUTimeOf(uid power.UID) time.Duration {
+	t := fw.counterOf(uid).cpuTime
 	p := fw.procs[uid]
 	if p == nil {
-		return fw.cpuTime[uid]
+		return t
 	}
-	t := fw.cpuTime[uid]
-	for _, w := range p.work {
+	for w := p.workHead; w != nil; w = w.next {
 		if w.running {
 			t += fw.engine.Now() - w.startedAt
 		}
@@ -102,20 +151,53 @@ func (fw *Framework) CPUTimeOf(uid power.UID) time.Duration {
 
 // ExceptionsOf reports the cumulative count of severe exceptions thrown by
 // uid — the generic low-utility signal for wakelocks (paper §3.3, §6).
-func (fw *Framework) ExceptionsOf(uid power.UID) int { return fw.exceptions[uid] }
+func (fw *Framework) ExceptionsOf(uid power.UID) int { return fw.counterOf(uid).exceptions }
 
 // UIUpdatesOf reports cumulative UI updates posted by uid.
-func (fw *Framework) UIUpdatesOf(uid power.UID) int { return fw.uiUpdates[uid] }
+func (fw *Framework) UIUpdatesOf(uid power.UID) int { return fw.counterOf(uid).uiUpdates }
 
 // InteractionsOf reports cumulative user interactions received by uid.
-func (fw *Framework) InteractionsOf(uid power.UID) int { return fw.interactions[uid] }
+func (fw *Framework) InteractionsOf(uid power.UID) int { return fw.counterOf(uid).interactions }
 
 // Reevaluate re-applies work gating to every process. The power manager
 // calls it on CPU transitions; policies call it when their gating changes
-// (e.g. Doze entering or leaving the idle state).
+// (e.g. Doze entering or leaving the idle state). Processes are visited in
+// registration order — never map order — so runs are reproducible.
 func (fw *Framework) Reevaluate() {
-	for _, p := range fw.procs {
-		p.reevaluate()
+	fw.procIter++
+	for i := 0; i < len(fw.procList); i++ {
+		fw.procList[i].reevaluate()
+	}
+	fw.procIter--
+	if fw.procIter == 0 && fw.procSweep {
+		fw.procSweep = false
+		live := fw.procList[:0]
+		for _, p := range fw.procList {
+			if !p.dead {
+				live = append(live, p)
+			}
+		}
+		for i := len(live); i < len(fw.procList); i++ {
+			fw.procList[i] = nil // let dead processes be collected
+		}
+		fw.procList = live
+	}
+}
+
+// removeProc drops p from the registration-ordered list, preserving the
+// order of survivors. Deferred when Reevaluate is mid-walk.
+func (fw *Framework) removeProc(p *Process) {
+	if fw.procIter > 0 {
+		fw.procSweep = true
+		return
+	}
+	for i, x := range fw.procList {
+		if x == p {
+			copy(fw.procList[i:], fw.procList[i+1:])
+			fw.procList[len(fw.procList)-1] = nil
+			fw.procList = fw.procList[:len(fw.procList)-1]
+			return
+		}
 	}
 }
 
@@ -141,20 +223,39 @@ const (
 	netWork
 )
 
-// workItem is one pausable unit of execution.
+// workItem is one pausable unit of execution. Items are pooled value slots:
+// allocWork pops one from the framework free list and releaseWork pushes it
+// back, so steady-state execution churns no heap. The completion callback
+// (completeFn) and the meter draw slot (handle) are bound when the item is
+// prepared, so a pause/resume cycle is pure pointer and index work.
 type workItem struct {
 	proc      *Process
 	kind      workKind
-	tag       string
 	remaining time.Duration // busy time still needed
-	onDone    func(err error)
+	onErr     func(err error)
+	onDone    func()
 	err       error
 
 	running   bool
 	startedAt simclock.Time
 	pausedAt  simclock.Time
 	doneEvent simclock.EventID
-	finished  bool
+
+	// handle is the item's dedicated power-meter draw slot, resolved once
+	// in addWork; pause/resume update it by index (power.DrawHandle).
+	handle power.DrawHandle
+
+	// completeFn is the bound completion callback, created once per pooled
+	// slot (on first allocation) and reused across recycles, so starting
+	// or resuming the item never allocates a closure.
+	completeFn func()
+
+	// prev/next thread the intrusive per-process work list; next doubles
+	// as the free-list link while the slot is pooled.
+	prev, next *workItem
+	// runIdx is the item's position in Framework.runningCPU while running
+	// CPU work, else -1.
+	runIdx int32
 }
 
 // Process is one app process.
@@ -165,12 +266,20 @@ type Process struct {
 	foreground bool
 	dead       bool
 
-	work    []*workItem
-	timers  []*timer
-	alarms  []*alarm
-	nextTag int
+	// workHead/workTail hold the live work items in submission order.
+	workHead, workTail *workItem
 
-	tailEvent simclock.EventID // pending radio-tail expiry
+	timers []*timer
+	alarms []*alarm
+	// iter > 0 while reevaluate walks the timer/alarm slices; stops that
+	// land mid-walk defer their removal to a post-walk sweep so the walk
+	// never skips an entry.
+	iter  int
+	sweep bool
+
+	tailEvent  simclock.EventID // pending radio-tail expiry
+	tailFn     func()           // bound expiry callback, created on first tail
+	tailHandle power.DrawHandle // persistent radio-tail draw slot
 }
 
 // UID returns the process uid.
@@ -208,19 +317,77 @@ func (p *Process) canRun() bool {
 	return p.fw.gov.AllowBackgroundWork(p.uid)
 }
 
+// allocWork pops a pooled work slot, or allocates the slot (and its bound
+// completion callback — the only per-slot closure, paid once) on first use.
+func (fw *Framework) allocWork() *workItem {
+	if w := fw.freeWork; w != nil {
+		fw.freeWork = w.next
+		w.next = nil
+		return w
+	}
+	w := &workItem{runIdx: -1}
+	w.completeFn = w.complete
+	return w
+}
+
+// releaseWork scrubs a work slot and pushes it onto the free list. The
+// caller has already cancelled the slot's event (or it has fired) and
+// unlinked it from its process list.
+func (fw *Framework) releaseWork(w *workItem) {
+	w.handle.Release()
+	w.handle = power.DrawHandle{}
+	w.proc = nil
+	w.onErr = nil
+	w.onDone = nil
+	w.err = nil
+	w.running = false
+	w.doneEvent = 0
+	w.prev = nil
+	w.next = fw.freeWork
+	fw.freeWork = w
+}
+
+// linkWork appends w to p's live work list.
+func (p *Process) linkWork(w *workItem) {
+	w.prev = p.workTail
+	w.next = nil
+	if p.workTail != nil {
+		p.workTail.next = w
+	} else {
+		p.workHead = w
+	}
+	p.workTail = w
+}
+
+// unlinkWork removes w from p's live work list in O(1).
+func (p *Process) unlinkWork(w *workItem) {
+	if w.prev != nil {
+		w.prev.next = w.next
+	} else {
+		p.workHead = w.next
+	}
+	if w.next != nil {
+		w.next.prev = w.prev
+	} else {
+		p.workTail = w.prev
+	}
+	w.prev, w.next = nil, nil
+}
+
 // RunWork executes busyTime of CPU work, drawing active-CPU power while
 // running, then calls onDone (which may be nil). busyTime is the time the
 // work takes on the reference device; slower devices take proportionally
-// longer. The work pauses whenever the process cannot run.
+// longer. The work pauses whenever the process cannot run. Calling RunWork
+// on a dead process is a no-op.
 func (p *Process) RunWork(busyTime time.Duration, onDone func()) {
 	if p.dead {
 		return
 	}
-	scaled := time.Duration(float64(busyTime) / p.fw.profile.CPUSpeed)
-	w := &workItem{proc: p, kind: cpuWork, remaining: scaled}
-	if onDone != nil {
-		w.onDone = func(error) { onDone() }
-	}
+	w := p.fw.allocWork()
+	w.proc = p
+	w.kind = cpuWork
+	w.remaining = time.Duration(float64(busyTime) / p.fw.profile.CPUSpeed)
+	w.onDone = onDone
 	p.addWork(w)
 }
 
@@ -228,18 +395,25 @@ func (p *Process) RunWork(busyTime time.Duration, onDone func()) {
 // drawing radio power while active. onDone receives nil on success,
 // ErrNetworkDown if there was no connectivity at the start, ErrServerFailure
 // if the server is unhealthy (reported after the transfer attempt), or
-// ErrTimeout if the request was paused past the socket timeout.
+// ErrTimeout if the request was paused past the socket timeout. Calling
+// NetworkRequest on a dead process is a no-op.
 func (p *Process) NetworkRequest(duration time.Duration, onDone func(err error)) {
 	if p.dead {
 		return
 	}
+	w := p.fw.allocWork()
+	w.proc = p
+	w.onErr = onDone
 	if !p.fw.world.NetworkConnected() {
 		// Fast local failure: the stack notices immediately.
-		fail := &workItem{proc: p, kind: cpuWork, remaining: 50 * time.Millisecond, err: ErrNetworkDown, onDone: onDone}
-		p.addWork(fail)
+		w.kind = cpuWork
+		w.remaining = 50 * time.Millisecond
+		w.err = ErrNetworkDown
+		p.addWork(w)
 		return
 	}
-	w := &workItem{proc: p, kind: netWork, remaining: duration, onDone: onDone}
+	w.kind = netWork
+	w.remaining = duration
 	if !p.fw.world.ServerHealthy() {
 		w.err = ErrServerFailure
 	}
@@ -247,10 +421,9 @@ func (p *Process) NetworkRequest(duration time.Duration, onDone func(err error))
 }
 
 func (p *Process) addWork(w *workItem) {
-	p.nextTag++
-	w.tag = fmt.Sprintf("work-%d", p.nextTag)
 	w.pausedAt = p.fw.engine.Now()
-	p.work = append(p.work, w)
+	w.handle = p.fw.meter.Handle(p.uid, w.comp())
+	p.linkWork(w)
 	p.reevaluate()
 }
 
@@ -284,9 +457,23 @@ func (fw *Framework) refreshCPUDraws() {
 	if fw.profile.DVFSAlpha <= 0 {
 		return
 	}
-	for w := range fw.runningCPU {
-		fw.meter.Set(w.proc.uid, power.CPU, w.tag, w.drawW())
+	for _, w := range fw.runningCPU {
+		w.handle.Set(w.drawW())
 	}
+}
+
+// removeRunning drops w from the dense running-CPU list by swap-delete.
+func (fw *Framework) removeRunning(w *workItem) {
+	if w.runIdx < 0 {
+		return
+	}
+	last := len(fw.runningCPU) - 1
+	moved := fw.runningCPU[last]
+	fw.runningCPU[w.runIdx] = moved
+	moved.runIdx = w.runIdx
+	fw.runningCPU[last] = nil
+	fw.runningCPU = fw.runningCPU[:last]
+	w.runIdx = -1
 }
 
 func (w *workItem) comp() power.Component {
@@ -311,11 +498,12 @@ func (w *workItem) start() {
 	w.running = true
 	w.startedAt = now
 	if w.kind == cpuWork {
-		fw.runningCPU[w] = true
+		w.runIdx = int32(len(fw.runningCPU))
+		fw.runningCPU = append(fw.runningCPU, w)
 	}
-	fw.meter.Set(w.proc.uid, w.comp(), w.tag, w.drawW())
+	w.handle.Set(w.drawW())
 	fw.refreshCPUDraws()
-	w.doneEvent = fw.engine.Schedule(w.remaining, func() { w.complete() })
+	w.doneEvent = fw.engine.Schedule(w.remaining, w.completeFn)
 }
 
 // pause suspends w, folding elapsed busy time into accounting.
@@ -330,35 +518,42 @@ func (w *workItem) pause() {
 		w.remaining = 0
 	}
 	if w.kind == cpuWork {
-		fw.cpuTime[w.proc.uid] += elapsed
+		fw.counter(w.proc.uid).cpuTime += elapsed
 	}
 	w.running = false
 	w.pausedAt = now
-	delete(fw.runningCPU, w)
-	fw.meter.Clear(w.proc.uid, w.comp(), w.tag)
+	fw.removeRunning(w)
+	w.handle.Set(0)
 	fw.refreshCPUDraws()
 }
 
-// complete finishes w and invokes its callback.
+// complete finishes w, recycles its slot, and invokes its callback. The
+// callback runs after the slot has returned to the pool, so it may
+// immediately schedule new work that reuses the slot.
 func (w *workItem) complete() {
 	fw := w.proc.fw
+	p := w.proc
 	if w.running {
 		elapsed := fw.engine.Now() - w.startedAt
 		if w.kind == cpuWork {
-			fw.cpuTime[w.proc.uid] += elapsed
+			fw.counter(p.uid).cpuTime += elapsed
 		}
-		fw.meter.Clear(w.proc.uid, w.comp(), w.tag)
+		w.handle.Set(0)
 		w.running = false
-		delete(fw.runningCPU, w)
+		fw.removeRunning(w)
 		fw.refreshCPUDraws()
 		if w.kind == netWork {
-			w.proc.startRadioTail()
+			p.startRadioTail()
 		}
 	}
-	w.finished = true
-	w.proc.removeWork(w)
-	if w.onDone != nil {
-		w.onDone(w.err)
+	onErr, onDone, err := w.onErr, w.onDone, w.err
+	p.unlinkWork(w)
+	fw.releaseWork(w)
+	switch {
+	case onErr != nil:
+		onErr(err)
+	case onDone != nil:
+		onDone()
 	}
 }
 
@@ -374,32 +569,37 @@ func (p *Process) startRadioTail() {
 	if fw.world.NetworkOnWiFi() || !fw.world.NetworkConnected() {
 		return
 	}
-	fw.meter.Set(p.uid, power.Radio, "radio-tail", fw.profile.RadioTailW)
+	if !p.tailHandle.Valid() {
+		p.tailHandle = fw.meter.Handle(p.uid, power.Radio)
+	}
+	p.tailHandle.Set(fw.profile.RadioTailW)
 	if p.tailEvent != 0 {
 		fw.engine.Cancel(p.tailEvent)
 	}
-	p.tailEvent = fw.engine.Schedule(fw.profile.RadioTailTime, func() {
-		p.tailEvent = 0
-		fw.meter.Clear(p.uid, power.Radio, "radio-tail")
-	})
+	if p.tailFn == nil {
+		p.tailFn = p.endRadioTail
+	}
+	p.tailEvent = fw.engine.Schedule(fw.profile.RadioTailTime, p.tailFn)
 }
 
-func (p *Process) removeWork(w *workItem) {
-	for i, x := range p.work {
-		if x == w {
-			p.work = append(p.work[:i], p.work[i+1:]...)
-			return
-		}
-	}
+// endRadioTail is the bound tail-expiry callback: one closure per process,
+// created on the first tail, reused by every refresh.
+func (p *Process) endRadioTail() {
+	p.tailEvent = 0
+	p.tailHandle.Clear()
 }
 
 // reevaluate starts or pauses work and flushes due timers per gating state.
+//
+// The loops walk the live structures directly (no defensive copies): the
+// work list cannot change mid-walk (start/pause run no user code), and the
+// timer/alarm slices only grow during the walk — newly created entries
+// have nothing pending, so visiting them is a no-op, and stops that land
+// mid-walk are swept afterwards instead of shrinking the slice under the
+// index.
 func (p *Process) reevaluate() {
 	run := p.canRun()
-	for _, w := range append([]*workItem(nil), p.work...) {
-		if w.finished {
-			continue
-		}
+	for w := p.workHead; w != nil; w = w.next {
 		switch {
 		case run && !w.running:
 			w.start()
@@ -407,14 +607,45 @@ func (p *Process) reevaluate() {
 			w.pause()
 		}
 	}
+	p.iter++
 	if run {
-		for _, t := range append([]*timer(nil), p.timers...) {
-			t.flush()
+		for i := 0; i < len(p.timers); i++ {
+			p.timers[i].flush()
 		}
 	}
-	for _, a := range append([]*alarm(nil), p.alarms...) {
-		a.flush()
+	for i := 0; i < len(p.alarms); i++ {
+		p.alarms[i].flush()
 	}
+	p.iter--
+	if p.iter == 0 && p.sweep {
+		p.sweep = false
+		p.sweepStopped()
+	}
+}
+
+// sweepStopped compacts the timer and alarm slices, dropping stopped
+// entries while preserving the order of survivors.
+func (p *Process) sweepStopped() {
+	liveT := p.timers[:0]
+	for _, t := range p.timers {
+		if !t.stopped {
+			liveT = append(liveT, t)
+		}
+	}
+	for i := len(liveT); i < len(p.timers); i++ {
+		p.timers[i] = nil
+	}
+	p.timers = liveT
+	liveA := p.alarms[:0]
+	for _, a := range p.alarms {
+		if !a.stopped {
+			liveA = append(liveA, a)
+		}
+	}
+	for i := len(liveA); i < len(p.alarms); i++ {
+		p.alarms[i] = nil
+	}
+	p.alarms = liveA
 }
 
 // timer is a periodic callback that only fires while the process can run;
@@ -424,6 +655,7 @@ type timer struct {
 	proc    *Process
 	period  time.Duration
 	fn      func()
+	tick    func() // bound onTick, created once so each tick schedules alloc-free
 	stopped bool
 	pending bool
 	event   simclock.EventID
@@ -436,6 +668,7 @@ func (p *Process) Every(period time.Duration, fn func()) (stop func()) {
 		panic("appfw: Every period must be positive")
 	}
 	t := &timer{proc: p, period: period, fn: fn}
+	t.tick = t.onTick
 	p.timers = append(p.timers, t)
 	t.schedule()
 	return t.stop
@@ -460,17 +693,21 @@ func (p *Process) After(delay time.Duration, fn func()) (cancel func()) {
 }
 
 func (t *timer) schedule() {
-	t.event = t.proc.fw.engine.Schedule(t.period, func() {
-		t.event = 0
-		if t.stopped || t.proc.dead {
-			return
-		}
-		if t.proc.canRun() {
-			t.fire()
-		} else {
-			t.pending = true
-		}
-	})
+	t.event = t.proc.fw.engine.Schedule(t.period, t.tick)
+}
+
+// onTick is the engine-facing callback: one bound closure per timer,
+// reused for every tick.
+func (t *timer) onTick() {
+	t.event = 0
+	if t.stopped || t.proc.dead {
+		return
+	}
+	if t.proc.canRun() {
+		t.fire()
+	} else {
+		t.pending = true
+	}
 }
 
 // fire runs the callback and schedules the next tick.
@@ -489,7 +726,9 @@ func (t *timer) flush() {
 	}
 }
 
-func (t *timer) stop() {
+// deactivate cancels the timer without touching the process's timer slice,
+// so callers that are iterating it (reevaluate, Kill) stay safe.
+func (t *timer) deactivate() {
 	if t.stopped {
 		return
 	}
@@ -499,9 +738,23 @@ func (t *timer) stop() {
 		t.proc.fw.engine.Cancel(t.event)
 		t.event = 0
 	}
-	for i, x := range t.proc.timers {
+}
+
+func (t *timer) stop() {
+	if t.stopped {
+		return
+	}
+	t.deactivate()
+	p := t.proc
+	if p.iter > 0 {
+		p.sweep = true
+		return
+	}
+	for i, x := range p.timers {
 		if x == t {
-			t.proc.timers = append(t.proc.timers[:i], t.proc.timers[i+1:]...)
+			copy(p.timers[i:], p.timers[i+1:])
+			p.timers[len(p.timers)-1] = nil
+			p.timers = p.timers[:len(p.timers)-1]
 			break
 		}
 	}
@@ -515,6 +768,7 @@ type alarm struct {
 	proc    *Process
 	period  time.Duration
 	fn      func()
+	tick    func() // bound onTick, created once so each tick schedules alloc-free
 	stopped bool
 	pending bool
 	event   simclock.EventID
@@ -527,6 +781,7 @@ func (p *Process) AlarmEvery(period time.Duration, fn func()) (stop func()) {
 		panic("appfw: AlarmEvery period must be positive")
 	}
 	a := &alarm{proc: p, period: period, fn: fn}
+	a.tick = a.onTick
 	p.alarms = append(p.alarms, a)
 	a.schedule()
 	return a.stop
@@ -559,17 +814,19 @@ func (a *alarm) allowed() bool {
 }
 
 func (a *alarm) schedule() {
-	a.event = a.proc.fw.engine.Schedule(a.period, func() {
-		a.event = 0
-		if a.stopped || a.proc.dead {
-			return
-		}
-		if a.allowed() {
-			a.fire()
-		} else {
-			a.pending = true
-		}
-	})
+	a.event = a.proc.fw.engine.Schedule(a.period, a.tick)
+}
+
+func (a *alarm) onTick() {
+	a.event = 0
+	if a.stopped || a.proc.dead {
+		return
+	}
+	if a.allowed() {
+		a.fire()
+	} else {
+		a.pending = true
+	}
 }
 
 func (a *alarm) fire() {
@@ -586,7 +843,9 @@ func (a *alarm) flush() {
 	}
 }
 
-func (a *alarm) stop() {
+// deactivate cancels the alarm without touching the process's alarm slice,
+// so callers that are iterating it (reevaluate, Kill) stay safe.
+func (a *alarm) deactivate() {
 	if a.stopped {
 		return
 	}
@@ -596,9 +855,23 @@ func (a *alarm) stop() {
 		a.proc.fw.engine.Cancel(a.event)
 		a.event = 0
 	}
-	for i, x := range a.proc.alarms {
+}
+
+func (a *alarm) stop() {
+	if a.stopped {
+		return
+	}
+	a.deactivate()
+	p := a.proc
+	if p.iter > 0 {
+		p.sweep = true
+		return
+	}
+	for i, x := range p.alarms {
 		if x == a {
-			a.proc.alarms = append(a.proc.alarms[:i], a.proc.alarms[i+1:]...)
+			copy(p.alarms[i:], p.alarms[i+1:])
+			p.alarms[len(p.alarms)-1] = nil
+			p.alarms = p.alarms[:len(p.alarms)-1]
 			break
 		}
 	}
@@ -609,49 +882,59 @@ func (a *alarm) stop() {
 // ExceptionNoteHandler).
 func (p *Process) ThrowException() {
 	if !p.dead {
-		p.fw.exceptions[p.uid]++
+		p.fw.counter(p.uid).exceptions++
 	}
 }
 
 // NoteUIUpdate records one UI update posted by p.
 func (p *Process) NoteUIUpdate() {
 	if !p.dead {
-		p.fw.uiUpdates[p.uid]++
+		p.fw.counter(p.uid).uiUpdates++
 	}
 }
 
 // NoteInteraction records one user interaction delivered to p.
 func (p *Process) NoteInteraction() {
 	if !p.dead {
-		p.fw.interactions[p.uid]++
+		p.fw.counter(p.uid).interactions++
 	}
 }
 
-// Kill terminates the process: pending work and timers are dropped, kernel
-// objects die (releasing resources), and draws are cleared.
+// Kill terminates the process: pending work and timers are dropped (their
+// slots return to the pool with events cancelled, so no stale completion
+// can ever touch a recycled slot), kernel objects die (releasing
+// resources), and draws are cleared.
 func (p *Process) Kill() {
 	if p.dead {
 		return
 	}
-	for _, w := range append([]*workItem(nil), p.work...) {
+	fw := p.fw
+	for w := p.workHead; w != nil; {
+		next := w.next
 		if w.running {
 			w.pause()
 		}
-		w.finished = true
+		fw.releaseWork(w)
+		w = next
 	}
-	p.work = nil
-	for _, t := range append([]*timer(nil), p.timers...) {
-		t.stop()
+	p.workHead, p.workTail = nil, nil
+	for i := 0; i < len(p.timers); i++ {
+		p.timers[i].deactivate()
 	}
-	for _, a := range append([]*alarm(nil), p.alarms...) {
-		a.stop()
+	for i := 0; i < len(p.alarms); i++ {
+		p.alarms[i].deactivate()
 	}
+	clear(p.timers)
+	p.timers = p.timers[:0]
+	clear(p.alarms)
+	p.alarms = p.alarms[:0]
 	p.dead = true
 	if p.tailEvent != 0 {
-		p.fw.engine.Cancel(p.tailEvent)
+		fw.engine.Cancel(p.tailEvent)
 		p.tailEvent = 0
 	}
-	p.fw.registry.KillOwner(p.uid)
-	p.fw.meter.ClearOwner(p.uid)
-	delete(p.fw.procs, p.uid)
+	fw.registry.KillOwner(p.uid)
+	fw.meter.ClearOwner(p.uid)
+	delete(fw.procs, p.uid)
+	fw.removeProc(p)
 }

@@ -1,0 +1,72 @@
+package appfw
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkRunWork measures one full RunWork lifecycle — slot acquisition,
+// draw-handle start, engine completion, slot release — the innermost loop
+// of every simulated app. Steady state must be 0 allocs/op.
+func BenchmarkRunWork(b *testing.B) {
+	r := newRig(nil)
+	p := r.fw.NewProcess(10, "app")
+	r.hold(10)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.RunWork(time.Millisecond, nil)
+		r.engine.RunUntil(r.engine.Now() + 2*time.Millisecond)
+	}
+}
+
+// BenchmarkNetworkRequest measures one cellular transfer including the
+// radio-tail bookkeeping (env defaults to Wi-Fi; cellular is the expensive
+// path). The tail event is rebound, not reallocated, per request.
+func BenchmarkNetworkRequest(b *testing.B) {
+	r := newRig(nil)
+	r.world.SetNetwork(true, false) // cellular: exercises the radio tail
+	p := r.fw.NewProcess(10, "app")
+	r.hold(10)
+	onDone := func(error) {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.NetworkRequest(time.Millisecond, onDone)
+		r.engine.RunUntil(r.engine.Now() + 2*time.Millisecond)
+	}
+}
+
+// BenchmarkTimerChurn measures the periodic-timer tick cycle that dominated
+// the post-PR-2 profile (appfw.(*timer).fire): each tick must reuse the
+// timer's bound callback rather than allocate a fresh closure.
+func BenchmarkTimerChurn(b *testing.B) {
+	r := newRig(nil)
+	p := r.fw.NewProcess(10, "app")
+	r.hold(10)
+	stop := p.Every(time.Millisecond, func() {})
+	defer stop()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.engine.RunUntil(r.engine.Now() + time.Millisecond)
+	}
+}
+
+// BenchmarkWorkPauseResume measures the suspend path of paper §4.6: a
+// long-running item repeatedly paused by CPU sleep and resumed by wake.
+// The appfw side is allocation-free; remaining allocs/op are the wakelock
+// transition itself (powermgr.recompute builds per-kind holder maps).
+func BenchmarkWorkPauseResume(b *testing.B) {
+	r := newRig(nil)
+	p := r.fw.NewProcess(10, "app")
+	wl := r.hold(10)
+	p.RunWork(time.Hour, nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		wl.Release() // CPU sleeps, work pauses
+		wl.Acquire() // CPU wakes, work resumes
+		r.engine.RunUntil(r.engine.Now() + time.Millisecond)
+	}
+}

@@ -1,0 +1,145 @@
+package appfw
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/power"
+)
+
+func TestRunWorkOnDeadProcessIsNoOp(t *testing.T) {
+	r := newRig(nil)
+	p := r.fw.NewProcess(10, "app")
+	r.hold(10)
+	p.Kill()
+	called := false
+	p.RunWork(time.Second, func() { called = true })
+	r.engine.RunUntil(10 * time.Second)
+	if called {
+		t.Fatal("RunWork on a dead process must not run")
+	}
+	if r.fw.CPUTimeOf(10) != 0 {
+		t.Fatal("dead process accrued CPU time")
+	}
+}
+
+func TestNetworkRequestOnDeadProcessIsNoOp(t *testing.T) {
+	r := newRig(nil)
+	p := r.fw.NewProcess(10, "app")
+	r.hold(10)
+	p.Kill()
+	called := false
+	p.NetworkRequest(time.Second, func(error) { called = true })
+	r.engine.RunUntil(10 * time.Second)
+	if called {
+		t.Fatal("NetworkRequest on a dead process must not run")
+	}
+	if got := r.meter.InstantPowerOfW(10); got != 0 {
+		t.Fatalf("dead process draws %v W, want 0", got)
+	}
+}
+
+// TestKilledWorkNeverCompletesOnReusedSlot is the appfw analogue of
+// simclock's stale-slot regression tests: a slot returned to the pool by
+// Kill must not deliver the dead item's completion once recycled.
+func TestKilledWorkNeverCompletesOnReusedSlot(t *testing.T) {
+	r := newRig(nil)
+	r.hold(1)
+	r.hold(2)
+	a := r.fw.NewProcess(1, "a")
+	aDone := 0
+	a.RunWork(5*time.Second, func() { aDone++ })
+	r.engine.RunUntil(2 * time.Second)
+	a.Kill()
+	slot := r.fw.freeWork
+	if slot == nil {
+		t.Fatal("Kill must return the work slot to the pool")
+	}
+	b := r.fw.NewProcess(2, "b")
+	bDone := 0
+	b.RunWork(3*time.Second, func() { bDone++ })
+	if b.workHead != slot {
+		t.Fatal("new work did not reuse the pooled slot")
+	}
+	// Run well past both the killed item's original deadline (7 s from its
+	// start) and the reused item's deadline.
+	r.engine.RunUntil(time.Minute)
+	if aDone != 0 {
+		t.Fatalf("killed work completed %d times, want 0", aDone)
+	}
+	if bDone != 1 {
+		t.Fatalf("reused slot completed %d times, want exactly 1", bDone)
+	}
+}
+
+// TestCompletedSlotReusedCleanly checks that normal completion recycles the
+// slot and a follow-up item started from the completion callback itself
+// (the common self-rescheduling app pattern) runs on clean state.
+func TestCompletedSlotReusedCleanly(t *testing.T) {
+	r := newRig(nil)
+	p := r.fw.NewProcess(10, "app")
+	r.hold(10)
+	var first *workItem
+	n := 0
+	p.RunWork(time.Second, func() {
+		n++
+		p.RunWork(time.Second, func() { n++ })
+		if p.workHead != first {
+			t.Fatal("follow-up work did not reuse the completed slot")
+		}
+	})
+	first = p.workHead
+	r.engine.RunUntil(10 * time.Second)
+	if n != 2 {
+		t.Fatalf("completions = %d, want 2", n)
+	}
+	if got := r.fw.CPUTimeOf(10); got != 2*time.Second {
+		t.Fatalf("CPUTimeOf = %v, want 2s", got)
+	}
+}
+
+// reevaluateFireOrder builds a fresh rig with n paused processes, wakes the
+// CPU so Framework.Reevaluate resumes them all in one pass, and returns the
+// order their completions fire in.
+func reevaluateFireOrder(n int) []power.UID {
+	r := newRig(nil)
+	var order []power.UID
+	for i := 0; i < n; i++ {
+		uid := power.UID(100 + i)
+		p := r.fw.NewProcess(uid, fmt.Sprintf("app%d", i))
+		// CPU is asleep (no wakelock yet), so the item queues paused.
+		p.RunWork(time.Second, func() { order = append(order, uid) })
+	}
+	// One wakelock wakes the CPU; every process resumes in the same
+	// Reevaluate pass, so all completions land at the same timestamp and
+	// only scheduling order separates them.
+	r.hold(500)
+	r.engine.RunUntil(time.Hour)
+	return order
+}
+
+// TestReevaluateOrderDeterministic is the regression test for the latent
+// nondeterminism where Framework.Reevaluate ranged over the procs map:
+// resume order (and thus engine seq numbers at equal timestamps) depended
+// on map iteration order. It must now be registration order, every run.
+func TestReevaluateOrderDeterministic(t *testing.T) {
+	const n = 64
+	first := reevaluateFireOrder(n)
+	if len(first) != n {
+		t.Fatalf("fired %d completions, want %d", len(first), n)
+	}
+	for i, uid := range first {
+		if want := power.UID(100 + i); uid != want {
+			t.Fatalf("position %d fired %d, want %d (registration order)", i, uid, want)
+		}
+	}
+	for run := 0; run < 3; run++ {
+		got := reevaluateFireOrder(n)
+		for i := range first {
+			if got[i] != first[i] {
+				t.Fatalf("run %d diverged at position %d: %d vs %d", run, i, got[i], first[i])
+			}
+		}
+	}
+}

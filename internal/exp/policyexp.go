@@ -2,6 +2,7 @@ package exp
 
 import (
 	"math"
+	"strconv"
 	"time"
 
 	"repro/internal/apps"
@@ -76,6 +77,7 @@ func Figure9() Result {
 // sweep fast.
 func Figure12(cases int) Result {
 	r := Result{ID: "figure-12", Title: "Reduction ratio of wasted power vs λ (intermittent misbehaviour)"}
+	r.Lines = make([]string, 0, 6) // header + five λ rows
 	if cases <= 0 {
 		cases = 50
 	}
@@ -136,6 +138,9 @@ func Figure12(cases int) Result {
 		}
 		return 1 - waste(c.seed, sim.LeaseOS, time.Duration(c.lambda)*term)/base
 	})
+	// Rows render via the append helpers ("%-4d %.2f (± %.2f over %d
+	// cases)"), byte-identical to the Sprintf original.
+	row := make([]byte, 0, 48)
 	for lambda := 1; lambda <= 5; lambda++ {
 		kept := make([]float64, 0, cases)
 		for c := 0; c < cases; c++ {
@@ -143,7 +148,15 @@ func Figure12(cases int) Result {
 				kept = append(kept, v)
 			}
 		}
-		r.addf("%-4d %.2f (± %.2f over %d cases)", lambda, stats.Mean(kept), stats.StdErr(kept), len(kept))
+		row = appendIntPadRight(row[:0], lambda, 4)
+		row = append(row, ' ')
+		row = appendFixed(row, stats.Mean(kept), 2, 0)
+		row = append(row, " (± "...)
+		row = appendFixed(row, stats.StdErr(kept), 2, 0)
+		row = append(row, " over "...)
+		row = strconv.AppendInt(row, int64(len(kept)), 10)
+		row = append(row, " cases)"...)
+		r.Lines = append(r.Lines, string(row))
 	}
 	r.notef("paper: 0.49 / 0.66 / 0.74 / 0.78 / 0.82 — larger λ reduces more waste but raises the misjudgement penalty")
 	r.notef("scaled: %d cases of %d+%d slices (paper: 1000 cases of 1000+1000 slices)", cases, 20, 20)

@@ -1,0 +1,36 @@
+package exp
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+// TestAppendHelpersMatchFmt pins the byte-identity contract between the
+// strconv-based row builders and the fmt verbs they replace, including the
+// special values fmt spells out (NaN, ±Inf) and overwide fields.
+func TestAppendHelpersMatchFmt(t *testing.T) {
+	floats := []float64{0, 1, -1, 0.005, 99.994, 99.995, -0.04, 1234567.89,
+		math.NaN(), math.Inf(1), math.Inf(-1)}
+	for _, v := range floats {
+		for _, c := range []struct{ prec, width int }{{2, 0}, {2, 9}, {1, 6}} {
+			want := fmt.Sprintf("%*.*f", c.width, c.prec, v)
+			got := string(appendFixed(nil, v, c.prec, c.width))
+			if got != want {
+				t.Errorf("appendFixed(%v, %d, %d) = %q, want %q", v, c.prec, c.width, got, want)
+			}
+		}
+	}
+	for _, s := range []string{"", "a", "GPS", "exactly-twenty-chars", "longer-than-the-field-width"} {
+		want := fmt.Sprintf("%-20s", s)
+		if got := string(appendPadRight(nil, s, 20)); got != want {
+			t.Errorf("appendPadRight(%q, 20) = %q, want %q", s, got, want)
+		}
+	}
+	for _, v := range []int{0, 7, -3, 1234, 123456} {
+		want := fmt.Sprintf("%-4d", v)
+		if got := string(appendIntPadRight(nil, v, 4)); got != want {
+			t.Errorf("appendIntPadRight(%d, 4) = %q, want %q", v, got, want)
+		}
+	}
+}

@@ -203,13 +203,17 @@ func CrossDevice() Result {
 // vanilla Android, LeaseOS, aggressive Doze and DefDroid.
 func Table5() Result {
 	r := Result{ID: "table-5", Title: "Power (mW) of 20 buggy apps under each policy, 30-minute runs"}
+	specs := apps.Table5Specs()
+	r.Lines = make([]string, 0, len(specs)+2) // header + rows + average
 	r.addf("%-20s %-6s %-4s | %9s %9s %9s %9s | %7s %7s %7s",
 		"App", "Res.", "Beh.", "vanilla", "LeaseOS", "Doze*", "DefDroid", "Lease%", "Doze%", "DefDr%")
-	specs := apps.Table5Specs()
 	rows := fanOut(specs, func(_ int, sp apps.Spec) map[sim.Policy]float64 {
 		return RunTable5Row(sp)
 	})
 	var leaseRed, dozeRed, defRed []float64
+	// Rows render via the append helpers ("%-20s %-6s %-4s | %9.2f ×4 |
+	// %6.1f%% ×3"), byte-identical to the Sprintf original.
+	line := make([]byte, 0, 96)
 	for i, sp := range specs {
 		row := rows[i]
 		base := row[sim.Vanilla]
@@ -223,9 +227,23 @@ func Table5() Result {
 		leaseRed = append(leaseRed, lr)
 		dozeRed = append(dozeRed, dr)
 		defRed = append(defRed, fr)
-		r.addf("%-20s %-6s %-4s | %9.2f %9.2f %9.2f %9.2f | %6.1f%% %6.1f%% %6.1f%%",
-			sp.Name, sp.Resource, sp.Behavior, base,
-			row[sim.LeaseOS], row[sim.DozeAggressive], row[sim.DefDroid], lr, dr, fr)
+		line = appendPadRight(line[:0], sp.Name, 20)
+		line = append(line, ' ')
+		line = appendPadRight(line, sp.Resource.String(), 6)
+		line = append(line, ' ')
+		line = appendPadRight(line, sp.Behavior.String(), 4)
+		line = append(line, " |"...)
+		for _, w := range [4]float64{base, row[sim.LeaseOS], row[sim.DozeAggressive], row[sim.DefDroid]} {
+			line = append(line, ' ')
+			line = appendFixed(line, w, 2, 9)
+		}
+		line = append(line, " |"...)
+		for _, pct := range [3]float64{lr, dr, fr} {
+			line = append(line, ' ')
+			line = appendFixed(line, pct, 1, 6)
+			line = append(line, '%')
+		}
+		r.Lines = append(r.Lines, string(line))
 	}
 	r.addf("%-20s %-6s %-4s | %9s %9s %9s %9s | %6.1f%% %6.1f%% %6.1f%%",
 		"Average", "", "", "", "", "", "", stats.Mean(leaseRed), stats.Mean(dozeRed), stats.Mean(defRed))

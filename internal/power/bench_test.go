@@ -35,6 +35,25 @@ func BenchmarkMeterSet(b *testing.B) {
 	}
 }
 
+// BenchmarkDrawHandleSet measures the pre-resolved draw update the app
+// framework performs on every work-item pause/resume: no tag scan, no map,
+// a pure indexed store plus three accumulator advances.
+func BenchmarkDrawHandleSet(b *testing.B) {
+	e := simclock.NewEngine()
+	m := meterWithLoad(e, 32)
+	h := m.Handle(5, CPU)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.RunUntil(e.Now() + time.Millisecond)
+		if i%2 == 0 {
+			h.Set(0.6)
+		} else {
+			h.Set(0)
+		}
+	}
+}
+
 // BenchmarkMeterEnergyOf measures the per-owner energy query used by every
 // utility computation and experiment readout.
 func BenchmarkMeterEnergyOf(b *testing.B) {

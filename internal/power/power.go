@@ -9,6 +9,10 @@
 // owner on the device. Accumulators are dense: per-owner state is a slice
 // indexed by UID (grown on demand; Android UIDs are small and dense) and
 // per-component state is a fixed array, so the hot paths touch no maps.
+// Draw entries live in stable-index slots recycled through per-owner free
+// lists, which supports two registration APIs: the string-tagged Set/Clear
+// for cold callers, and pre-resolved DrawHandles (Meter.Handle) for hot
+// callers, turning a draw change into a pure array store.
 // Two instruments from the paper's methodology are reproduced on top of it:
 // a system-wide sampler standing in for the Monsoon hardware power monitor
 // and a per-app sampler standing in for the Qualcomm Trepn profiler (paper
@@ -57,15 +61,27 @@ type UID int
 // SystemUID owns baseline draws not attributable to any app.
 const SystemUID UID = 0
 
-// drawEntry is one registered draw. A service may maintain several draws
+// drawSlot is one registered draw. A service may maintain several draws
 // for the same (owner, component) pair — e.g. two GPS listeners — so a
 // free-form tag disambiguates. An owner holds a handful of draws at most,
-// so entries live in a small per-owner slice scanned linearly: cheaper
-// than hashing a struct-with-string key, and allocation-free on lookup.
-type drawEntry struct {
+// so slots live in a small per-owner slice scanned linearly: cheaper than
+// hashing a struct-with-string key, and allocation-free on lookup.
+//
+// Slots are addressed by stable index and recycled through a per-owner
+// free list, so a DrawHandle can cache its slot's position and update it
+// without any lookup at all. The generation is bumped on every release,
+// exactly like simclock's event slots: a handle held across ClearOwner (or
+// a slot reuse) simply stops matching instead of corrupting the newcomer.
+type drawSlot struct {
 	comp  Component
 	tag   string
 	watts float64
+	gen   uint32
+	live  bool
+	// anon marks slots allocated through Handle: they have no tag and must
+	// never be matched by the string-keyed Set/Clear scan (a string caller
+	// using an empty tag would otherwise collide with them).
+	anon bool
 }
 
 // accum is one lazily-integrated accumulator: watts is the current draw,
@@ -99,7 +115,39 @@ func (a *accum) addWatts(delta float64) {
 // ownerState is the per-UID accounting record.
 type ownerState struct {
 	accum
-	draws []drawEntry
+	slots []drawSlot
+	free  []int32 // released slot indices awaiting reuse
+	nLive int     // live slots, for the no-draws early-outs
+}
+
+// acquire takes a slot index from the owner's free list, or grows the slot
+// slice. The returned slot is live with zero watts.
+func (o *ownerState) acquire() int32 {
+	if n := len(o.free); n > 0 {
+		idx := o.free[n-1]
+		o.free = o.free[:n-1]
+		s := &o.slots[idx]
+		s.live = true
+		o.nLive++
+		return idx
+	}
+	o.slots = append(o.slots, drawSlot{live: true})
+	o.nLive++
+	return int32(len(o.slots) - 1)
+}
+
+// release returns a slot to the free list, bumping its generation so any
+// outstanding DrawHandle for it stops matching. The caller has already
+// settled the slot's watts to zero against the accumulators.
+func (o *ownerState) release(idx int32) {
+	s := &o.slots[idx]
+	s.tag = ""
+	s.watts = 0
+	s.live = false
+	s.anon = false
+	s.gen++
+	o.nLive--
+	o.free = append(o.free, idx)
 }
 
 // Meter integrates component power draws into per-owner energy.
@@ -133,44 +181,55 @@ func (m *Meter) owner(uid UID) *ownerState {
 	return &m.owners[uid]
 }
 
+// setSlot applies a new wattage to a live slot, integrating the three
+// affected accumulators at the old wattage before the change; everyone
+// else's integral is untouched by this draw, so they stay lazy. This is
+// the one mutation path shared by the string API and DrawHandle.
+func (m *Meter) setSlot(o *ownerState, s *drawSlot, watts float64) {
+	if watts == s.watts {
+		return
+	}
+	now := m.engine.Now()
+	o.advance(now)
+	m.comps[s.comp].advance(now)
+	m.total.advance(now)
+	delta := watts - s.watts
+	s.watts = watts
+	o.addWatts(delta)
+	m.comps[s.comp].addWatts(delta)
+	m.total.addWatts(delta)
+}
+
 // Set registers (or updates) a draw entry of watts for owner/comp/tag.
-// Setting zero watts removes the entry.
+// Setting zero watts removes the entry. This is the cold-path string API;
+// hot callers that change one draw repeatedly should resolve a DrawHandle
+// once and update through it instead.
 func (m *Meter) Set(owner UID, comp Component, tag string, watts float64) {
 	if watts < 0 {
 		panic(fmt.Sprintf("power: negative draw %v W for uid %d %v/%s", watts, owner, comp, tag))
 	}
 	o := m.owner(owner)
-	old := 0.0
-	entry := -1
-	for i := range o.draws {
-		if o.draws[i].comp == comp && o.draws[i].tag == tag {
-			old, entry = o.draws[i].watts, i
+	var s *drawSlot
+	var idx int32 = -1
+	for i := range o.slots {
+		sl := &o.slots[i]
+		if sl.live && !sl.anon && sl.comp == comp && sl.tag == tag {
+			s, idx = sl, int32(i)
 			break
 		}
 	}
-	if watts == old {
-		return
+	if s == nil {
+		if watts == 0 {
+			return
+		}
+		idx = o.acquire()
+		s = &o.slots[idx]
+		s.comp, s.tag = comp, tag
 	}
-	// Integrate the three affected accumulators at the old wattage before
-	// applying the change; everyone else's integral is untouched by this
-	// draw, so they stay lazy.
-	now := m.engine.Now()
-	o.advance(now)
-	m.comps[comp].advance(now)
-	m.total.advance(now)
-	switch {
-	case watts == 0: // remove
-		o.draws[entry] = o.draws[len(o.draws)-1]
-		o.draws = o.draws[:len(o.draws)-1]
-	case entry >= 0: // update
-		o.draws[entry].watts = watts
-	default: // insert
-		o.draws = append(o.draws, drawEntry{comp, tag, watts})
+	m.setSlot(o, s, watts)
+	if watts == 0 {
+		o.release(idx)
 	}
-	delta := watts - old
-	o.addWatts(delta)
-	m.comps[comp].addWatts(delta)
-	m.total.addWatts(delta)
 }
 
 // Clear removes a draw entry.
@@ -178,26 +237,123 @@ func (m *Meter) Clear(owner UID, comp Component, tag string) {
 	m.Set(owner, comp, tag, 0)
 }
 
+// DrawHandle is a pre-resolved reference to one draw slot: Set updates the
+// slot by index — two bounds checks and three accumulator touches, no
+// string hashing, no scan, no allocation. It is the fast path the app
+// framework rides on every work-item pause/resume; cold callers keep the
+// string Set/Clear API.
+//
+// The zero DrawHandle is invalid; Set(>0) on it (or on a handle whose slot
+// was reclaimed by ClearOwner) panics, while Clear and Release degrade to
+// no-ops so teardown paths stay safe after process death.
+type DrawHandle struct {
+	m     *Meter
+	owner UID
+	idx   int32
+	gen   uint32
+}
+
+// Handle allocates a dedicated draw slot for owner/comp and returns the
+// handle to it. The slot starts at zero watts and is anonymous: it can
+// never collide with a string-tagged entry. Release returns the slot to
+// the owner's free list; ClearOwner reclaims it too (bumping the
+// generation, so the stale handle turns inert).
+func (m *Meter) Handle(owner UID, comp Component) DrawHandle {
+	o := m.owner(owner)
+	idx := o.acquire()
+	s := &o.slots[idx]
+	s.comp = comp
+	s.anon = true
+	return DrawHandle{m: m, owner: owner, idx: idx, gen: s.gen}
+}
+
+// slot resolves the handle, returning nil if the handle is zero, stale, or
+// its slot has been reclaimed.
+func (h DrawHandle) slot() (*ownerState, *drawSlot) {
+	if h.m == nil || h.owner < 0 || int(h.owner) >= len(h.m.owners) {
+		return nil, nil
+	}
+	o := &h.m.owners[h.owner]
+	if h.idx < 0 || int(h.idx) >= len(o.slots) {
+		return nil, nil
+	}
+	s := &o.slots[h.idx]
+	if !s.live || s.gen != h.gen {
+		return nil, nil
+	}
+	return o, s
+}
+
+// Valid reports whether the handle still addresses a live slot.
+func (h DrawHandle) Valid() bool {
+	_, s := h.slot()
+	return s != nil
+}
+
+// Set updates the slot's draw to watts. Setting a positive draw through a
+// stale or zero handle panics — it would silently drop power accounting;
+// setting zero is a harmless no-op (the slot already draws nothing).
+func (h DrawHandle) Set(watts float64) {
+	if watts < 0 {
+		panic(fmt.Sprintf("power: negative draw %v W for uid %d (handle)", watts, h.owner))
+	}
+	o, s := h.slot()
+	if s == nil {
+		if watts == 0 {
+			return
+		}
+		panic(fmt.Sprintf("power: Set(%v W) on stale draw handle for uid %d", watts, h.owner))
+	}
+	h.m.setSlot(o, s, watts)
+}
+
+// Clear zeroes the slot's draw, keeping the slot for reuse.
+func (h DrawHandle) Clear() {
+	o, s := h.slot()
+	if s == nil {
+		return
+	}
+	h.m.setSlot(o, s, 0)
+}
+
+// Release zeroes the draw and returns the slot to the owner's free list.
+// Releasing a stale or zero handle is a no-op.
+func (h DrawHandle) Release() {
+	o, s := h.slot()
+	if s == nil {
+		return
+	}
+	h.m.setSlot(o, s, 0)
+	o.release(h.idx)
+}
+
 // ClearOwner removes every draw entry owned by owner, e.g. on process death.
 // Component and total watts absorb float drift at zero exactly as Set does,
 // so repeated register/death cycles cannot leave ±1e-13 W residue behind.
+// Slots are released individually (generations bumped), so handles held
+// across the owner's death turn inert instead of aliasing later tenants.
 func (m *Meter) ClearOwner(owner UID) {
 	if owner < 0 || int(owner) >= len(m.owners) {
 		return
 	}
 	o := &m.owners[owner]
-	if len(o.draws) == 0 {
+	if o.nLive == 0 {
 		return
 	}
 	now := m.engine.Now()
 	o.advance(now)
 	m.total.advance(now)
-	for _, d := range o.draws {
-		m.comps[d.comp].advance(now)
-		m.comps[d.comp].addWatts(-d.watts)
-		m.total.addWatts(-d.watts)
+	for i := range o.slots {
+		s := &o.slots[i]
+		if !s.live {
+			continue
+		}
+		m.comps[s.comp].advance(now)
+		m.comps[s.comp].addWatts(-s.watts)
+		m.total.addWatts(-s.watts)
+		s.watts = 0
+		o.release(int32(i))
 	}
-	o.draws = o.draws[:0]
 	o.watts = 0
 }
 

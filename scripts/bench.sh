@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# bench.sh — run the kernel, app-framework, and end-to-end benchmarks and
+# emit a machine-readable BENCH_<n>.json so the perf trajectory is tracked
+# across PRs. Each record carries name, ns/op, and allocs/op; the zero-alloc
+# acceptance criteria (simclock since PR 2, appfw since PR 3) are checked
+# against allocs_op == 0.
+#
+# Usage: scripts/bench.sh [output.json]
+#   BENCHTIME      iterations per micro-bench   (default 1000x)
+#   E2E_BENCHTIME  iterations per e2e bench     (default 5x)
+set -euo pipefail
+
+OUT="${1:-BENCH_3.json}"
+BENCHTIME="${BENCHTIME:-1000x}"
+E2E_BENCHTIME="${E2E_BENCHTIME:-5x}"
+
+cd "$(dirname "$0")/.."
+
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+# Micro-benches: the simulation kernel (simclock, power) and the app
+# framework hot path (appfw).
+go test -run '^$' -bench . -benchmem -benchtime "$BENCHTIME" \
+	./internal/simclock ./internal/power ./internal/android/appfw | tee -a "$tmp"
+
+# End-to-end: the three experiment regenerations the perf work is judged on.
+go test -run '^$' -bench '^(BenchmarkBatteryLife|BenchmarkFigure12|BenchmarkTable5)$' \
+	-benchmem -benchtime "$E2E_BENCHTIME" . | tee -a "$tmp"
+
+# A `go test -benchmem` row reads
+#   BenchmarkName-8   N   123.4 ns/op  [extra unit pairs]  0 B/op  0 allocs/op
+# so scan value/unit pairs rather than fixed columns.
+awk '
+/^Benchmark/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name)
+	ns = ""; allocs = "0"
+	for (i = 2; i < NF; i++) {
+		if ($(i + 1) == "ns/op") ns = $i
+		if ($(i + 1) == "allocs/op") allocs = $i
+	}
+	if (ns == "") next
+	if (n++) printf ",\n"
+	printf "  {\"name\": \"%s\", \"ns_op\": %s, \"allocs_op\": %s}", name, ns, allocs
+}
+BEGIN { print "[" }
+END { print "\n]" }
+' "$tmp" > "$OUT"
+
+echo "wrote $(grep -c '"name"' "$OUT") benchmark records to $OUT"
