@@ -1,0 +1,75 @@
+// Command leaseload generates lease traffic against a running leased
+// daemon with a mix of behavior profiles (see internal/leased/loadgen) and
+// reports what the fleet observed as JSON on stdout.
+//
+//	leased -addr :7070 -term 150ms -tau 300ms &
+//	leaseload -addr http://127.0.0.1:7070 -duration 10s \
+//	          -mix normal=4,lhb=2,lub=2,fab=2 -require-defaulters
+//
+// Exit status: 0 on success; 1 on usage or transport failure; 2 when
+// -require-defaulters is set and the server failed to defer every
+// misbehaving client (or wrongly deferred a well-behaved one); 3 when
+// -min-ops is not met.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro/internal/leased/loadgen"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", "http://127.0.0.1:7070", "daemon base URL")
+		mixStr     = flag.String("mix", "normal=4,lhb=2,lub=2,fab=2", "client mix: profile=count,...")
+		duration   = flag.Duration("duration", 10*time.Second, "how long to generate load")
+		beat       = flag.Duration("beat", 10*time.Millisecond, "per-client heartbeat cadence")
+		timeout    = flag.Duration("timeout", 2*time.Second, "per-request timeout")
+		minOps     = flag.Int64("min-ops", 0, "fail (exit 3) when fewer ops complete")
+		requireDet = flag.Bool("require-defaulters", false,
+			"fail (exit 2) unless every misbehaving client is deferred and no normal one is")
+	)
+	flag.Parse()
+	log.SetPrefix("leaseload: ")
+
+	mix, err := loadgen.ParseMix(*mixStr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := loadgen.Run(context.Background(), loadgen.Options{
+		BaseURL:  *addr,
+		Mix:      mix,
+		Duration: *duration,
+		Beat:     *beat,
+		Timeout:  *timeout,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	enc.Encode(rep)
+
+	if *requireDet {
+		if rep.MisbehavingDeferred < rep.MisbehavingClients {
+			fmt.Fprintf(os.Stderr, "leaseload: FAIL: only %d/%d misbehaving clients deferred\n",
+				rep.MisbehavingDeferred, rep.MisbehavingClients)
+			os.Exit(2)
+		}
+		if rep.NormalDeferred > 0 {
+			fmt.Fprintf(os.Stderr, "leaseload: FAIL: %d well-behaved clients deferred\n", rep.NormalDeferred)
+			os.Exit(2)
+		}
+	}
+	if *minOps > 0 && rep.Ops < *minOps {
+		fmt.Fprintf(os.Stderr, "leaseload: FAIL: %d ops < required %d\n", rep.Ops, *minOps)
+		os.Exit(3)
+	}
+}

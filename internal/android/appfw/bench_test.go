@@ -55,8 +55,8 @@ func BenchmarkTimerChurn(b *testing.B) {
 
 // BenchmarkWorkPauseResume measures the suspend path of paper §4.6: a
 // long-running item repeatedly paused by CPU sleep and resumed by wake.
-// The appfw side is allocation-free; remaining allocs/op are the wakelock
-// transition itself (powermgr.recompute builds per-kind holder maps).
+// Both sides are allocation-free: appfw pools its work items and
+// powermgr.recompute counts holders in dense reused slices.
 func BenchmarkWorkPauseResume(b *testing.B) {
 	r := newRig(nil)
 	p := r.fw.NewProcess(10, "app")

@@ -53,10 +53,17 @@ type Service struct {
 
 	objects map[uint64]*object
 
-	// uids that currently have a per-holder draw entry, so stale entries can
-	// be cleared when the last object of a uid disappears.
-	drawnPartial map[power.UID]bool
-	drawnScreen  map[power.UID]bool
+	// Dense per-uid effective-lock counts plus the uid lists that say which
+	// entries are live, reused across recomputes so the steady state never
+	// allocates. The "prev" lists remember which uids drew power after the
+	// previous recompute, so stale per-holder draw entries can be cleared
+	// when the last object of a uid disappears.
+	partialCnt      []int32
+	screenCnt       []int32
+	partialUIDs     []power.UID
+	screenUIDs      []power.UID
+	prevPartialUIDs []power.UID
+	prevScreenUIDs  []power.UID
 
 	userScreen bool // screen forced on by active user session
 	awake      bool
@@ -78,9 +85,6 @@ func New(engine *simclock.Engine, meter *power.Meter, registry *binder.Registry,
 		profile:  profile,
 		gov:      gov,
 		objects:  make(map[uint64]*object),
-
-		drawnPartial: make(map[power.UID]bool),
-		drawnScreen:  make(map[power.UID]bool),
 	}
 	// Baseline suspend draw is always present and owned by the system.
 	meter.Set(power.SystemUID, power.System, "suspend-base", profile.SuspendW)
@@ -281,13 +285,43 @@ func (s *Service) settle(o *object) {
 	}
 }
 
+// bump increments the dense count for uid, recording first sightings in
+// uids. It returns the (possibly grown) slices.
+func bump(cnt []int32, uids []power.UID, uid power.UID) ([]int32, []power.UID) {
+	if int(uid) >= len(cnt) {
+		grown := make([]int32, int(uid)+1)
+		copy(grown, cnt)
+		cnt = grown
+	}
+	if cnt[uid] == 0 {
+		uids = append(uids, uid)
+	}
+	cnt[uid]++
+	return cnt, uids
+}
+
 // recompute re-derives screen/CPU state and power draws after any change.
+//
+// The counting pass is allocation-free on the steady state: per-uid counts
+// live in dense uid-indexed slices and the uid lists double-buffer against
+// the previous recompute (the old "current" list becomes "previous", its
+// backing array is reused for the new one). Only a uid beyond every uid seen
+// before grows the count slices.
 func (s *Service) recompute() {
 	now := s.engine.Now()
 
+	// Retire the previous round: its uid lists become the "to clear" sets,
+	// and their counts reset so this round starts from zero.
+	s.prevPartialUIDs, s.partialUIDs = s.partialUIDs, s.prevPartialUIDs[:0]
+	s.prevScreenUIDs, s.screenUIDs = s.screenUIDs, s.prevScreenUIDs[:0]
+	for _, uid := range s.prevPartialUIDs {
+		s.partialCnt[uid] = 0
+	}
+	for _, uid := range s.prevScreenUIDs {
+		s.screenCnt[uid] = 0
+	}
+
 	// Count effective locks per kind and per uid.
-	partialHolders := map[power.UID]int{}
-	screenHolders := map[power.UID]int{}
 	nPartial, nScreen := 0, 0
 	for _, o := range s.objects {
 		if !o.effective() {
@@ -295,10 +329,10 @@ func (s *Service) recompute() {
 		}
 		switch o.kind {
 		case hooks.Wakelock:
-			partialHolders[o.uid]++
+			s.partialCnt, s.partialUIDs = bump(s.partialCnt, s.partialUIDs, o.uid)
 			nPartial++
 		case hooks.ScreenWakelock:
-			screenHolders[o.uid]++
+			s.screenCnt, s.screenUIDs = bump(s.screenCnt, s.screenUIDs, o.uid)
 			nScreen++
 		}
 	}
@@ -309,17 +343,15 @@ func (s *Service) recompute() {
 	// Screen power: attributed to screen-lock holders if any, else to the
 	// system while the user keeps the screen on.
 	s.meter.Clear(power.SystemUID, power.Screen, "user-screen")
-	newScreen := make(map[power.UID]bool, len(screenHolders))
-	for uid, n := range screenHolders {
-		newScreen[uid] = true
-		s.meter.Set(uid, power.Screen, "screen-lock", s.profile.ScreenOnW*float64(n)/float64(nScreen))
+	for _, uid := range s.screenUIDs {
+		s.meter.Set(uid, power.Screen, "screen-lock",
+			s.profile.ScreenOnW*float64(s.screenCnt[uid])/float64(nScreen))
 	}
-	for uid := range s.drawnScreen {
-		if !newScreen[uid] {
+	for _, uid := range s.prevScreenUIDs {
+		if s.screenCnt[uid] == 0 {
 			s.meter.Clear(uid, power.Screen, "screen-lock")
 		}
 	}
-	s.drawnScreen = newScreen
 	if nScreen == 0 && screenOn {
 		s.meter.Set(power.SystemUID, power.Screen, "user-screen", s.profile.ScreenOnW)
 	}
@@ -327,17 +359,15 @@ func (s *Service) recompute() {
 	// Idle-awake CPU power: attributed to partial-lock holders if any, else
 	// to the system while the screen keeps the CPU up.
 	s.meter.Clear(power.SystemUID, power.CPU, "awake-idle")
-	newPartial := make(map[power.UID]bool, len(partialHolders))
-	for uid, n := range partialHolders {
-		newPartial[uid] = true
-		s.meter.Set(uid, power.CPU, "wakelock-idle", s.profile.CPUIdleAwakeW*float64(n)/float64(nPartial))
+	for _, uid := range s.partialUIDs {
+		s.meter.Set(uid, power.CPU, "wakelock-idle",
+			s.profile.CPUIdleAwakeW*float64(s.partialCnt[uid])/float64(nPartial))
 	}
-	for uid := range s.drawnPartial {
-		if !newPartial[uid] {
+	for _, uid := range s.prevPartialUIDs {
+		if s.partialCnt[uid] == 0 {
 			s.meter.Clear(uid, power.CPU, "wakelock-idle")
 		}
 	}
-	s.drawnPartial = newPartial
 	if nPartial == 0 && awake {
 		s.meter.Set(power.SystemUID, power.CPU, "awake-idle", s.profile.CPUIdleAwakeW)
 	}

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/android/hooks"
 	"repro/internal/power"
+	"repro/internal/runtime"
 	"repro/internal/simclock"
 	"repro/internal/stats"
 )
@@ -77,9 +78,9 @@ func (l *Lease) History() []TermRecord { return l.history }
 // and removes leases for every resource in the system (paper §4.3), driven
 // by lifecycle callbacks from the services and by per-term check events.
 type Manager struct {
-	engine *simclock.Engine
-	apps   AppStats
-	cfg    Config
+	clock runtime.Clock
+	apps  AppStats
+	cfg   Config
 
 	leases  map[uint64]*Lease
 	byObj   map[objKey]uint64
@@ -109,6 +110,9 @@ type Manager struct {
 	TermChecks int
 	Deferrals  int
 	Renewals   int
+	// TermAdaptations counts §5.2 common-case term growths (base → 1 min,
+	// 1 min → 5 min); reversions to the base term are not adaptations.
+	TermAdaptations int
 }
 
 type objKey struct {
@@ -121,11 +125,16 @@ type counterKey struct {
 	kind hooks.Kind
 }
 
-// NewManager creates a lease manager bound to the engine and app-stats
-// source. cfg fields left zero take their defaults.
-func NewManager(engine *simclock.Engine, apps AppStats, cfg Config) *Manager {
+// NewManager creates a lease manager bound to a clock and app-stats source.
+// cfg fields left zero take their defaults.
+//
+// The clock is any runtime.Clock: the discrete-event simulation engine for
+// experiments, or a runtime.Wall for the networked daemon. The manager is
+// not safe for concurrent use; on a wall clock every call must happen
+// inside Wall.Do (the leased service enforces this).
+func NewManager(clock runtime.Clock, apps AppStats, cfg Config) *Manager {
 	return &Manager{
-		engine:      engine,
+		clock:       clock,
 		apps:        apps,
 		cfg:         cfg.withDefaults(),
 		leases:      make(map[uint64]*Lease),
@@ -151,7 +160,7 @@ func (m *Manager) Create(o hooks.Object) uint64 {
 		return id
 	}
 	m.nextID++
-	now := m.engine.Now()
+	now := m.clock.Now()
 	l := &Lease{
 		id: m.nextID, obj: o,
 		state: Active, createdAt: now, termStart: now,
@@ -199,7 +208,7 @@ func (m *Manager) Renew(id uint64) bool {
 		return false
 	}
 	if l.state == Inactive {
-		l.idleTotal += m.engine.Now() - l.lastIdle
+		l.idleTotal += m.clock.Now() - l.lastIdle
 		m.transition(l, Active, "renewed on re-acquire")
 	}
 	m.Renewals++
@@ -310,7 +319,7 @@ func (m *Manager) leaseOf(o hooks.Object) *Lease {
 }
 
 func (m *Manager) transition(l *Lease, to State, reason string) {
-	now := m.engine.Now()
+	now := m.clock.Now()
 	if m.cfg.RecordTransitions {
 		m.Transitions = append(m.Transitions, Transition{
 			LeaseID: l.id, At: now, From: l.state, To: to, Reason: reason,
@@ -327,15 +336,15 @@ func (m *Manager) transition(l *Lease, to State, reason string) {
 
 // beginTerm starts a fresh term for an active lease.
 func (m *Manager) beginTerm(l *Lease) {
-	l.termStart = m.engine.Now()
+	l.termStart = m.clock.Now()
 	m.scheduleCheck(l)
 }
 
 func (m *Manager) scheduleCheck(l *Lease) {
 	if l.checkEvent != 0 {
-		m.engine.Cancel(l.checkEvent)
+		m.clock.Cancel(l.checkEvent)
 	}
-	l.checkEvent = m.engine.Schedule(l.term, func() {
+	l.checkEvent = m.clock.Schedule(l.term, func() {
 		l.checkEvent = 0
 		m.endOfTerm(l)
 	})
@@ -347,7 +356,7 @@ func (m *Manager) endOfTerm(l *Lease) {
 	if l.state != Active {
 		return
 	}
-	now := m.engine.Now()
+	now := m.clock.Now()
 	termDur := now - l.termStart
 	if termDur <= 0 {
 		termDur = l.term
@@ -461,7 +470,7 @@ func (m *Manager) defer_(l *Lease, rec TermRecord) {
 	m.transition(l, Deferred, "term classified "+rec.Behavior.String())
 	l.obj.Control.Suppress(l.obj.ID)
 
-	l.restoreEvent = m.engine.Schedule(tau, func() {
+	l.restoreEvent = m.clock.Schedule(tau, func() {
 		l.restoreEvent = 0
 		m.restore(l)
 	})
@@ -484,7 +493,7 @@ func (m *Manager) restore(l *Lease) {
 	l.lastInter = m.apps.InteractionsOf(l.obj.UID)
 
 	if !l.held {
-		l.lastIdle = m.engine.Now()
+		l.lastIdle = m.clock.Now()
 		m.transition(l, Inactive, "deferral ended with resource released")
 		return
 	}
@@ -497,6 +506,7 @@ func (m *Manager) adaptTerm(l *Lease) {
 	if m.cfg.NoAdaptiveTerms {
 		return
 	}
+	old := l.term
 	switch {
 	case l.normalStreak >= m.cfg.NormalStreakForFiveMin:
 		l.term = m.cfg.FiveMinuteTerm
@@ -505,23 +515,26 @@ func (m *Manager) adaptTerm(l *Lease) {
 	default:
 		l.term = m.cfg.Term
 	}
+	if l.term > old {
+		m.TermAdaptations++
+	}
 }
 
 func (m *Manager) kill(l *Lease) {
 	m.account("remove")
 	m.deadRecords = append(m.deadRecords, ActivityRecord{
-		Active: l.ActiveTime(m.engine.Now()), Terms: l.termIndex,
+		Active: l.ActiveTime(m.clock.Now()), Terms: l.termIndex,
 	})
 	if l.checkEvent != 0 {
-		m.engine.Cancel(l.checkEvent)
+		m.clock.Cancel(l.checkEvent)
 		l.checkEvent = 0
 	}
 	if l.restoreEvent != 0 {
-		m.engine.Cancel(l.restoreEvent)
+		m.clock.Cancel(l.restoreEvent)
 		l.restoreEvent = 0
 	}
 	m.transition(l, Dead, "kernel object deallocated")
-	l.deadAt = m.engine.Now()
+	l.deadAt = m.clock.Now()
 	m.deadTotal++
 	delete(m.byObj, objKey{l.obj.Control.ServiceName(), l.obj.ID})
 	delete(m.leases, l.id)
@@ -537,7 +550,7 @@ func (m *Manager) ForceTermCheck(id uint64) bool {
 		return false
 	}
 	if l.checkEvent != 0 {
-		m.engine.Cancel(l.checkEvent)
+		m.clock.Cancel(l.checkEvent)
 		l.checkEvent = 0
 	}
 	m.endOfTerm(l)
@@ -576,7 +589,7 @@ type ActivityReport struct {
 
 // Activity computes the report over every lease ever created.
 func (m *Manager) Activity() ActivityReport {
-	now := m.engine.Now()
+	now := m.clock.Now()
 	records := append([]ActivityRecord(nil), m.deadRecords...)
 	for _, l := range m.leases {
 		records = append(records, ActivityRecord{Active: l.ActiveTime(now), Terms: l.termIndex})

@@ -1,0 +1,278 @@
+package leased
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/lease"
+)
+
+// --- wire types ---
+
+// acquireRequest is the POST /v1/leases body.
+type acquireRequest struct {
+	// Client is the caller's stable identity; the server maps it to a UID.
+	Client string `json:"client"`
+	// Kind names the contended resource: wakelock, screen, wifi, gps,
+	// sensor or audio.
+	Kind string `json:"kind"`
+}
+
+// usageReport is the POST /v1/leases/{id}/renew body: the client's
+// self-reported utility signals for the current term, all optional. The
+// fields mirror hooks.TermStats plus the app-level counters the manager's
+// classifier consumes.
+type usageReport struct {
+	CPUMS           float64 `json:"cpu_ms,omitempty"`
+	UsedMS          float64 `json:"used_ms,omitempty"`
+	RequestMS       float64 `json:"request_ms,omitempty"`
+	FailedRequestMS float64 `json:"failed_request_ms,omitempty"`
+	DataPoints      int     `json:"data_points,omitempty"`
+	DistanceM       float64 `json:"distance_m,omitempty"`
+	UIUpdates       int     `json:"ui_updates,omitempty"`
+	Interactions    int     `json:"interactions,omitempty"`
+	Exceptions      int     `json:"exceptions,omitempty"`
+}
+
+func msDur(v float64) time.Duration {
+	if v <= 0 {
+		return 0
+	}
+	return time.Duration(v * float64(time.Millisecond))
+}
+
+func (r usageReport) cpu() time.Duration           { return msDur(r.CPUMS) }
+func (r usageReport) used() time.Duration          { return msDur(r.UsedMS) }
+func (r usageReport) request() time.Duration       { return msDur(r.RequestMS) }
+func (r usageReport) failedRequest() time.Duration { return msDur(r.FailedRequestMS) }
+
+// leaseResponse describes one lease to the client.
+type leaseResponse struct {
+	LeaseID uint64 `json:"lease_id"`
+	Client  string `json:"client"`
+	UID     int    `json:"uid"`
+	Kind    string `json:"kind"`
+	State   string `json:"state"`
+	Held    bool   `json:"held"`
+	Terms   int    `json:"terms"`
+	TermMS  int64  `json:"term_ms"`
+	Explain string `json:"explain,omitempty"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// leaseView renders o's lease. Callers hold the clock.
+func (s *Server) leaseView(o *robj, withExplain bool) leaseResponse {
+	resp := leaseResponse{
+		LeaseID: o.leaseID,
+		Client:  o.client,
+		UID:     int(o.uid),
+		Kind:    o.kind.String(),
+		Held:    o.held,
+		State:   lease.Dead.String(),
+	}
+	if l := s.mgr.LeaseByID(o.leaseID); l != nil {
+		resp.State = l.State().String()
+		resp.Terms = l.Terms()
+		resp.TermMS = s.mgr.Config().Term.Milliseconds()
+	}
+	if withExplain {
+		resp.Explain = s.mgr.Explain(o.leaseID)
+	}
+	return resp
+}
+
+// --- handlers ---
+
+// Handler returns the daemon's HTTP surface, with per-route latency
+// recording, bounded-in-flight admission on the lease mutations, and the
+// global request timeout.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/leases", s.record(routeAcquire, s.admit(s.handleAcquire)))
+	mux.HandleFunc("POST /v1/leases/{id}/renew", s.record(routeRenew, s.admit(s.handleRenew)))
+	mux.HandleFunc("DELETE /v1/leases/{id}", s.record(routeRelease, s.admit(s.handleRelease)))
+	mux.HandleFunc("GET /v1/leases/{id}", s.record(routeGet, s.admit(s.handleGet)))
+	// Observability stays reachable under overload: no admission gate.
+	mux.HandleFunc("GET /metrics", s.record(routeMetrics, s.handleMetrics))
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		io.WriteString(w, `{"ok":true}`+"\n")
+	})
+	return http.TimeoutHandler(mux, s.opts.RequestTimeout, `{"error":"request timed out"}`)
+}
+
+// statusWriter captures the response code for error accounting.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// record wraps a handler with the route's latency histogram.
+func (s *Server) record(route int, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		h(sw, r)
+		s.metrics.routes[route].observe(time.Since(start), sw.status >= 400)
+	}
+}
+
+// admit enforces the bounded in-flight limit: rather than queueing without
+// bound under overload, excess requests fail fast with 503 and a Retry-After
+// hint, keeping tail latency flat for the admitted ones.
+func (s *Server) admit(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case s.inflight <- struct{}{}:
+			defer func() { <-s.inflight }()
+		default:
+			s.metrics.rejected.Add(1)
+			w.Header().Set("Retry-After", "1")
+			writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "too many in-flight requests"})
+			return
+		}
+		h(w, r)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, errorResponse{Error: msg})
+}
+
+// decodeBody decodes a small JSON body, tolerating an empty one.
+func decodeBody(r *http.Request, v any) error {
+	dec := json.NewDecoder(io.LimitReader(r.Body, 1<<16))
+	if err := dec.Decode(v); err != nil && !errors.Is(err, io.EOF) {
+		return err
+	}
+	return nil
+}
+
+func (s *Server) handleAcquire(w http.ResponseWriter, r *http.Request) {
+	var req acquireRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	if req.Client == "" || len(req.Client) > 128 {
+		writeError(w, http.StatusBadRequest, "client must be a non-empty name (≤128 chars)")
+		return
+	}
+	kind, err := kindFromName(req.Kind)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	var resp leaseResponse
+	s.do(func() {
+		resp = s.leaseView(s.acquire(req.Client, kind), false)
+	})
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// leaseID parses the {id} path segment.
+func leaseID(r *http.Request) (uint64, error) {
+	return strconv.ParseUint(r.PathValue("id"), 10, 64)
+}
+
+func (s *Server) handleRenew(w http.ResponseWriter, r *http.Request) {
+	id, err := leaseID(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad lease id")
+		return
+	}
+	var rep usageReport
+	if err := decodeBody(r, &rep); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	var resp leaseResponse
+	found := false
+	s.do(func() {
+		if o := s.byLease[id]; o != nil {
+			found = true
+			s.renew(o, rep)
+			resp = s.leaseView(o, false)
+		}
+	})
+	if !found {
+		writeError(w, http.StatusNotFound, "unknown or dead lease")
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleRelease(w http.ResponseWriter, r *http.Request) {
+	id, err := leaseID(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad lease id")
+		return
+	}
+	destroy := r.URL.Query().Get("destroy") == "1"
+	var resp leaseResponse
+	found := false
+	s.do(func() {
+		if o := s.byLease[id]; o != nil {
+			found = true
+			if destroy {
+				s.destroy(o)
+			} else {
+				s.release(o)
+			}
+			resp = s.leaseView(o, false)
+		}
+	})
+	if !found {
+		writeError(w, http.StatusNotFound, "unknown or dead lease")
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	id, err := leaseID(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad lease id")
+		return
+	}
+	var resp leaseResponse
+	found := false
+	s.do(func() {
+		if o := s.byLease[id]; o != nil {
+			found = true
+			resp = s.leaseView(o, true)
+		}
+	})
+	if !found {
+		writeError(w, http.StatusNotFound, "unknown or dead lease")
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	snap := s.snapshot()
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(snap)
+}

@@ -1,0 +1,366 @@
+// Package leased serves the lease manager over the network: an HTTP/JSON
+// daemon through which remote clients acquire, renew and release leases on
+// contended resources, with the paper's utilitarian defaulter detection
+// (FAB/LHB/LUB classification, deferral, adaptive terms, reputation)
+// running unmodified on a wall clock.
+//
+// Architecture:
+//
+//	HTTP handlers ──► runtime.Wall.Do ──► lease.Manager (unmodified)
+//	                        │                    │ Suppress/TermStats
+//	                        │                    ▼
+//	                        └──────────► resources (hooks.Controller)
+//
+// The manager is the exact single-threaded mechanism the simulator runs;
+// the Wall clock's Do is the only door to it, so HTTP concurrency is
+// serialized at the clock, term-check events interleave with requests in
+// timestamp order, and the whole lease table keeps its simulation-grade
+// invariants under load. The resources table plays the role the Android
+// services play in the simulator: it is the lease proxy that tracks
+// held/active time server-side and folds in the utility signals clients
+// report with their renewals.
+package leased
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/android/hooks"
+	"repro/internal/lease"
+	"repro/internal/power"
+	"repro/internal/runtime"
+	"repro/internal/simclock"
+)
+
+// Options configures the daemon.
+type Options struct {
+	// Lease is the manager policy; zero fields take paper defaults. For a
+	// live daemon the 5 s base term is usually right; tests and load
+	// experiments shrink it.
+	Lease lease.Config
+	// MaxInflight bounds concurrently-admitted requests; excess requests
+	// are rejected with 503 rather than queued (default 256).
+	MaxInflight int
+	// RequestTimeout bounds one request's total handling time (default 5 s).
+	RequestTimeout time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxInflight <= 0 {
+		o.MaxInflight = 256
+	}
+	if o.RequestTimeout <= 0 {
+		o.RequestTimeout = 5 * time.Second
+	}
+	return o
+}
+
+// Server is the lease daemon: the wall clock, the manager, the server-side
+// resource table, and the HTTP surface. Create with NewServer; all mutable
+// state below is touched only inside clock.Do.
+type Server struct {
+	opts  Options
+	clock *runtime.Wall
+	mgr   *lease.Manager
+	res   *resources
+	apps  *appStats
+
+	clients    map[string]power.UID
+	clientName map[power.UID]string
+	nextUID    power.UID
+
+	byKey   map[clientKey]*robj // one kernel object per (uid, kind)
+	byLease map[uint64]*robj
+
+	metrics  *metrics
+	inflight chan struct{}
+	started  time.Time
+}
+
+type clientKey struct {
+	uid  power.UID
+	kind hooks.Kind
+}
+
+// NewServer assembles a daemon. Call Close when done to stop the clock.
+func NewServer(opts Options) *Server {
+	opts = opts.withDefaults()
+	s := &Server{
+		opts:       opts,
+		clock:      runtime.NewWall(),
+		apps:       newAppStats(),
+		clients:    make(map[string]power.UID),
+		clientName: make(map[power.UID]string),
+		nextUID:    1,
+		byKey:      make(map[clientKey]*robj),
+		byLease:    make(map[uint64]*robj),
+		metrics:    newMetrics(),
+		inflight:   make(chan struct{}, opts.MaxInflight),
+		started:    time.Now(),
+	}
+	s.res = &resources{clock: s.clock, objs: make(map[uint64]*robj)}
+	s.mgr = lease.NewManager(s.clock, s.apps, opts.Lease)
+	return s
+}
+
+// Close stops the wall clock's timer loop. In-flight Do sections finish
+// first; call after the HTTP server has shut down.
+func (s *Server) Close() { s.clock.Stop() }
+
+// do runs fn serialized on the clock, with due term checks fired first.
+func (s *Server) do(fn func()) { s.clock.Do(fn) }
+
+// uidOf maps a client name to its stable UID, assigning on first sight.
+// Callers hold the clock.
+func (s *Server) uidOf(client string) power.UID {
+	if uid, ok := s.clients[client]; ok {
+		return uid
+	}
+	uid := s.nextUID
+	s.nextUID++
+	s.clients[client] = uid
+	s.clientName[uid] = client
+	return uid
+}
+
+// acquire creates or re-acquires the (client, kind) lease. Callers hold the
+// clock.
+func (s *Server) acquire(client string, kind hooks.Kind) *robj {
+	uid := s.uidOf(client)
+	key := clientKey{uid, kind}
+	o := s.byKey[key]
+	if o == nil || o.destroyed {
+		o = s.res.create(uid, kind, client)
+		s.byKey[key] = o
+		o.held = true
+		o.leaseID = s.mgr.Create(s.res.hookObject(o))
+		s.byLease[o.leaseID] = o
+		return o
+	}
+	if !o.held {
+		s.res.settle(o)
+		o.held = true
+	}
+	s.mgr.ObjectReacquired(s.res.hookObject(o))
+	return o
+}
+
+// renew folds the client's usage report into the lease's current term and
+// re-asserts that the resource is held; an inactive lease is renewed back
+// to Active, a deferred one stays suppressed until its τ elapses (the
+// paper's "pretend to succeed"). Callers hold the clock.
+func (s *Server) renew(o *robj, rep usageReport) {
+	s.foldReport(o, rep)
+	if !o.held {
+		s.res.settle(o)
+		o.held = true
+	}
+	s.mgr.ObjectReacquired(s.res.hookObject(o))
+}
+
+// release drops the hold; the lease itself transitions at its next term
+// boundary (paper §3.2). Releasing an unheld lease is a no-op. Callers
+// hold the clock.
+func (s *Server) release(o *robj) {
+	if !o.held || o.destroyed {
+		return
+	}
+	s.res.settle(o)
+	o.held = false
+	s.mgr.ObjectReleased(s.res.hookObject(o))
+}
+
+// destroy deallocates the kernel object: the lease dies and the (client,
+// kind) slot is freed for a fresh lease. Callers hold the clock.
+func (s *Server) destroy(o *robj) {
+	if o.destroyed {
+		return
+	}
+	s.res.settle(o)
+	o.destroyed = true
+	o.held = false
+	s.mgr.ObjectDestroyed(s.res.hookObject(o))
+	delete(s.byKey, clientKey{o.uid, o.kind})
+	delete(s.byLease, o.leaseID)
+	delete(s.res.objs, o.id)
+}
+
+// foldReport adds a usage report to the object's pending term stats and the
+// holder's app-level counters. Callers hold the clock.
+func (s *Server) foldReport(o *robj, rep usageReport) {
+	o.used += rep.used()
+	o.reqTime += rep.request()
+	o.failedReqTime += rep.failedRequest()
+	if rep.DataPoints > 0 {
+		o.dataPoints += rep.DataPoints
+	}
+	if rep.DistanceM > 0 {
+		o.distanceM += rep.DistanceM
+	}
+	s.apps.add(o.uid, rep)
+}
+
+// --- the server-side lease proxy (hooks.Controller) ---
+
+// robj is one kernel object: the server-side record of a (client, kind)
+// resource instance, with lazily-settled hold/active accumulators (the same
+// scheme powermgr uses) plus the client-reported utility extras.
+type robj struct {
+	id      uint64
+	uid     power.UID
+	kind    hooks.Kind
+	client  string
+	leaseID uint64
+
+	held       bool
+	suppressed bool
+	destroyed  bool
+
+	lastSettle simclock.Time
+	accHeld    time.Duration
+	accActive  time.Duration
+
+	// client-reported, reset on each TermStats pull
+	used          time.Duration
+	reqTime       time.Duration
+	failedReqTime time.Duration
+	dataPoints    int
+	distanceM     float64
+}
+
+// resources implements hooks.Controller over the live object table. All
+// methods run with the clock held (the manager only calls them from inside
+// term-check events or server operations).
+type resources struct {
+	clock  runtime.Clock
+	objs   map[uint64]*robj
+	nextID uint64
+}
+
+func (r *resources) create(uid power.UID, kind hooks.Kind, client string) *robj {
+	r.nextID++
+	o := &robj{id: r.nextID, uid: uid, kind: kind, client: client, lastSettle: r.clock.Now()}
+	r.objs[o.id] = o
+	return o
+}
+
+func (r *resources) hookObject(o *robj) hooks.Object {
+	return hooks.Object{ID: o.id, UID: o.uid, Kind: o.kind, Control: r}
+}
+
+// settle folds elapsed wall time into o's hold/active accumulators.
+func (r *resources) settle(o *robj) {
+	now := r.clock.Now()
+	if dt := now - o.lastSettle; dt > 0 {
+		if o.held {
+			o.accHeld += dt
+			if !o.suppressed {
+				o.accActive += dt
+			}
+		}
+		o.lastSettle = now
+	}
+}
+
+// Suppress implements hooks.Controller: the resource is revoked while the
+// client-side lease "pretends to succeed".
+func (r *resources) Suppress(id uint64) {
+	o := r.objs[id]
+	if o == nil || o.suppressed {
+		return
+	}
+	r.settle(o)
+	o.suppressed = true
+}
+
+// Unsuppress implements hooks.Controller.
+func (r *resources) Unsuppress(id uint64) {
+	o := r.objs[id]
+	if o == nil || !o.suppressed {
+		return
+	}
+	r.settle(o)
+	o.suppressed = false
+}
+
+// TermStats implements hooks.Controller: returns and resets the counters
+// accumulated since the previous pull.
+func (r *resources) TermStats(id uint64) hooks.TermStats {
+	o := r.objs[id]
+	if o == nil {
+		return hooks.TermStats{}
+	}
+	r.settle(o)
+	ts := hooks.TermStats{
+		Held:              o.accHeld,
+		Active:            o.accActive,
+		Used:              o.used,
+		RequestTime:       o.reqTime,
+		FailedRequestTime: o.failedReqTime,
+		DataPoints:        o.dataPoints,
+		DistanceM:         o.distanceM,
+	}
+	o.accHeld, o.accActive = 0, 0
+	o.used, o.reqTime, o.failedReqTime = 0, 0, 0
+	o.dataPoints, o.distanceM = 0, 0
+	return ts
+}
+
+// ServiceName implements hooks.Controller.
+func (r *resources) ServiceName() string { return "leased" }
+
+var _ hooks.Controller = (*resources)(nil)
+
+// --- app-level utility signals (lease.AppStats) ---
+
+// appStats accumulates the cumulative per-client counters the manager
+// differences per term: CPU time, exceptions, UI updates, interactions.
+// Clients self-report them in renewal payloads; in the simulator the app
+// framework plays this role.
+type appStats struct {
+	cpu   map[power.UID]time.Duration
+	exc   map[power.UID]int
+	ui    map[power.UID]int
+	inter map[power.UID]int
+}
+
+func newAppStats() *appStats {
+	return &appStats{
+		cpu:   make(map[power.UID]time.Duration),
+		exc:   make(map[power.UID]int),
+		ui:    make(map[power.UID]int),
+		inter: make(map[power.UID]int),
+	}
+}
+
+func (a *appStats) add(uid power.UID, rep usageReport) {
+	if d := rep.cpu(); d > 0 {
+		a.cpu[uid] += d
+	}
+	if rep.Exceptions > 0 {
+		a.exc[uid] += rep.Exceptions
+	}
+	if rep.UIUpdates > 0 {
+		a.ui[uid] += rep.UIUpdates
+	}
+	if rep.Interactions > 0 {
+		a.inter[uid] += rep.Interactions
+	}
+}
+
+func (a *appStats) CPUTimeOf(uid power.UID) time.Duration { return a.cpu[uid] }
+func (a *appStats) ExceptionsOf(uid power.UID) int        { return a.exc[uid] }
+func (a *appStats) UIUpdatesOf(uid power.UID) int         { return a.ui[uid] }
+func (a *appStats) InteractionsOf(uid power.UID) int      { return a.inter[uid] }
+
+var _ lease.AppStats = (*appStats)(nil)
+
+// kindFromName resolves a resource-kind name ("wakelock", "gps", ...).
+func kindFromName(name string) (hooks.Kind, error) {
+	for _, k := range hooks.Kinds() {
+		if k.String() == name {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown resource kind %q", name)
+}

@@ -1,0 +1,417 @@
+// Package loadgen replays misbehaving-client patterns against a live
+// leased daemon, so the server's defaulter detection can be validated
+// end-to-end under real concurrency.
+//
+// The four behavior profiles are drawn from the paper's app models in
+// internal/apps (which themselves reproduce DroidLeaks-style defects),
+// rescaled from the apps' minute-long cycles to the daemon's term length:
+//
+//   - normal: the RunKeeper/Spotify shape — acquire, do real reported work
+//     for a modest fraction of the term, release, repeat. Never deferred.
+//   - lhb: the Facebook/Torch wakelock leak — acquire once, heartbeat with
+//     zero usage, never release. Long-Holding.
+//   - lub: the K-9 retry storm — hold continuously, burn CPU, throw
+//     exceptions, produce no visible utility. Low-Utility.
+//   - fab: the BetterWeather weak-GPS loop — a GPS lease whose reports are
+//     dominated by failed request time. Frequent-Ask.
+//
+// The generator is a plain HTTP client speaking the daemon's wire format;
+// it shares no code with the server, so it doubles as a protocol check.
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Profile names one client behavior.
+type Profile string
+
+// The four behavior profiles.
+const (
+	Normal Profile = "normal"
+	LHB    Profile = "lhb"
+	LUB    Profile = "lub"
+	FAB    Profile = "fab"
+)
+
+// Misbehaving reports whether the profile should be caught by the server.
+func (p Profile) Misbehaving() bool { return p == LHB || p == LUB || p == FAB }
+
+func (p Profile) kind() string {
+	if p == FAB {
+		return "gps"
+	}
+	return "wakelock"
+}
+
+// Options configures a load run.
+type Options struct {
+	// BaseURL is the daemon root, e.g. "http://127.0.0.1:7070".
+	BaseURL string
+	// Mix maps profiles to client counts.
+	Mix map[Profile]int
+	// Duration is how long to generate load.
+	Duration time.Duration
+	// Beat is the per-client heartbeat cadence (default 10 ms).
+	Beat time.Duration
+	// Timeout bounds one HTTP request (default 2 s).
+	Timeout time.Duration
+}
+
+// ParseMix parses "normal=4,lhb=2,fab=2,lub=2".
+func ParseMix(s string) (map[Profile]int, error) {
+	mix := make(map[Profile]int)
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, countStr, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("loadgen: bad mix entry %q (want profile=count)", part)
+		}
+		p := Profile(strings.TrimSpace(name))
+		switch p {
+		case Normal, LHB, LUB, FAB:
+		default:
+			return nil, fmt.Errorf("loadgen: unknown profile %q", name)
+		}
+		n, err := strconv.Atoi(strings.TrimSpace(countStr))
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("loadgen: bad count in %q", part)
+		}
+		mix[p] += n
+	}
+	return mix, nil
+}
+
+// ClientReport is one client's outcome.
+type ClientReport struct {
+	Client       string `json:"client"`
+	Profile      string `json:"profile"`
+	Ops          int64  `json:"ops"`
+	Errors       int64  `json:"errors"`
+	DeferredSeen int64  `json:"deferred_seen"` // responses observed in DEFERRED state
+}
+
+// Report aggregates a run.
+type Report struct {
+	Ops        int64            `json:"ops"`
+	Errors     int64            `json:"errors"`
+	ByVerb     map[string]int64 `json:"by_verb"`
+	DurationMS int64            `json:"duration_ms"`
+	OpsPerSec  float64          `json:"ops_per_sec"`
+
+	// MisbehavingClients / MisbehavingDeferred: how many clients ran a
+	// defect profile, and how many of those the server deferred at least
+	// once. Detection works when they are equal.
+	MisbehavingClients  int `json:"misbehaving_clients"`
+	MisbehavingDeferred int `json:"misbehaving_deferred"`
+	// NormalDeferred counts well-behaved clients the server wrongly
+	// deferred (false positives; should be zero).
+	NormalDeferred int `json:"normal_deferred"`
+
+	Clients []ClientReport `json:"clients"`
+}
+
+// leaseMsg is the subset of the daemon's lease response the generator needs.
+type leaseMsg struct {
+	LeaseID uint64 `json:"lease_id"`
+	State   string `json:"state"`
+	TermMS  int64  `json:"term_ms"`
+}
+
+type counters struct {
+	ops     atomic.Int64
+	errors  atomic.Int64
+	acquire atomic.Int64
+	renew   atomic.Int64
+	release atomic.Int64
+}
+
+// Run generates load until opts.Duration elapses or ctx is cancelled, then
+// reports what the fleet saw.
+func Run(ctx context.Context, opts Options) (Report, error) {
+	if opts.Beat <= 0 {
+		opts.Beat = 10 * time.Millisecond
+	}
+	if opts.Timeout <= 0 {
+		opts.Timeout = 2 * time.Second
+	}
+	total := 0
+	for _, n := range opts.Mix {
+		total += n
+	}
+	if total == 0 {
+		return Report{}, fmt.Errorf("loadgen: empty client mix")
+	}
+
+	cli := &http.Client{
+		Timeout: opts.Timeout,
+		Transport: &http.Transport{
+			MaxIdleConns:        total + 8,
+			MaxIdleConnsPerHost: total + 8,
+		},
+	}
+	// Probe the daemon before unleashing the fleet.
+	if err := probe(ctx, cli, opts.BaseURL); err != nil {
+		return Report{}, err
+	}
+
+	runCtx, cancel := context.WithTimeout(ctx, opts.Duration)
+	defer cancel()
+
+	var cnt counters
+	reports := make([]ClientReport, 0, total)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for _, p := range []Profile{Normal, LHB, LUB, FAB} { // stable order
+		for i := 0; i < opts.Mix[p]; i++ {
+			c := &client{
+				name: fmt.Sprintf("%s-%d", p, i),
+				prof: p,
+				http: cli,
+				base: opts.BaseURL,
+				beat: opts.Beat,
+				cnt:  &cnt,
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				rep := c.run(runCtx)
+				mu.Lock()
+				reports = append(reports, rep)
+				mu.Unlock()
+			}()
+		}
+	}
+	start := time.Now()
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	sort.Slice(reports, func(i, j int) bool { return reports[i].Client < reports[j].Client })
+	rep := Report{
+		Ops:        cnt.ops.Load(),
+		Errors:     cnt.errors.Load(),
+		DurationMS: elapsed.Milliseconds(),
+		ByVerb: map[string]int64{
+			"acquire": cnt.acquire.Load(),
+			"renew":   cnt.renew.Load(),
+			"release": cnt.release.Load(),
+		},
+		Clients: reports,
+	}
+	if secs := elapsed.Seconds(); secs > 0 {
+		rep.OpsPerSec = float64(rep.Ops) / secs
+	}
+	for _, cr := range reports {
+		if Profile(cr.Profile).Misbehaving() {
+			rep.MisbehavingClients++
+			if cr.DeferredSeen > 0 {
+				rep.MisbehavingDeferred++
+			}
+		} else if cr.DeferredSeen > 0 {
+			rep.NormalDeferred++
+		}
+	}
+	return rep, nil
+}
+
+func probe(ctx context.Context, cli *http.Client, base string) error {
+	req, err := http.NewRequestWithContext(ctx, "GET", base+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := cli.Do(req)
+	if err != nil {
+		return fmt.Errorf("loadgen: daemon unreachable: %w", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("loadgen: daemon health check: %s", resp.Status)
+	}
+	return nil
+}
+
+// client is one simulated app.
+type client struct {
+	name string
+	prof Profile
+	http *http.Client
+	base string
+	beat time.Duration
+	cnt  *counters
+
+	ops, errs, deferred int64
+}
+
+// call performs one JSON request, counting it under verb.
+func (c *client) call(ctx context.Context, verb *atomic.Int64, method, path string, body, out any) bool {
+	var buf bytes.Buffer
+	if body != nil {
+		json.NewEncoder(&buf).Encode(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, &buf)
+	if err != nil {
+		return false
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	c.ops++
+	c.cnt.ops.Add(1)
+	verb.Add(1)
+	resp, err := c.http.Do(req)
+	if err != nil {
+		// Cancellation at the end of the run is not a protocol error.
+		if ctx.Err() == nil {
+			c.errs++
+			c.cnt.errors.Add(1)
+		}
+		return false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		c.errs++
+		c.cnt.errors.Add(1)
+		return false
+	}
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			c.errs++
+			c.cnt.errors.Add(1)
+			return false
+		}
+	}
+	return true
+}
+
+type acquireMsg struct {
+	Client string `json:"client"`
+	Kind   string `json:"kind"`
+}
+
+type usageMsg struct {
+	CPUMS           float64 `json:"cpu_ms,omitempty"`
+	RequestMS       float64 `json:"request_ms,omitempty"`
+	FailedRequestMS float64 `json:"failed_request_ms,omitempty"`
+	UIUpdates       int     `json:"ui_updates,omitempty"`
+	Interactions    int     `json:"interactions,omitempty"`
+	Exceptions      int     `json:"exceptions,omitempty"`
+}
+
+func (c *client) note(state string) {
+	if state == "DEFERRED" {
+		c.deferred++
+	}
+}
+
+// run drives the profile until ctx expires.
+func (c *client) run(ctx context.Context) ClientReport {
+	var lease leaseMsg
+	acquire := func() bool {
+		ok := c.call(ctx, &c.cnt.acquire, "POST", "/v1/leases", acquireMsg{Client: c.name, Kind: c.prof.kind()}, &lease)
+		if ok {
+			c.note(lease.State)
+		}
+		return ok
+	}
+	renew := func(rep usageMsg) {
+		var got leaseMsg
+		if c.call(ctx, &c.cnt.renew, "POST", fmt.Sprintf("/v1/leases/%d/renew", lease.LeaseID), rep, &got) {
+			c.note(got.State)
+		}
+	}
+	release := func() {
+		var got leaseMsg
+		if c.call(ctx, &c.cnt.release, "DELETE", fmt.Sprintf("/v1/leases/%d", lease.LeaseID), nil, &got) {
+			c.note(got.State)
+		}
+	}
+	sleep := func(d time.Duration) bool {
+		t := time.NewTimer(d)
+		defer t.Stop()
+		select {
+		case <-ctx.Done():
+			return false
+		case <-t.C:
+			return true
+		}
+	}
+
+	if !acquire() {
+		// One retry after a beat: the daemon may still be warming up.
+		if !sleep(c.beat) || !acquire() {
+			return c.report()
+		}
+	}
+	beatMS := float64(c.beat) / float64(time.Millisecond)
+	term := time.Duration(lease.TermMS) * time.Millisecond
+	if term <= 0 {
+		term = 5 * time.Second
+	}
+
+	for ctx.Err() == nil {
+		switch c.prof {
+		case LHB:
+			// Leak: hold silently forever.
+			renew(usageMsg{})
+			if !sleep(c.beat) {
+				break
+			}
+		case LUB:
+			// Retry storm: full-tilt CPU, exceptions, no utility.
+			renew(usageMsg{CPUMS: beatMS, Exceptions: 2})
+			if !sleep(c.beat) {
+				break
+			}
+		case FAB:
+			// Weak-GPS search: nearly all request time, nearly all failed.
+			renew(usageMsg{RequestMS: beatMS * 0.95, FailedRequestMS: beatMS * 0.9})
+			if !sleep(c.beat) {
+				break
+			}
+		case Normal:
+			// Work burst for ~30% of a term, with real reported utility,
+			// then release and rest. Held fraction stays below the LHB
+			// threshold and the work keeps the utility score healthy.
+			hold := term * 3 / 10
+			if hold < c.beat {
+				hold = c.beat
+			}
+			end := time.Now().Add(hold)
+			for ctx.Err() == nil && time.Now().Before(end) {
+				renew(usageMsg{CPUMS: beatMS * 0.6, UIUpdates: 1, Interactions: 1})
+				if !sleep(c.beat) {
+					break
+				}
+			}
+			release()
+			if !sleep(term - hold) {
+				break
+			}
+			acquire()
+		}
+	}
+	return c.report()
+}
+
+func (c *client) report() ClientReport {
+	return ClientReport{
+		Client:       c.name,
+		Profile:      string(c.prof),
+		Ops:          c.ops,
+		Errors:       c.errs,
+		DeferredSeen: c.deferred,
+	}
+}

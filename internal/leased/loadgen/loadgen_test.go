@@ -1,0 +1,74 @@
+package loadgen
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/lease"
+	"repro/internal/leased"
+)
+
+func TestParseMix(t *testing.T) {
+	mix, err := ParseMix("normal=4, lhb=2,fab=1,lub=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mix[Normal] != 4 || mix[LHB] != 2 || mix[FAB] != 1 || mix[LUB] != 0 {
+		t.Fatalf("mix = %v", mix)
+	}
+	for _, bad := range []string{"normal", "weird=1", "lhb=x", "lhb=-1"} {
+		if _, err := ParseMix(bad); err == nil {
+			t.Errorf("ParseMix(%q) accepted", bad)
+		}
+	}
+}
+
+// TestEndToEndDetection runs the full loop: a live daemon with short terms,
+// a mixed fleet, and the assertion the whole subsystem exists for — every
+// misbehaving client is deferred, no well-behaved client is.
+func TestEndToEndDetection(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second wall-clock test")
+	}
+	srv := leased.NewServer(leased.Options{
+		Lease: lease.Config{
+			Term:              60 * time.Millisecond,
+			Tau:               120 * time.Millisecond,
+			TauMax:            480 * time.Millisecond,
+			MisbehaviorWindow: 1,
+		},
+	})
+	ts := httptest.NewServer(srv.Handler())
+	defer func() {
+		ts.Close()
+		srv.Close()
+	}()
+
+	rep, err := Run(context.Background(), Options{
+		BaseURL:  ts.URL,
+		Mix:      map[Profile]int{Normal: 2, LHB: 2, LUB: 2, FAB: 2},
+		Duration: 3 * time.Second,
+		Beat:     10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.MisbehavingClients != 6 {
+		t.Fatalf("misbehaving clients = %d, want 6", rep.MisbehavingClients)
+	}
+	if rep.MisbehavingDeferred != rep.MisbehavingClients {
+		t.Errorf("only %d/%d misbehaving clients were deferred: %+v",
+			rep.MisbehavingDeferred, rep.MisbehavingClients, rep.Clients)
+	}
+	if rep.NormalDeferred != 0 {
+		t.Errorf("%d well-behaved clients were wrongly deferred: %+v", rep.NormalDeferred, rep.Clients)
+	}
+	if rep.Errors != 0 {
+		t.Errorf("fleet saw %d request errors", rep.Errors)
+	}
+	if rep.Ops < 500 {
+		t.Errorf("fleet only managed %d ops in 3s", rep.Ops)
+	}
+}

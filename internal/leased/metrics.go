@@ -1,0 +1,230 @@
+package leased
+
+import (
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/lease"
+	"repro/internal/power"
+)
+
+// numLatBounds is len(latBounds); the histogram adds one +Inf bucket.
+const numLatBounds = 15
+
+// latBounds are the request-latency histogram bucket upper bounds. The
+// range spans sub-50µs in-memory handling to multi-second pathology; the
+// final implicit bucket is +Inf.
+var latBounds = [numLatBounds]time.Duration{
+	50 * time.Microsecond,
+	100 * time.Microsecond,
+	200 * time.Microsecond,
+	500 * time.Microsecond,
+	time.Millisecond,
+	2 * time.Millisecond,
+	5 * time.Millisecond,
+	10 * time.Millisecond,
+	20 * time.Millisecond,
+	50 * time.Millisecond,
+	100 * time.Millisecond,
+	250 * time.Millisecond,
+	500 * time.Millisecond,
+	time.Second,
+	2 * time.Second,
+}
+
+// hist is a lock-free fixed-bucket latency histogram. Recording is two
+// atomic adds plus a CAS loop for the max; snapshotting reads the buckets
+// without stopping writers (per-bucket counts are individually consistent,
+// which is all percentile estimation needs).
+type hist struct {
+	buckets [numLatBounds + 1]atomic.Int64
+	count   atomic.Int64
+	errors  atomic.Int64
+	sumNS   atomic.Int64
+	maxNS   atomic.Int64
+}
+
+func (h *hist) observe(d time.Duration, isError bool) {
+	i := 0
+	for ; i < len(latBounds); i++ {
+		if d <= latBounds[i] {
+			break
+		}
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sumNS.Add(int64(d))
+	if isError {
+		h.errors.Add(1)
+	}
+	for {
+		cur := h.maxNS.Load()
+		if int64(d) <= cur || h.maxNS.CompareAndSwap(cur, int64(d)) {
+			return
+		}
+	}
+}
+
+// quantile estimates the q-th (0..1) latency from the buckets: the upper
+// bound of the bucket where the cumulative count crosses q. The +Inf bucket
+// reports the observed max.
+func (h *hist) quantile(q float64) time.Duration {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := int64(q*float64(total) + 0.5)
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i := 0; i < len(latBounds); i++ {
+		cum += h.buckets[i].Load()
+		if cum >= rank {
+			return latBounds[i]
+		}
+	}
+	return time.Duration(h.maxNS.Load())
+}
+
+// RouteStats is one route's request accounting in a metrics snapshot.
+type RouteStats struct {
+	Count     int64       `json:"count"`
+	Errors    int64       `json:"errors"`
+	MeanMS    float64     `json:"mean_ms"`
+	MaxMS     float64     `json:"max_ms"`
+	LatencyMS Percentiles `json:"latency_ms"`
+}
+
+// Percentiles summarizes a latency distribution in milliseconds.
+type Percentiles struct {
+	P50 float64 `json:"p50"`
+	P90 float64 `json:"p90"`
+	P99 float64 `json:"p99"`
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+func (h *hist) stats() RouteStats {
+	st := RouteStats{Count: h.count.Load(), Errors: h.errors.Load(), MaxMS: ms(time.Duration(h.maxNS.Load()))}
+	if st.Count > 0 {
+		st.MeanMS = ms(time.Duration(h.sumNS.Load() / st.Count))
+	}
+	st.LatencyMS = Percentiles{
+		P50: ms(h.quantile(0.50)),
+		P90: ms(h.quantile(0.90)),
+		P99: ms(h.quantile(0.99)),
+	}
+	return st
+}
+
+// routes are the instrumented endpoints, indexed by the constants below.
+const (
+	routeAcquire = iota
+	routeRenew
+	routeRelease
+	routeGet
+	routeMetrics
+	numRoutes
+)
+
+var routeNames = [numRoutes]string{"acquire", "renew", "release", "get", "metrics"}
+
+// metrics is the server's observability state. Histograms are updated
+// lock-free from handler goroutines; lease/manager figures are sampled
+// under the clock at snapshot time.
+type metrics struct {
+	routes   [numRoutes]hist
+	rejected atomic.Int64 // admission-control 503s
+}
+
+func newMetrics() *metrics { return &metrics{} }
+
+// Snapshot is the GET /metrics document.
+type Snapshot struct {
+	UptimeMS int64 `json:"uptime_ms"`
+	Clients  int   `json:"clients"`
+
+	Leases struct {
+		Active       int `json:"active"`
+		Inactive     int `json:"inactive"`
+		Deferred     int `json:"deferred"`
+		Live         int `json:"live"`
+		CreatedTotal int `json:"created_total"`
+		Dead         int `json:"dead"`
+	} `json:"leases"`
+
+	Manager struct {
+		TermChecks      int `json:"term_checks"`
+		Renewals        int `json:"renewals"`
+		Deferrals       int `json:"deferrals"`
+		TermAdaptations int `json:"term_adaptations"`
+	} `json:"manager"`
+
+	// Defaulters lists every client whose lease history includes at least
+	// one deferral — the misbehaving-app detections, by name.
+	Defaulters []Defaulter `json:"defaulters"`
+
+	Requests           map[string]RouteStats `json:"requests"`
+	InflightRejections int64                 `json:"inflight_rejections"`
+	MaxInflight        int                   `json:"max_inflight"`
+}
+
+// Defaulter is one detected misbehaving client.
+type Defaulter struct {
+	Client      string `json:"client"`
+	UID         int    `json:"uid"`
+	Deferrals   int    `json:"deferrals"`
+	NormalTerms int    `json:"normal_terms"`
+	State       string `json:"state,omitempty"` // current state of its lease(s), if live
+}
+
+// snapshot assembles the metrics document. It takes the clock internally.
+func (s *Server) snapshot() Snapshot {
+	var snap Snapshot
+	snap.UptimeMS = time.Since(s.started).Milliseconds()
+	snap.Requests = make(map[string]RouteStats, numRoutes)
+	for i := 0; i < numRoutes; i++ {
+		snap.Requests[routeNames[i]] = s.metrics.routes[i].stats()
+	}
+	snap.InflightRejections = s.metrics.rejected.Load()
+	snap.MaxInflight = s.opts.MaxInflight
+
+	s.do(func() {
+		snap.Clients = len(s.clients)
+		snap.Leases.CreatedTotal = s.mgr.CreatedTotal()
+		snap.Leases.Live = s.mgr.LeaseCount()
+		snap.Leases.Dead = snap.Leases.CreatedTotal - snap.Leases.Live
+		stateOf := make(map[power.UID]string)
+		for _, l := range s.mgr.Leases() {
+			switch l.State() {
+			case lease.Active:
+				snap.Leases.Active++
+			case lease.Inactive:
+				snap.Leases.Inactive++
+			case lease.Deferred:
+				snap.Leases.Deferred++
+			}
+			stateOf[l.UID()] = l.State().String()
+		}
+		snap.Manager.TermChecks = s.mgr.TermChecks
+		snap.Manager.Renewals = s.mgr.Renewals
+		snap.Manager.Deferrals = s.mgr.Deferrals
+		snap.Manager.TermAdaptations = s.mgr.TermAdaptations
+		for name, uid := range s.clients {
+			rep := s.mgr.ReputationOf(uid)
+			if rep.Deferrals > 0 {
+				snap.Defaulters = append(snap.Defaulters, Defaulter{
+					Client: name, UID: int(uid),
+					Deferrals: rep.Deferrals, NormalTerms: rep.NormalTerms,
+					State: stateOf[uid],
+				})
+			}
+		}
+	})
+	sort.Slice(snap.Defaulters, func(i, j int) bool {
+		return snap.Defaulters[i].UID < snap.Defaulters[j].UID
+	})
+	return snap
+}

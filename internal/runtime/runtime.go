@@ -1,0 +1,37 @@
+// Package runtime abstracts the clock the lease manager (and any other
+// clock-driven subsystem) runs on, so the same unmodified mechanism code can
+// execute either inside the discrete-event simulator or against real wall
+// time.
+//
+// The Clock interface is the exact scheduling surface lease.Manager needs:
+// the current instant, one-shot scheduling, and cancellation. It is
+// satisfied natively by *simclock.Engine — the simulation path pays no
+// adapter and behaves bit-for-bit as before — and by *Wall, the wall-clock
+// driver that backs the networked leased daemon (cmd/leased).
+package runtime
+
+import (
+	"time"
+
+	"repro/internal/simclock"
+)
+
+// Clock is the scheduling surface clock-driven mechanism code depends on.
+//
+// Time is virtual: a duration since the clock's origin (simulation start,
+// or Wall creation). Events scheduled on the same Clock fire in timestamp
+// order, ties in scheduling order, and never concurrently with each other —
+// every Clock implementation serializes its callbacks, which is what lets
+// the single-threaded lease manager run unchanged on either driver.
+type Clock interface {
+	// Now reports the current virtual instant.
+	Now() simclock.Time
+	// Schedule arranges for fn to run after d, returning an id for Cancel.
+	Schedule(d time.Duration, fn func()) simclock.EventID
+	// Cancel removes a pending event, reporting whether it was still
+	// pending.
+	Cancel(id simclock.EventID) bool
+}
+
+// The simulation engine is a Clock as-is.
+var _ Clock = (*simclock.Engine)(nil)

@@ -1,0 +1,145 @@
+package runtime
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/simclock"
+)
+
+// Wall drives a simclock.Engine with real time: events scheduled on it fire
+// when the wall clock reaches their timestamp. It is the runtime adapter
+// that lets the lease manager — written against the single-threaded
+// simulation kernel — serve live traffic.
+//
+// Design: the engine remains the single source of truth for pending events
+// (slot free-list, generation-counted cancellation, deterministic ordering
+// of equal timestamps); Wall adds a mutex, a wall-time origin, and a
+// background goroutine that sleeps until the earliest pending event is due
+// and then advances the engine to "wall now", firing everything due in
+// order.
+//
+// Locking contract: all engine access — including the Clock methods Now,
+// Schedule and Cancel — happens with the mutex held. External callers get
+// the mutex through Do, which runs a critical section against a clock that
+// has first been caught up to the current wall instant; event callbacks run
+// on the background goroutine, which already holds the mutex, and may call
+// the Clock methods directly. Calling Now/Schedule/Cancel outside Do or a
+// callback is a data race; the race detector enforces this in tests.
+type Wall struct {
+	mu    sync.Mutex
+	eng   *simclock.Engine
+	start time.Time
+
+	wake     chan struct{} // poke the loop: the earliest deadline may have moved
+	stop     chan struct{}
+	done     chan struct{}
+	stopOnce sync.Once
+}
+
+// NewWall starts a wall clock positioned at virtual time zero (= now).
+func NewWall() *Wall {
+	w := &Wall{
+		eng:   simclock.NewEngine(),
+		start: time.Now(),
+		wake:  make(chan struct{}, 1),
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+	go w.loop()
+	return w
+}
+
+// wallNow is the current wall instant on the virtual timeline.
+func (w *Wall) wallNow() simclock.Time {
+	return simclock.Time(time.Since(w.start))
+}
+
+// catchUpLocked fires, in order, every event due at or before the current
+// wall instant, leaving the engine clock at that instant. Callers hold mu.
+func (w *Wall) catchUpLocked() {
+	w.eng.RunUntil(w.wallNow())
+}
+
+// Do runs fn as a critical section on the clock: the engine is first caught
+// up to wall time (firing any due events on this goroutine, in order), then
+// fn executes with the clock frozen at that instant — the same
+// time-stands-still-during-a-callback semantics the simulator gives event
+// handlers. Inside fn it is safe to call Now, Schedule and Cancel and to
+// touch any state that is only ever accessed under Do.
+func (w *Wall) Do(fn func()) {
+	w.mu.Lock()
+	w.catchUpLocked()
+	fn()
+	w.mu.Unlock()
+	// fn may have scheduled an event earlier than the loop's current
+	// deadline; poke it to re-arm. Non-blocking: one pending poke is enough.
+	select {
+	case w.wake <- struct{}{}:
+	default:
+	}
+}
+
+// Stop halts the background goroutine. Pending events stop firing; Do keeps
+// working (and still catches the clock up inline), so a server can drain
+// in-flight requests after stopping the timer loop. Stop is idempotent and
+// returns once the loop has exited.
+func (w *Wall) Stop() {
+	w.stopOnce.Do(func() { close(w.stop) })
+	<-w.done
+}
+
+// loop sleeps until the earliest pending event is due, then catches the
+// engine up to wall time under the mutex.
+func (w *Wall) loop() {
+	defer close(w.done)
+	timer := time.NewTimer(time.Hour)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	defer timer.Stop()
+	for {
+		w.mu.Lock()
+		w.catchUpLocked()
+		next, ok := w.eng.Next()
+		w.mu.Unlock()
+
+		var due <-chan time.Time
+		if ok {
+			d := time.Duration(next) - time.Since(w.start)
+			if d < 0 {
+				d = 0
+			}
+			timer.Reset(d)
+			due = timer.C
+		}
+		select {
+		case <-w.stop:
+			return
+		case <-w.wake:
+			if ok && !timer.Stop() {
+				select {
+				case <-timer.C:
+				default:
+				}
+			}
+		case <-due:
+		}
+	}
+}
+
+// --- Clock implementation (call only under Do or from a callback) ---
+
+// Now implements Clock. Within one Do section or callback the value is
+// stable: the clock advances only between critical sections.
+func (w *Wall) Now() simclock.Time { return w.eng.Now() }
+
+// Schedule implements Clock.
+func (w *Wall) Schedule(d time.Duration, fn func()) simclock.EventID {
+	return w.eng.Schedule(d, fn)
+}
+
+// Cancel implements Clock.
+func (w *Wall) Cancel(id simclock.EventID) bool { return w.eng.Cancel(id) }
+
+var _ Clock = (*Wall)(nil)

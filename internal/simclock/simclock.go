@@ -49,7 +49,7 @@ func splitID(id EventID) (idx int32, gen uint32) {
 
 // slot state machine: free → queued → (firing for periodic slots) → free.
 const (
-	slotFree = iota
+	slotFree    = iota
 	slotQueued  // in the heap, waiting to fire
 	slotFiring  // periodic slot popped, callback running
 	slotStopped // periodic slot cancelled from inside its own callback
@@ -97,6 +97,15 @@ func NewEngine() *Engine {
 
 // Now reports the current virtual time.
 func (e *Engine) Now() Time { return e.now }
+
+// Next reports the timestamp of the earliest pending event, or false when
+// the queue is empty. Wall-clock drivers use it to know how long to sleep.
+func (e *Engine) Next() (Time, bool) {
+	if len(e.heap) == 0 {
+		return 0, false
+	}
+	return e.heap[0].at, true
+}
 
 // Len reports the number of pending events.
 func (e *Engine) Len() int { return len(e.heap) }

@@ -1,0 +1,97 @@
+#!/usr/bin/env bash
+# smoke_leased.sh — end-to-end smoke test of the networked lease daemon.
+#
+# Builds leased and leaseload, boots the daemon with terms short enough for
+# misbehaviour to be caught within seconds, fires a mixed-profile load burst
+# at it, and then asserts the things the subsystem exists for:
+#
+#   * the burst sustains at least MIN_OPS operations (default 10000);
+#   * every misbehaving client (lhb/lub/fab) is deferred, no honest one is
+#     (leaseload -require-defaulters);
+#   * /metrics reports a non-zero deferral count and latency percentiles;
+#   * SIGTERM produces a clean graceful shutdown ("shutdown complete",
+#     exit status 0).
+#
+# The final /metrics snapshot is left in METRICS_OUT (default
+# leased_metrics.json) for CI to upload as an artifact.
+#
+# Usage: scripts/smoke_leased.sh
+#   ADDR         listen address          (default 127.0.0.1:7071)
+#   DURATION     load-burst length       (default 10s)
+#   MIN_OPS      required operations     (default 10000)
+#   METRICS_OUT  metrics snapshot path   (default leased_metrics.json)
+set -euo pipefail
+
+ADDR="${ADDR:-127.0.0.1:7071}"
+DURATION="${DURATION:-10s}"
+MIN_OPS="${MIN_OPS:-10000}"
+METRICS_OUT="${METRICS_OUT:-leased_metrics.json}"
+
+cd "$(dirname "$0")/.."
+
+bin="$(mktemp -d)"
+log="$bin/leased.log"
+daemon=""
+cleanup() {
+    # Reap the daemon even when an assertion fails mid-script, so a rerun
+    # never finds the port still held.
+    if [ -n "$daemon" ] && kill -0 "$daemon" 2>/dev/null; then
+        kill -TERM "$daemon" 2>/dev/null || true
+        wait "$daemon" 2>/dev/null || true
+    fi
+    rm -rf "$bin"
+}
+trap cleanup EXIT
+
+go build -o "$bin/leased" ./cmd/leased
+go build -o "$bin/leaseload" ./cmd/leaseload
+
+"$bin/leased" -addr "$ADDR" -term 150ms -tau 300ms -tau-max 1200ms \
+    2> "$log" &
+daemon=$!
+# If the daemon dies early, fail loudly rather than hanging on the load run.
+kill -0 "$daemon"
+
+for i in $(seq 1 50); do
+    if curl -sf "http://$ADDR/healthz" > /dev/null 2>&1; then break; fi
+    if [ "$i" = 50 ]; then
+        echo "FAIL: daemon never became healthy" >&2
+        cat "$log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+
+"$bin/leaseload" -addr "http://$ADDR" -duration "$DURATION" -beat 5ms \
+    -mix normal=4,lhb=2,lub=2,fab=2 \
+    -require-defaulters -min-ops "$MIN_OPS"
+
+curl -sf "http://$ADDR/metrics" > "$METRICS_OUT"
+
+# The daemon itself must have recorded deferrals and latency percentiles.
+grep -q '"deferrals": [1-9]' "$METRICS_OUT" || {
+    echo "FAIL: /metrics reports no deferrals" >&2
+    cat "$METRICS_OUT" >&2
+    exit 1
+}
+grep -q '"p99"' "$METRICS_OUT" || {
+    echo "FAIL: /metrics reports no latency percentiles" >&2
+    cat "$METRICS_OUT" >&2
+    exit 1
+}
+
+kill -TERM "$daemon"
+rc=0
+wait "$daemon" || rc=$?
+if [ "$rc" != 0 ]; then
+    echo "FAIL: daemon exited $rc on SIGTERM" >&2
+    cat "$log" >&2
+    exit 1
+fi
+grep -q 'shutdown complete' "$log" || {
+    echo "FAIL: no clean-shutdown marker in daemon log" >&2
+    cat "$log" >&2
+    exit 1
+}
+
+echo "smoke_leased: OK ($(grep -o '"deferrals": [0-9]*' "$METRICS_OUT" | head -1), metrics in $METRICS_OUT)"
