@@ -1,0 +1,114 @@
+// Command chaosverify compares two leased /metrics snapshots — one taken
+// before a crash (or shutdown), one after the restart — and verifies that
+// recovery preserved the daemon's accumulated judgment:
+//
+//	chaosverify -pre pre.json -post post.json [-require-replayed] [-require-zero-replay]
+//
+// Checks:
+//
+//   - every pre-crash defaulter is still a defaulter, with at least as many
+//     deferrals on its record (reputation survived);
+//   - every client whose lease was DEFERRED before the crash is still
+//     DEFERRED after it (a restart is not a pardon);
+//   - created_total and the manager's cumulative counters did not move
+//     backwards;
+//   - with -require-replayed, the restart actually replayed journal records
+//     (proof the crash path, not a clean boot, was exercised);
+//   - with -require-zero-replay, the restart replayed nothing (proof a
+//     graceful shutdown's final checkpoint captured everything).
+//
+// Exit status: 0 when all checks pass, 1 on usage/IO errors, 2 on a failed
+// verification.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/leased"
+)
+
+func load(path string) leased.Snapshot {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var s leased.Snapshot
+	if err := json.Unmarshal(raw, &s); err != nil {
+		log.Fatalf("%s: %v", path, err)
+	}
+	return s
+}
+
+func main() {
+	var (
+		prePath     = flag.String("pre", "", "metrics snapshot taken before the crash/shutdown")
+		postPath    = flag.String("post", "", "metrics snapshot taken after the restart")
+		reqReplay   = flag.Bool("require-replayed", false, "fail unless the restart replayed journal records")
+		reqNoReplay = flag.Bool("require-zero-replay", false, "fail unless the restart replayed nothing")
+	)
+	flag.Parse()
+	log.SetPrefix("chaosverify: ")
+	log.SetFlags(0)
+	if *prePath == "" || *postPath == "" {
+		log.Fatal("both -pre and -post are required")
+	}
+	pre, post := load(*prePath), load(*postPath)
+
+	failures := 0
+	failf := func(format string, args ...any) {
+		failures++
+		fmt.Fprintf(os.Stderr, "chaosverify: FAIL: "+format+"\n", args...)
+	}
+
+	postDef := make(map[string]leased.Defaulter, len(post.Defaulters))
+	for _, d := range post.Defaulters {
+		postDef[d.Client] = d
+	}
+	for _, d := range pre.Defaulters {
+		got, ok := postDef[d.Client]
+		if !ok {
+			failf("defaulter %q vanished across the restart", d.Client)
+			continue
+		}
+		if got.Deferrals < d.Deferrals {
+			failf("defaulter %q lost deferrals: %d before, %d after", d.Client, d.Deferrals, got.Deferrals)
+		}
+		if d.State == "DEFERRED" && got.State != "DEFERRED" {
+			failf("client %q was DEFERRED before the crash but %q after — restart pardoned it",
+				d.Client, got.State)
+		}
+	}
+
+	if post.Leases.CreatedTotal < pre.Leases.CreatedTotal {
+		failf("created_total went backwards: %d → %d", pre.Leases.CreatedTotal, post.Leases.CreatedTotal)
+	}
+	if post.Manager.Deferrals < pre.Manager.Deferrals {
+		failf("manager deferrals went backwards: %d → %d", pre.Manager.Deferrals, post.Manager.Deferrals)
+	}
+	if post.Manager.TermChecks < pre.Manager.TermChecks {
+		failf("manager term_checks went backwards: %d → %d", pre.Manager.TermChecks, post.Manager.TermChecks)
+	}
+
+	if post.Recovery == nil {
+		failf("post-restart snapshot has no recovery section (daemon not running durable?)")
+	} else {
+		if *reqReplay && !(post.Recovery.Replayed > 0 || post.Recovery.SnapshotLoaded) {
+			failf("restart recovered nothing (replayed=0, no snapshot) — crash path not exercised")
+		}
+		if *reqNoReplay && post.Recovery.Replayed != 0 {
+			failf("graceful restart replayed %d records, want 0 (final checkpoint missed state)",
+				post.Recovery.Replayed)
+		}
+	}
+
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "chaosverify: %d check(s) failed\n", failures)
+		os.Exit(2)
+	}
+	fmt.Printf("chaosverify: OK (%d pre-crash defaulters preserved, created_total %d → %d)\n",
+		len(pre.Defaulters), pre.Leases.CreatedTotal, post.Leases.CreatedTotal)
+}

@@ -12,8 +12,13 @@
 //	GET    /metrics              lease/manager/request metrics (JSON)
 //	GET    /healthz              liveness
 //
-// SIGINT/SIGTERM trigger a graceful shutdown: the listener drains, the
-// clock stops, and a final metrics snapshot is logged.
+// With -data the daemon is crash-safe: every mutation is journaled to a
+// write-ahead log before its response leaves, checkpoints bound replay, and
+// a restart rebuilds the exact pre-crash lease state (see DESIGN.md §11).
+//
+// SIGINT/SIGTERM trigger a graceful shutdown: the listener drains, a final
+// checkpoint is written (so the next boot replays zero records), the clock
+// stops, and a final metrics snapshot is logged.
 package main
 
 import (
@@ -28,6 +33,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/faults"
 	"repro/internal/lease"
 	"repro/internal/leased"
 )
@@ -43,12 +49,26 @@ func main() {
 		maxInflight = flag.Int("max-inflight", 256, "bounded in-flight admission limit")
 		reqTimeout  = flag.Duration("request-timeout", 5*time.Second, "per-request handling timeout")
 		drain       = flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown drain limit")
+		dataDir     = flag.String("data", "", "durable data directory (empty = in-memory, no crash safety)")
+		snapEvery   = flag.Int("snapshot-every", 1024, "journal records between checkpoints")
+		fsync       = flag.Bool("fsync", false, "fsync the journal on every append")
+		faultSpec   = flag.String("faults", "", "fault-injection spec, e.g. http.drop=0.05,wall.delay=0.01:20ms")
+		faultSeed   = flag.Int64("fault-seed", 1, "seed for the fault injector")
 	)
 	flag.Parse()
 	log.SetPrefix("leased: ")
 	log.SetFlags(log.LstdFlags | log.Lmicroseconds)
 
-	srv := leased.NewServer(leased.Options{
+	var inj *faults.Injector
+	if *faultSpec != "" {
+		inj = faults.New(*faultSeed)
+		if err := inj.Configure(*faultSpec); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("fault injection armed: %s (seed %d)", *faultSpec, *faultSeed)
+	}
+
+	opts := leased.Options{
 		Lease: lease.Config{
 			Term:              *term,
 			Tau:               *tau,
@@ -58,7 +78,23 @@ func main() {
 		},
 		MaxInflight:    *maxInflight,
 		RequestTimeout: *reqTimeout,
-	})
+		SnapshotEvery:  *snapEvery,
+		Fsync:          *fsync,
+		Faults:         inj,
+	}
+	var srv *leased.Server
+	if *dataDir != "" {
+		var info leased.RecoveryInfo
+		var err error
+		srv, info, err = leased.Open(*dataDir, opts)
+		if err != nil {
+			log.Fatalf("open %s: %v", *dataDir, err)
+		}
+		log.Printf("recovery: snapshot_loaded=%t replayed=%d truncated_bytes=%d stale_records=%d",
+			info.SnapshotLoaded, info.Replayed, info.TruncatedBytes, info.StaleRecords)
+	} else {
+		srv = leased.NewServer(opts)
+	}
 
 	hs := &http.Server{
 		Addr:              *addr,
@@ -84,6 +120,11 @@ func main() {
 	defer cancel()
 	if err := hs.Shutdown(ctx); err != nil {
 		log.Printf("drain incomplete: %v", err)
+	}
+	if *dataDir != "" {
+		// Final checkpoint: the next boot loads it and replays nothing.
+		srv.Checkpoint()
+		log.Printf("final checkpoint written to %s", *dataDir)
 	}
 	srv.Close()
 

@@ -9,7 +9,8 @@
 // Exit status: 0 on success; 1 on usage or transport failure; 2 when
 // -require-defaulters is set and the server failed to defer every
 // misbehaving client (or wrongly deferred a well-behaved one); 3 when
-// -min-ops is not met.
+// -min-ops is not met; 4 when -require-no-doubles is set and any acquire
+// was applied twice despite idempotent retries.
 package main
 
 import (
@@ -21,6 +22,7 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/faults"
 	"repro/internal/leased/loadgen"
 )
 
@@ -31,9 +33,14 @@ func main() {
 		duration   = flag.Duration("duration", 10*time.Second, "how long to generate load")
 		beat       = flag.Duration("beat", 10*time.Millisecond, "per-client heartbeat cadence")
 		timeout    = flag.Duration("timeout", 2*time.Second, "per-request timeout")
+		retries    = flag.Int("retries", 4, "attempts per idempotent mutation before it counts as a failure")
+		seed       = flag.Int64("seed", 1, "seed for retry jitter and client-side fault injection")
+		faultSpec  = flag.String("faults", "", "client-side fault spec, e.g. client.drop=0.05,client.delay=0.02:50ms")
 		minOps     = flag.Int64("min-ops", 0, "fail (exit 3) when fewer ops complete")
 		requireDet = flag.Bool("require-defaulters", false,
 			"fail (exit 2) unless every misbehaving client is deferred and no normal one is")
+		requireND = flag.Bool("require-no-doubles", false,
+			"fail (exit 4) when the server applied any acquire more than once")
 	)
 	flag.Parse()
 	log.SetPrefix("leaseload: ")
@@ -42,12 +49,22 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	var inj *faults.Injector
+	if *faultSpec != "" {
+		inj = faults.New(*seed)
+		if err := inj.Configure(*faultSpec); err != nil {
+			log.Fatal(err)
+		}
+	}
 	rep, err := loadgen.Run(context.Background(), loadgen.Options{
 		BaseURL:  *addr,
 		Mix:      mix,
 		Duration: *duration,
 		Beat:     *beat,
 		Timeout:  *timeout,
+		Retries:  *retries,
+		Seed:     *seed,
+		Faults:   inj,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -71,5 +88,9 @@ func main() {
 	if *minOps > 0 && rep.Ops < *minOps {
 		fmt.Fprintf(os.Stderr, "leaseload: FAIL: %d ops < required %d\n", rep.Ops, *minOps)
 		os.Exit(3)
+	}
+	if *requireND && rep.DoubleAcquires > 0 {
+		fmt.Fprintf(os.Stderr, "leaseload: FAIL: %d acquires applied more than once\n", rep.DoubleAcquires)
+		os.Exit(4)
 	}
 }

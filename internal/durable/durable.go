@@ -1,0 +1,368 @@
+// Package durable is the crash-safety layer under the leased daemon: a
+// write-ahead journal plus a snapshot file, both integrity-checked, living
+// together in one data directory.
+//
+// The contract is deliberately narrow — the store moves opaque byte
+// payloads to disk and back; the daemon owns their meaning:
+//
+//   - Append writes one length-prefixed, CRC32-checked record to the
+//     journal. Records are replayed in append order on the next Open.
+//   - Checkpoint atomically replaces the snapshot (tmp + rename) and resets
+//     the journal, so recovery cost stays bounded by the snapshot cadence.
+//   - Open reads the snapshot (if any), replays the journal's intact
+//     prefix, and truncates any torn tail left by a crash mid-write.
+//
+// Crash consistency is epoch-based: every checkpoint bumps an epoch that is
+// stamped into both the snapshot and the journal header. A crash between
+// "snapshot renamed" and "journal reset" leaves a journal whose header
+// carries the previous epoch; Open detects the mismatch and discards those
+// already-snapshotted records instead of replaying them twice.
+//
+// Durability granularity: writes reach the kernel on every Append, so the
+// journal survives process death (SIGKILL) unconditionally. Surviving a
+// whole-machine crash additionally needs fsync-per-append, which Open's
+// fsync flag enables at an obvious throughput cost.
+package durable
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+const (
+	journalName  = "journal.log"
+	snapshotName = "snapshot.bin"
+
+	// journalMagic / snapshotMagic head their files; a wrong magic means
+	// the directory holds something that is not ours, which is an error,
+	// not a torn write.
+	journalMagic  = "LEASEDJ1"
+	snapshotMagic = "LEASEDS1"
+
+	// headerLen is magic + little-endian uint64 epoch.
+	headerLen = 8 + 8
+
+	// maxRecordLen rejects absurd lengths during scan: a length field that
+	// large is certainly a torn or corrupt frame, not a record.
+	maxRecordLen = 16 << 20
+)
+
+// Store is an open data directory. It is not safe for concurrent use; the
+// daemon serializes all access under its clock mutex, which is exactly the
+// ordering the journal wants (log order = clock order).
+type Store struct {
+	dir   string
+	fsync bool
+
+	journal *os.File
+	epoch   uint64
+	since   int // records appended since the last checkpoint
+
+	appended  int64
+	snapshots int64
+
+	scratch [8]byte
+}
+
+// Stats is a point-in-time view of the store's activity, for /metrics.
+type Stats struct {
+	Epoch          uint64 `json:"epoch"`
+	AppendedTotal  int64  `json:"appended_total"`
+	SinceSnapshot  int    `json:"since_snapshot"`
+	SnapshotsTotal int64  `json:"snapshots_total"`
+}
+
+// OpenResult is what recovery has to work with: the latest snapshot (nil if
+// none was ever written) and the journal records appended after it, in
+// order, with torn-tail and stale-epoch accounting.
+type OpenResult struct {
+	Snapshot []byte
+	Records  [][]byte
+	// TruncatedBytes is how much torn tail Open cut off the journal.
+	TruncatedBytes int64
+	// StaleRecords counts journal records discarded because their epoch
+	// predates the snapshot (a crash landed between snapshot and journal
+	// reset; their effects are already inside the snapshot).
+	StaleRecords int
+}
+
+// Open opens (creating if needed) the data directory, loads the snapshot,
+// scans the journal's intact prefix, and truncates any torn tail so the
+// store is immediately appendable.
+func Open(dir string, fsync bool) (*Store, OpenResult, error) {
+	var res OpenResult
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, res, fmt.Errorf("durable: %w", err)
+	}
+	s := &Store{dir: dir, fsync: fsync}
+
+	snapEpoch, snap, err := readSnapshot(filepath.Join(dir, snapshotName))
+	if err != nil {
+		return nil, res, err
+	}
+	res.Snapshot = snap
+	s.epoch = snapEpoch
+
+	jpath := filepath.Join(dir, journalName)
+	f, err := os.OpenFile(jpath, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, res, fmt.Errorf("durable: %w", err)
+	}
+	s.journal = f
+
+	jEpoch, records, goodLen, total, err := scanJournal(f)
+	if err != nil {
+		f.Close()
+		return nil, res, err
+	}
+	switch {
+	case total == 0:
+		// Fresh journal: stamp the current epoch.
+		if err := s.resetJournal(); err != nil {
+			f.Close()
+			return nil, res, err
+		}
+	case jEpoch != snapEpoch:
+		// The journal predates the snapshot (crash between snapshot rename
+		// and journal reset): every record in it is already part of the
+		// snapshot. Discard them all.
+		res.StaleRecords = len(records)
+		if err := s.resetJournal(); err != nil {
+			f.Close()
+			return nil, res, err
+		}
+	default:
+		res.Records = records
+		s.since = len(records)
+		if goodLen < total {
+			res.TruncatedBytes = total - goodLen
+			if err := f.Truncate(goodLen); err != nil {
+				f.Close()
+				return nil, res, fmt.Errorf("durable: truncating torn tail: %w", err)
+			}
+		}
+		if _, err := f.Seek(goodLen, io.SeekStart); err != nil {
+			f.Close()
+			return nil, res, fmt.Errorf("durable: %w", err)
+		}
+	}
+	return s, res, nil
+}
+
+// readSnapshot loads and verifies the snapshot file. A missing file is a
+// clean first boot; a corrupt one is an error (the tmp+rename protocol
+// never leaves a torn snapshot behind, so corruption means external damage
+// the operator must look at rather than silently losing state).
+func readSnapshot(path string) (uint64, []byte, error) {
+	b, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return 0, nil, nil
+	}
+	if err != nil {
+		return 0, nil, fmt.Errorf("durable: %w", err)
+	}
+	if len(b) < headerLen+8 || string(b[:8]) != snapshotMagic {
+		return 0, nil, fmt.Errorf("durable: %s is not a snapshot file", path)
+	}
+	epoch := binary.LittleEndian.Uint64(b[8:16])
+	length := binary.LittleEndian.Uint32(b[16:20])
+	sum := binary.LittleEndian.Uint32(b[20:24])
+	payload := b[24:]
+	if uint32(len(payload)) != length || crc32.ChecksumIEEE(payload) != sum {
+		return 0, nil, fmt.Errorf("durable: snapshot %s failed its checksum", path)
+	}
+	return epoch, payload, nil
+}
+
+// scanJournal reads the header and every intact record, returning the
+// journal's epoch, the records, the byte offset of the last intact frame,
+// and the file's total length. A short, corrupt or oversized frame ends the
+// scan: everything from there on is torn tail.
+func scanJournal(f *os.File) (epoch uint64, records [][]byte, goodLen, total int64, err error) {
+	fi, err := f.Stat()
+	if err != nil {
+		return 0, nil, 0, 0, fmt.Errorf("durable: %w", err)
+	}
+	total = fi.Size()
+	if total == 0 {
+		return 0, nil, 0, 0, nil
+	}
+	var hdr [headerLen]byte
+	if _, err := f.ReadAt(hdr[:], 0); err != nil {
+		// Shorter than a header: a crash beat the very first write. Treat
+		// the whole file as torn.
+		return 0, nil, 0, total, nil
+	}
+	if string(hdr[:8]) != journalMagic {
+		return 0, nil, 0, 0, fmt.Errorf("durable: %s is not a journal", f.Name())
+	}
+	epoch = binary.LittleEndian.Uint64(hdr[8:16])
+	goodLen = headerLen
+
+	var frame [8]byte
+	for {
+		if _, err := f.ReadAt(frame[:], goodLen); err != nil {
+			return epoch, records, goodLen, total, nil // short frame header: torn
+		}
+		length := binary.LittleEndian.Uint32(frame[:4])
+		sum := binary.LittleEndian.Uint32(frame[4:8])
+		if length == 0 || length > maxRecordLen {
+			return epoch, records, goodLen, total, nil
+		}
+		payload := make([]byte, length)
+		if _, err := f.ReadAt(payload, goodLen+8); err != nil {
+			return epoch, records, goodLen, total, nil // short payload: torn
+		}
+		if crc32.ChecksumIEEE(payload) != sum {
+			return epoch, records, goodLen, total, nil // corrupt payload: torn
+		}
+		records = append(records, payload)
+		goodLen += 8 + int64(length)
+	}
+}
+
+// Append writes one record to the journal. The write reaches the kernel
+// before Append returns; with fsync enabled it also reaches the platter.
+func (s *Store) Append(payload []byte) error {
+	if len(payload) == 0 || len(payload) > maxRecordLen {
+		return fmt.Errorf("durable: record of %d bytes", len(payload))
+	}
+	binary.LittleEndian.PutUint32(s.scratch[:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(s.scratch[4:8], crc32.ChecksumIEEE(payload))
+	// One writev-shaped pair of writes; O_APPEND positioning comes from the
+	// maintained file offset (Open seeks to the intact end).
+	if _, err := s.journal.Write(s.scratch[:8]); err != nil {
+		return fmt.Errorf("durable: %w", err)
+	}
+	if _, err := s.journal.Write(payload); err != nil {
+		return fmt.Errorf("durable: %w", err)
+	}
+	if s.fsync {
+		if err := s.journal.Sync(); err != nil {
+			return fmt.Errorf("durable: %w", err)
+		}
+	}
+	s.since++
+	s.appended++
+	return nil
+}
+
+// SinceCheckpoint reports how many records have been appended since the
+// last checkpoint (or Open, whichever came later) — the daemon's snapshot
+// cadence trigger.
+func (s *Store) SinceCheckpoint() int { return s.since }
+
+// Stats reports the store's activity counters.
+func (s *Store) Stats() Stats {
+	return Stats{
+		Epoch:          s.epoch,
+		AppendedTotal:  s.appended,
+		SinceSnapshot:  s.since,
+		SnapshotsTotal: s.snapshots,
+	}
+}
+
+// Checkpoint atomically replaces the snapshot with payload and resets the
+// journal. Order matters: the snapshot (carrying epoch+1) is durable before
+// the journal is touched, so a crash at any instant leaves either the old
+// state (snapshot N + its journal) or the new one (snapshot N+1 + an empty
+// or stale-and-discardable journal).
+func (s *Store) Checkpoint(payload []byte) error {
+	next := s.epoch + 1
+	if err := writeSnapshot(filepath.Join(s.dir, snapshotName), next, payload); err != nil {
+		return err
+	}
+	s.epoch = next
+	if err := s.resetJournal(); err != nil {
+		return err
+	}
+	s.since = 0
+	s.snapshots++
+	return nil
+}
+
+// writeSnapshot writes the framed snapshot via tmp + rename + dir sync.
+func writeSnapshot(path string, epoch uint64, payload []byte) error {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("durable: %w", err)
+	}
+	var hdr [headerLen + 8]byte
+	copy(hdr[:8], snapshotMagic)
+	binary.LittleEndian.PutUint64(hdr[8:16], epoch)
+	binary.LittleEndian.PutUint32(hdr[16:20], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[20:24], crc32.ChecksumIEEE(payload))
+	if _, err := f.Write(hdr[:]); err == nil {
+		_, err = f.Write(payload)
+	}
+	if err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("durable: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("durable: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("durable: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("durable: %w", err)
+	}
+	syncDir(filepath.Dir(path))
+	return nil
+}
+
+// resetJournal truncates the journal to a fresh header carrying the current
+// epoch.
+func (s *Store) resetJournal() error {
+	if err := s.journal.Truncate(0); err != nil {
+		return fmt.Errorf("durable: %w", err)
+	}
+	if _, err := s.journal.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("durable: %w", err)
+	}
+	var hdr [headerLen]byte
+	copy(hdr[:8], journalMagic)
+	binary.LittleEndian.PutUint64(hdr[8:16], s.epoch)
+	if _, err := s.journal.Write(hdr[:]); err != nil {
+		return fmt.Errorf("durable: %w", err)
+	}
+	if s.fsync {
+		if err := s.journal.Sync(); err != nil {
+			return fmt.Errorf("durable: %w", err)
+		}
+	}
+	s.since = 0
+	return nil
+}
+
+// syncDir fsyncs a directory so a rename is durable; best-effort because
+// some filesystems reject directory fsync.
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+}
+
+// Close syncs and closes the journal.
+func (s *Store) Close() error {
+	if s.journal == nil {
+		return nil
+	}
+	err := s.journal.Sync()
+	if cerr := s.journal.Close(); err == nil {
+		err = cerr
+	}
+	s.journal = nil
+	return err
+}

@@ -1,0 +1,205 @@
+package durable
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func openT(t *testing.T, dir string) (*Store, OpenResult) {
+	t.Helper()
+	s, res, err := Open(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, res
+}
+
+func appendAll(t *testing.T, s *Store, recs ...string) {
+	t.Helper()
+	for _, r := range recs {
+		if err := s.Append([]byte(r)); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func wantRecords(t *testing.T, res OpenResult, want ...string) {
+	t.Helper()
+	if len(res.Records) != len(want) {
+		t.Fatalf("got %d records, want %d", len(res.Records), len(want))
+	}
+	for i, w := range want {
+		if string(res.Records[i]) != w {
+			t.Fatalf("record %d = %q, want %q", i, res.Records[i], w)
+		}
+	}
+}
+
+func TestAppendReopenReplaysInOrder(t *testing.T) {
+	dir := t.TempDir()
+	s, res := openT(t, dir)
+	if res.Snapshot != nil || len(res.Records) != 0 {
+		t.Fatalf("fresh dir produced state: %+v", res)
+	}
+	appendAll(t, s, "one", "two", "three")
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, res2 := openT(t, dir)
+	defer s2.Close()
+	wantRecords(t, res2, "one", "two", "three")
+	if res2.TruncatedBytes != 0 || res2.StaleRecords != 0 {
+		t.Fatalf("clean reopen reported damage: %+v", res2)
+	}
+	// And the reopened store keeps appending after the intact prefix.
+	appendAll(t, s2, "four")
+	s2.Close()
+	_, res3 := openT(t, dir)
+	wantRecords(t, res3, "one", "two", "three", "four")
+}
+
+func TestTornTailIsTruncated(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := openT(t, dir)
+	appendAll(t, s, "alpha", "beta")
+	s.Close()
+
+	// Simulate a crash mid-append: a frame header promising more payload
+	// than the file holds.
+	path := filepath.Join(dir, journalName)
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var frame [8]byte
+	binary.LittleEndian.PutUint32(frame[:4], 100) // payload never written
+	f.Write(frame[:])
+	f.Write([]byte("only-a-few-bytes"))
+	f.Close()
+
+	s2, res := openT(t, dir)
+	defer s2.Close()
+	wantRecords(t, res, "alpha", "beta")
+	if res.TruncatedBytes == 0 {
+		t.Fatal("torn tail not reported")
+	}
+	// The truncated journal must accept appends and replay them.
+	appendAll(t, s2, "gamma")
+	s2.Close()
+	_, res2 := openT(t, dir)
+	wantRecords(t, res2, "alpha", "beta", "gamma")
+}
+
+func TestCorruptRecordEndsReplay(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := openT(t, dir)
+	appendAll(t, s, "keep-me", "flip-me")
+	s.Close()
+
+	// Flip one payload byte of the last record: its CRC no longer matches,
+	// so replay must stop before it.
+	path := filepath.Join(dir, journalName)
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[len(b)-1] ^= 0xff
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, res := openT(t, dir)
+	defer s2.Close()
+	wantRecords(t, res, "keep-me")
+	if res.TruncatedBytes == 0 {
+		t.Fatal("corrupt record not counted as truncated tail")
+	}
+}
+
+func TestCheckpointResetsJournal(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := openT(t, dir)
+	appendAll(t, s, "pre-1", "pre-2")
+	if s.SinceCheckpoint() != 2 {
+		t.Fatalf("since = %d, want 2", s.SinceCheckpoint())
+	}
+	if err := s.Checkpoint([]byte("STATE")); err != nil {
+		t.Fatal(err)
+	}
+	if s.SinceCheckpoint() != 0 {
+		t.Fatalf("since after checkpoint = %d, want 0", s.SinceCheckpoint())
+	}
+	appendAll(t, s, "post-1")
+	s.Close()
+
+	s2, res := openT(t, dir)
+	defer s2.Close()
+	if !bytes.Equal(res.Snapshot, []byte("STATE")) {
+		t.Fatalf("snapshot = %q", res.Snapshot)
+	}
+	wantRecords(t, res, "post-1")
+}
+
+func TestStaleJournalDiscardedAfterCrashBetweenSnapshotAndReset(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := openT(t, dir)
+	appendAll(t, s, "covered-by-snapshot")
+	// A checkpoint's first durable step is the snapshot rename; simulate a
+	// crash right after it by writing the new snapshot directly and leaving
+	// the epoch-0 journal untouched.
+	if err := writeSnapshot(filepath.Join(dir, snapshotName), 1, []byte("NEWER")); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	s2, res := openT(t, dir)
+	defer s2.Close()
+	if !bytes.Equal(res.Snapshot, []byte("NEWER")) {
+		t.Fatalf("snapshot = %q", res.Snapshot)
+	}
+	if len(res.Records) != 0 {
+		t.Fatalf("stale records replayed: %q", res.Records)
+	}
+	if res.StaleRecords != 1 {
+		t.Fatalf("stale records = %d, want 1", res.StaleRecords)
+	}
+	// The reset journal carries the snapshot's epoch: new appends replay.
+	appendAll(t, s2, "fresh")
+	s2.Close()
+	_, res2 := openT(t, dir)
+	wantRecords(t, res2, "fresh")
+}
+
+func TestCorruptSnapshotIsAnError(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := openT(t, dir)
+	if err := s.Checkpoint([]byte("STATE")); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	path := filepath.Join(dir, snapshotName)
+	b, _ := os.ReadFile(path)
+	b[len(b)-1] ^= 0xff
+	os.WriteFile(path, b, 0o644)
+	if _, _, err := Open(dir, false); err == nil {
+		t.Fatal("corrupt snapshot opened without error")
+	}
+}
+
+func TestManyRecordsRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := openT(t, dir)
+	want := make([]string, 500)
+	for i := range want {
+		want[i] = fmt.Sprintf(`{"op":"renew","lease":%d,"rep":{"cpu_ms":%d.5}}`, i, i)
+	}
+	appendAll(t, s, want...)
+	s.Close()
+	_, res := openT(t, dir)
+	wantRecords(t, res, want...)
+}

@@ -1,0 +1,120 @@
+package faults
+
+import (
+	"testing"
+	"time"
+)
+
+func TestConfigureSpecParsing(t *testing.T) {
+	in := New(1)
+	err := in.Configure("http.drop=0.05, http.delay=0.5:50ms ,http.error=1::503,quiet=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := in.Site("http.drop"); !got.Enabled() || got.Delay() != 0 {
+		t.Fatalf("http.drop: enabled=%v delay=%v", got.Enabled(), got.Delay())
+	}
+	if got := in.Site("http.delay"); got.Delay() != 50*time.Millisecond {
+		t.Fatalf("http.delay delay = %v", got.Delay())
+	}
+	if got := in.Site("http.error"); got.Code() != 503 {
+		t.Fatalf("http.error code = %d", got.Code())
+	}
+	if in.Site("quiet").Enabled() {
+		t.Fatal("prob-0 site reports enabled")
+	}
+	for _, bad := range []string{"x", "x=2", "x=-0.1", "x=0.5:junk", "x=0.5:1s:99", "x=0.5:1s:200:extra"} {
+		if err := New(1).Configure(bad); err == nil {
+			t.Errorf("Configure(%q) accepted", bad)
+		}
+	}
+}
+
+func TestSeededDeterminism(t *testing.T) {
+	run := func() []bool {
+		in := New(42)
+		in.Configure("s=0.5")
+		s := in.Site("s")
+		out := make([]bool, 64)
+		for i := range out {
+			out[i] = s.Fire()
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("draw %d diverged across identically-seeded runs", i)
+		}
+	}
+}
+
+func TestProbabilityExtremes(t *testing.T) {
+	in := New(7)
+	in.Configure("never=0,always=1")
+	never, always := in.Site("never"), in.Site("always")
+	for i := 0; i < 100; i++ {
+		if never.Fire() {
+			t.Fatal("prob-0 site fired")
+		}
+		if !always.Fire() {
+			t.Fatal("prob-1 site did not fire")
+		}
+	}
+	st := in.Stats()
+	if st["always"].Fires != 100 || st["never"].Fires != 0 || st["never"].Hits != 100 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestDisabledSiteDoesNotPerturbRNG(t *testing.T) {
+	// Probing a disabled site must not consume RNG draws, so the enabled
+	// site's sequence is the same with or without the probes.
+	seq := func(probeDisabled bool) []bool {
+		in := New(9)
+		in.Configure("on=0.5")
+		on, off := in.Site("on"), in.Site("off")
+		out := make([]bool, 32)
+		for i := range out {
+			if probeDisabled {
+				off.Fire()
+			}
+			out[i] = on.Fire()
+		}
+		return out
+	}
+	a, b := seq(false), seq(true)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("disabled-site probe perturbed the sequence at %d", i)
+		}
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var in *Injector
+	s := in.Site("anything")
+	if s.Fire() || s.Enabled() || s.Delay() != 0 || s.Code() != 0 {
+		t.Fatal("nil site is not inert")
+	}
+	s.SetProb(1) // must not panic
+	if in.Stats() != nil || in.Names() != nil {
+		t.Fatal("nil injector returned state")
+	}
+}
+
+func TestSetProbFlipsMidRun(t *testing.T) {
+	in := New(3)
+	s := in.Site("s")
+	if s.Fire() {
+		t.Fatal("unconfigured site fired")
+	}
+	s.SetProb(1)
+	if !s.Fire() {
+		t.Fatal("site did not fire after SetProb(1)")
+	}
+	s.SetProb(0)
+	if s.Fire() {
+		t.Fatal("site fired after SetProb(0)")
+	}
+}

@@ -46,6 +46,11 @@ type Lease struct {
 
 	checkEvent   simclock.EventID
 	restoreEvent simclock.EventID
+	// checkAt / restoreAt remember the pending events' due instants so a
+	// state snapshot (CaptureState) can re-schedule them on restore. They
+	// are meaningful only while the matching EventID is non-zero.
+	checkAt   simclock.Time
+	restoreAt simclock.Time
 
 	// bookkeeping for the §7.2 lease-activity report
 	deadAt      simclock.Time
@@ -344,6 +349,7 @@ func (m *Manager) scheduleCheck(l *Lease) {
 	if l.checkEvent != 0 {
 		m.clock.Cancel(l.checkEvent)
 	}
+	l.checkAt = m.clock.Now() + l.term
 	l.checkEvent = m.clock.Schedule(l.term, func() {
 		l.checkEvent = 0
 		m.endOfTerm(l)
@@ -470,6 +476,7 @@ func (m *Manager) defer_(l *Lease, rec TermRecord) {
 	m.transition(l, Deferred, "term classified "+rec.Behavior.String())
 	l.obj.Control.Suppress(l.obj.ID)
 
+	l.restoreAt = m.clock.Now() + tau
 	l.restoreEvent = m.clock.Schedule(tau, func() {
 		l.restoreEvent = 0
 		m.restore(l)

@@ -1,0 +1,235 @@
+package lease
+
+// Crash-recovery support: CaptureState serializes the manager's complete
+// mutable state — the lease table, reputation history, activity records and
+// operation counters — into plain exported structs, and RestoreState
+// rebuilds an empty manager from such a capture, re-scheduling the pending
+// term-check and deferral-restore events at their original due instants.
+//
+// This file is additive: the simulation path never calls it, so the
+// experiment goldens are untouched. Capture ordering is deterministic
+// (leases by id, per-app tables by uid) so two captures of equal state are
+// byte-identical once serialized, which is what the leased daemon's
+// crash-equality tests compare.
+//
+// Two pieces of manager state are deliberately out of scope, and the
+// networked daemon that consumes this API uses neither: custom utility
+// counters (live app callbacks — not serializable) and the optional
+// Transitions debug log.
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/android/hooks"
+	"repro/internal/power"
+	"repro/internal/simclock"
+)
+
+// LeaseState is one lease's complete serialized state.
+type LeaseState struct {
+	ID    uint64 `json:"id"`
+	ObjID uint64 `json:"obj_id"`
+	UID   int    `json:"uid"`
+	Kind  int    `json:"kind"`
+
+	State     int           `json:"state"`
+	CreatedAt simclock.Time `json:"created_at"`
+	TermStart simclock.Time `json:"term_start"`
+	Term      time.Duration `json:"term"`
+	TermIndex int           `json:"term_index"`
+
+	Held            bool `json:"held"`
+	NormalStreak    int  `json:"normal_streak"`
+	MisbehaveStreak int  `json:"misbehave_streak"`
+	Escalation      int  `json:"escalation"`
+
+	History []TermRecord `json:"history,omitempty"`
+
+	LastCPU   time.Duration `json:"last_cpu"`
+	LastExc   int           `json:"last_exc"`
+	LastUI    int           `json:"last_ui"`
+	LastInter int           `json:"last_inter"`
+
+	// Pending events, re-armed by RestoreState when the Has* flag is set.
+	HasCheck  bool          `json:"has_check,omitempty"`
+	CheckAt   simclock.Time `json:"check_at,omitempty"`
+	HasRestor bool          `json:"has_restore,omitempty"`
+	RestoreAt simclock.Time `json:"restore_at,omitempty"`
+
+	DeadAt      simclock.Time `json:"dead_at"`
+	LastIdle    simclock.Time `json:"last_idle"`
+	IdleTotal   time.Duration `json:"idle_total"`
+	ActiveSince simclock.Time `json:"active_since"`
+	ActiveTotal time.Duration `json:"active_total"`
+}
+
+// ReputationState is one app's serialized §8 usage history.
+type ReputationState struct {
+	UID       int `json:"uid"`
+	Normals   int `json:"normals"`
+	Deferrals int `json:"deferrals"`
+}
+
+// EUBState is one app's accumulated excessive-use holding time.
+type EUBState struct {
+	UID int           `json:"uid"`
+	T   time.Duration `json:"t"`
+}
+
+// ManagerState is the manager's complete serialized state.
+type ManagerState struct {
+	NextID          uint64            `json:"next_id"`
+	CreatedTotal    int               `json:"created_total"`
+	DeadTotal       int               `json:"dead_total"`
+	TermChecks      int               `json:"term_checks"`
+	Deferrals       int               `json:"deferrals"`
+	Renewals        int               `json:"renewals"`
+	TermAdaptations int               `json:"term_adaptations"`
+	DeadRecords     []ActivityRecord  `json:"dead_records,omitempty"`
+	Reputations     []ReputationState `json:"reputations,omitempty"`
+	EUBTimes        []EUBState        `json:"eub_times,omitempty"`
+	Leases          []LeaseState      `json:"leases,omitempty"`
+}
+
+// CaptureState snapshots every piece of manager state a restart must
+// reconstruct. The capture is deterministic: leases sorted by id, per-app
+// tables by uid.
+func (m *Manager) CaptureState() ManagerState {
+	st := ManagerState{
+		NextID:          m.nextID,
+		CreatedTotal:    m.createdTotal,
+		DeadTotal:       m.deadTotal,
+		TermChecks:      m.TermChecks,
+		Deferrals:       m.Deferrals,
+		Renewals:        m.Renewals,
+		TermAdaptations: m.TermAdaptations,
+	}
+	if len(m.deadRecords) > 0 {
+		st.DeadRecords = append([]ActivityRecord(nil), m.deadRecords...)
+	}
+
+	uids := make([]int, 0, len(m.reputations))
+	for uid := range m.reputations {
+		uids = append(uids, int(uid))
+	}
+	sort.Ints(uids)
+	for _, uid := range uids {
+		r := m.reputations[power.UID(uid)]
+		st.Reputations = append(st.Reputations, ReputationState{
+			UID: uid, Normals: r.normals, Deferrals: r.deferrals,
+		})
+	}
+
+	uids = uids[:0]
+	for uid := range m.eubTime {
+		uids = append(uids, int(uid))
+	}
+	sort.Ints(uids)
+	for _, uid := range uids {
+		st.EUBTimes = append(st.EUBTimes, EUBState{UID: uid, T: m.eubTime[power.UID(uid)]})
+	}
+
+	ids := make([]uint64, 0, len(m.leases))
+	for id := range m.leases {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		l := m.leases[id]
+		ls := LeaseState{
+			ID: l.id, ObjID: l.obj.ID, UID: int(l.obj.UID), Kind: int(l.obj.Kind),
+			State: int(l.state), CreatedAt: l.createdAt, TermStart: l.termStart,
+			Term: l.term, TermIndex: l.termIndex,
+			Held: l.held, NormalStreak: l.normalStreak,
+			MisbehaveStreak: l.misbehaveStreak, Escalation: l.escalation,
+			LastCPU: l.lastCPU, LastExc: l.lastExc, LastUI: l.lastUI, LastInter: l.lastInter,
+			DeadAt: l.deadAt, LastIdle: l.lastIdle, IdleTotal: l.idleTotal,
+			ActiveSince: l.activeSince, ActiveTotal: l.activeTotal,
+		}
+		if len(l.history) > 0 {
+			ls.History = append([]TermRecord(nil), l.history...)
+		}
+		if l.checkEvent != 0 {
+			ls.HasCheck, ls.CheckAt = true, l.checkAt
+		}
+		if l.restoreEvent != 0 {
+			ls.HasRestor, ls.RestoreAt = true, l.restoreAt
+		}
+		st.Leases = append(st.Leases, ls)
+	}
+	return st
+}
+
+// RestoreState rebuilds a freshly-created manager from a capture. resolve
+// maps each serialized lease back to its live kernel object (the caller
+// owns the object table and its Controller); returning false fails the
+// restore — a snapshot that references an unknown object is corrupt.
+// Pending term checks and deferral restores are re-scheduled at their
+// captured due instants, so the restored manager's future evolution matches
+// the captured one's.
+func (m *Manager) RestoreState(st ManagerState, resolve func(LeaseState) (hooks.Object, bool)) error {
+	if len(m.leases) != 0 || m.createdTotal != 0 {
+		return fmt.Errorf("lease: RestoreState on a non-empty manager")
+	}
+	m.nextID = st.NextID
+	m.createdTotal = st.CreatedTotal
+	m.deadTotal = st.DeadTotal
+	m.TermChecks = st.TermChecks
+	m.Deferrals = st.Deferrals
+	m.Renewals = st.Renewals
+	m.TermAdaptations = st.TermAdaptations
+	m.deadRecords = append([]ActivityRecord(nil), st.DeadRecords...)
+	for _, r := range st.Reputations {
+		m.reputations[power.UID(r.UID)] = &reputation{normals: r.Normals, deferrals: r.Deferrals}
+	}
+	for _, e := range st.EUBTimes {
+		m.eubTime[power.UID(e.UID)] = e.T
+	}
+
+	now := m.clock.Now()
+	for _, ls := range st.Leases {
+		obj, ok := resolve(ls)
+		if !ok {
+			return fmt.Errorf("lease: RestoreState: no kernel object for lease %d (obj %d)", ls.ID, ls.ObjID)
+		}
+		l := &Lease{
+			id: ls.ID, obj: obj,
+			state: State(ls.State), createdAt: ls.CreatedAt, termStart: ls.TermStart,
+			term: ls.Term, termIndex: ls.TermIndex,
+			held: ls.Held, normalStreak: ls.NormalStreak,
+			misbehaveStreak: ls.MisbehaveStreak, escalation: ls.Escalation,
+			history: append([]TermRecord(nil), ls.History...),
+			lastCPU: ls.LastCPU, lastExc: ls.LastExc, lastUI: ls.LastUI, lastInter: ls.LastInter,
+			deadAt: ls.DeadAt, lastIdle: ls.LastIdle, idleTotal: ls.IdleTotal,
+			activeSince: ls.ActiveSince, activeTotal: ls.ActiveTotal,
+		}
+		m.leases[l.id] = l
+		m.byObj[objKey{obj.Control.ServiceName(), obj.ID}] = l.id
+
+		if ls.HasCheck {
+			d := ls.CheckAt - now
+			if d < 0 {
+				d = 0
+			}
+			l.checkAt = ls.CheckAt
+			l.checkEvent = m.clock.Schedule(d, func() {
+				l.checkEvent = 0
+				m.endOfTerm(l)
+			})
+		}
+		if ls.HasRestor {
+			d := ls.RestoreAt - now
+			if d < 0 {
+				d = 0
+			}
+			l.restoreAt = ls.RestoreAt
+			l.restoreEvent = m.clock.Schedule(d, func() {
+				l.restoreEvent = 0
+				m.restore(l)
+			})
+		}
+	}
+	return nil
+}

@@ -1,0 +1,60 @@
+package leased
+
+// dedupCache makes mutations idempotent across retries: a client that lost a
+// response (crash, dropped connection, timeout) resends the same request
+// with the same X-Request-ID and gets the stored response back instead of a
+// second application. Bounded FIFO; eviction order is insertion order, so a
+// cache rebuilt by journal replay (insertions in log order) matches the
+// pre-crash cache exactly.
+type dedupCache struct {
+	cap   int
+	m     map[string][]byte
+	order []string
+}
+
+// dedupEntry is one cached response in the checkpoint payload.
+type dedupEntry struct {
+	ID   string `json:"id"`
+	Resp []byte `json:"resp"`
+}
+
+func newDedupCache(capacity int) *dedupCache {
+	return &dedupCache{cap: capacity, m: make(map[string][]byte, capacity)}
+}
+
+func (c *dedupCache) get(id string) ([]byte, bool) {
+	raw, ok := c.m[id]
+	return raw, ok
+}
+
+func (c *dedupCache) put(id string, resp []byte) {
+	if _, ok := c.m[id]; ok {
+		c.m[id] = resp
+		return
+	}
+	c.m[id] = resp
+	c.order = append(c.order, id)
+	for len(c.order) > c.cap {
+		delete(c.m, c.order[0])
+		c.order = c.order[1:]
+	}
+}
+
+// entries lists the cache oldest-first, for the checkpoint payload.
+func (c *dedupCache) entries() []dedupEntry {
+	if len(c.order) == 0 {
+		return nil
+	}
+	out := make([]dedupEntry, 0, len(c.order))
+	for _, id := range c.order {
+		out = append(out, dedupEntry{ID: id, Resp: c.m[id]})
+	}
+	return out
+}
+
+// load refills the cache from a checkpoint payload.
+func (c *dedupCache) load(entries []dedupEntry) {
+	for _, e := range entries {
+		c.put(e.ID, e.Resp)
+	}
+}

@@ -3,6 +3,7 @@ package leased
 import (
 	"encoding/json"
 	"errors"
+	"fmt"
 	"io"
 	"net/http"
 	"strconv"
@@ -60,7 +61,11 @@ type leaseResponse struct {
 	Held    bool   `json:"held"`
 	Terms   int    `json:"terms"`
 	TermMS  int64  `json:"term_ms"`
-	Explain string `json:"explain,omitempty"`
+	// Acquires is the server-side count of applied acquire operations for
+	// this (client, kind) object. A self-healing client compares it with
+	// its own intent count to prove its retries never double-applied.
+	Acquires int64  `json:"acquires"`
+	Explain  string `json:"explain,omitempty"`
 }
 
 type errorResponse struct {
@@ -70,12 +75,13 @@ type errorResponse struct {
 // leaseView renders o's lease. Callers hold the clock.
 func (s *Server) leaseView(o *robj, withExplain bool) leaseResponse {
 	resp := leaseResponse{
-		LeaseID: o.leaseID,
-		Client:  o.client,
-		UID:     int(o.uid),
-		Kind:    o.kind.String(),
-		Held:    o.held,
-		State:   lease.Dead.String(),
+		LeaseID:  o.leaseID,
+		Client:   o.client,
+		UID:      int(o.uid),
+		Kind:     o.kind.String(),
+		Held:     o.held,
+		Acquires: o.acquires,
+		State:    lease.Dead.String(),
 	}
 	if l := s.mgr.LeaseByID(o.leaseID); l != nil {
 		resp.State = l.State().String()
@@ -91,15 +97,16 @@ func (s *Server) leaseView(o *robj, withExplain bool) leaseResponse {
 // --- handlers ---
 
 // Handler returns the daemon's HTTP surface, with per-route latency
-// recording, bounded-in-flight admission on the lease mutations, and the
-// global request timeout.
+// recording, bounded-in-flight admission on the lease mutations, fault
+// injection (when configured), and the global request timeout.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/leases", s.record(routeAcquire, s.admit(s.handleAcquire)))
-	mux.HandleFunc("POST /v1/leases/{id}/renew", s.record(routeRenew, s.admit(s.handleRenew)))
-	mux.HandleFunc("DELETE /v1/leases/{id}", s.record(routeRelease, s.admit(s.handleRelease)))
-	mux.HandleFunc("GET /v1/leases/{id}", s.record(routeGet, s.admit(s.handleGet)))
-	// Observability stays reachable under overload: no admission gate.
+	mux.HandleFunc("POST /v1/leases", s.chaos(s.record(routeAcquire, s.admit(s.handleAcquire))))
+	mux.HandleFunc("POST /v1/leases/{id}/renew", s.chaos(s.record(routeRenew, s.admit(s.handleRenew))))
+	mux.HandleFunc("DELETE /v1/leases/{id}", s.chaos(s.record(routeRelease, s.admit(s.handleRelease))))
+	mux.HandleFunc("GET /v1/leases/{id}", s.chaos(s.record(routeGet, s.admit(s.handleGet))))
+	// Observability stays reachable under overload and chaos: no admission
+	// gate, no fault injection.
 	mux.HandleFunc("GET /metrics", s.record(routeMetrics, s.handleMetrics))
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
@@ -107,6 +114,48 @@ func (s *Server) Handler() http.Handler {
 	})
 	return http.TimeoutHandler(mux, s.opts.RequestTimeout, `{"error":"request timed out"}`)
 }
+
+// chaos threads the configured fault sites through a route. http.delay
+// stalls the handler (tripping the request timeout when the payload exceeds
+// it); http.error fails the request before the handler runs (the op is NOT
+// applied — the client must retry); http.drop runs the handler for real but
+// discards its response and aborts the connection — the op IS applied and
+// the client cannot know, which is exactly the ambiguity idempotent retries
+// resolve.
+func (s *Server) chaos(h http.HandlerFunc) http.HandlerFunc {
+	if s.faults == nil {
+		return h
+	}
+	delay := s.faults.Site("http.delay")
+	errSite := s.faults.Site("http.error")
+	drop := s.faults.Site("http.drop")
+	return func(w http.ResponseWriter, r *http.Request) {
+		if delay.Fire() {
+			time.Sleep(delay.Delay())
+		}
+		if errSite.Fire() {
+			code := errSite.Code()
+			if code == 0 {
+				code = http.StatusInternalServerError
+			}
+			writeError(w, code, "injected fault")
+			return
+		}
+		if drop.Fire() {
+			h(&discardWriter{h: make(http.Header)}, r)
+			panic(http.ErrAbortHandler)
+		}
+		h(w, r)
+	}
+}
+
+// discardWriter swallows a response so http.drop can apply an operation
+// while losing its reply.
+type discardWriter struct{ h http.Header }
+
+func (d *discardWriter) Header() http.Header         { return d.h }
+func (d *discardWriter) Write(b []byte) (int, error) { return len(b), nil }
+func (d *discardWriter) WriteHeader(int)             {}
 
 // statusWriter captures the response code for error accounting.
 type statusWriter struct {
@@ -158,35 +207,114 @@ func writeError(w http.ResponseWriter, status int, msg string) {
 	writeJSON(w, status, errorResponse{Error: msg})
 }
 
-// decodeBody decodes a small JSON body, tolerating an empty one.
-func decodeBody(r *http.Request, v any) error {
-	dec := json.NewDecoder(io.LimitReader(r.Body, 1<<16))
+// maxBodyBytes bounds every request body; larger bodies fail with 413
+// rather than being silently truncated mid-JSON.
+const maxBodyBytes = 64 << 10
+
+// decodeBody decodes a bounded JSON body, tolerating an empty one.
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	if err := dec.Decode(v); err != nil && !errors.Is(err, io.EOF) {
 		return err
 	}
 	return nil
 }
 
+// writeBodyError maps a decode failure to its status: oversized bodies are
+// 413, everything else is a client syntax error.
+func writeBodyError(w http.ResponseWriter, err error) {
+	var tooBig *http.MaxBytesError
+	if errors.As(err, &tooBig) {
+		writeError(w, http.StatusRequestEntityTooLarge,
+			fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit))
+		return
+	}
+	writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+}
+
+// requestID extracts and validates the client's idempotency key. An absent
+// key is fine (the request is simply not idempotent); a malformed one is
+// reported so the client learns its retries are unprotected.
+func requestID(r *http.Request) (string, error) {
+	id := r.Header.Get("X-Request-ID")
+	if len(id) > 128 {
+		return "", errors.New("X-Request-ID exceeds 128 bytes")
+	}
+	return id, nil
+}
+
+// opOutcome is a mutation's wire result.
+type opOutcome struct {
+	status  int
+	body    []byte
+	deduped bool
+}
+
+func (out opOutcome) write(w http.ResponseWriter) {
+	w.Header().Set("Content-Type", "application/json")
+	if out.deduped {
+		w.Header().Set("X-Deduped", "1")
+	}
+	w.WriteHeader(out.status)
+	w.Write(out.body)
+	w.Write([]byte("\n"))
+}
+
+// applyOp runs one external mutation through the full durability pipeline
+// inside a single clock section: dedup check, virtual-time stamp, journal
+// append, state mutation, response cache. Failed ops (4xx) change no state
+// and are not journaled.
+func (s *Server) applyOp(rec *opRecord, reqID string) opOutcome {
+	var out opOutcome
+	s.do(func() {
+		if reqID != "" {
+			if raw, ok := s.dedup.get(reqID); ok {
+				s.metrics.deduped.Add(1)
+				out = opOutcome{status: http.StatusOK, body: raw, deduped: true}
+				return
+			}
+		}
+		rec.At = s.clock.Now()
+		rec.ReqID = reqID
+		status, resp, errMsg := s.applyRecord(rec)
+		if status != http.StatusOK {
+			body, _ := json.Marshal(errorResponse{Error: errMsg})
+			out = opOutcome{status: status, body: body}
+			return
+		}
+		// Journal AFTER a successful apply but inside the same frozen
+		// instant: the mutation cannot fail after being logged, and the
+		// log order equals the clock order.
+		s.journalLocked(rec)
+		body, _ := json.Marshal(resp)
+		if reqID != "" {
+			s.dedup.put(reqID, body)
+		}
+		out = opOutcome{status: http.StatusOK, body: body}
+	})
+	return out
+}
+
 func (s *Server) handleAcquire(w http.ResponseWriter, r *http.Request) {
 	var req acquireRequest
-	if err := decodeBody(r, &req); err != nil {
-		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+	if err := decodeBody(w, r, &req); err != nil {
+		writeBodyError(w, err)
 		return
 	}
 	if req.Client == "" || len(req.Client) > 128 {
 		writeError(w, http.StatusBadRequest, "client must be a non-empty name (≤128 chars)")
 		return
 	}
-	kind, err := kindFromName(req.Kind)
+	if _, err := kindFromName(req.Kind); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	reqID, err := requestID(r)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	var resp leaseResponse
-	s.do(func() {
-		resp = s.leaseView(s.acquire(req.Client, kind), false)
-	})
-	writeJSON(w, http.StatusOK, resp)
+	s.applyOp(&opRecord{Op: "acquire", Client: req.Client, Kind: req.Kind}, reqID).write(w)
 }
 
 // leaseID parses the {id} path segment.
@@ -201,24 +329,16 @@ func (s *Server) handleRenew(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var rep usageReport
-	if err := decodeBody(r, &rep); err != nil {
-		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+	if err := decodeBody(w, r, &rep); err != nil {
+		writeBodyError(w, err)
 		return
 	}
-	var resp leaseResponse
-	found := false
-	s.do(func() {
-		if o := s.byLease[id]; o != nil {
-			found = true
-			s.renew(o, rep)
-			resp = s.leaseView(o, false)
-		}
-	})
-	if !found {
-		writeError(w, http.StatusNotFound, "unknown or dead lease")
+	reqID, err := requestID(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	writeJSON(w, http.StatusOK, resp)
+	s.applyOp(&opRecord{Op: "renew", LeaseID: id, Report: &rep}, reqID).write(w)
 }
 
 func (s *Server) handleRelease(w http.ResponseWriter, r *http.Request) {
@@ -227,25 +347,13 @@ func (s *Server) handleRelease(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad lease id")
 		return
 	}
-	destroy := r.URL.Query().Get("destroy") == "1"
-	var resp leaseResponse
-	found := false
-	s.do(func() {
-		if o := s.byLease[id]; o != nil {
-			found = true
-			if destroy {
-				s.destroy(o)
-			} else {
-				s.release(o)
-			}
-			resp = s.leaseView(o, false)
-		}
-	})
-	if !found {
-		writeError(w, http.StatusNotFound, "unknown or dead lease")
+	reqID, err := requestID(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	writeJSON(w, http.StatusOK, resp)
+	destroy := r.URL.Query().Get("destroy") == "1"
+	s.applyOp(&opRecord{Op: "release", LeaseID: id, Destroy: destroy}, reqID).write(w)
 }
 
 func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {

@@ -23,9 +23,12 @@ package leased
 
 import (
 	"fmt"
+	"net/http"
 	"time"
 
 	"repro/internal/android/hooks"
+	"repro/internal/durable"
+	"repro/internal/faults"
 	"repro/internal/lease"
 	"repro/internal/power"
 	"repro/internal/runtime"
@@ -43,6 +46,23 @@ type Options struct {
 	MaxInflight int
 	// RequestTimeout bounds one request's total handling time (default 5 s).
 	RequestTimeout time.Duration
+
+	// SnapshotEvery is how many journal records accumulate before a
+	// checkpoint folds them into the snapshot (default 1024). Only
+	// meaningful for daemons stood up with Open.
+	SnapshotEvery int
+	// Fsync makes every journal append durable against power loss, not
+	// just process crash. Off by default: the chaos tests SIGKILL the
+	// process, and the page cache survives that.
+	Fsync bool
+	// DedupWindow bounds the idempotency cache: how many recent
+	// request-IDs the daemon remembers (default 4096).
+	DedupWindow int
+
+	// Faults, when set, threads scripted chaos through the daemon: sites
+	// http.error, http.delay, http.drop and wall.delay (see package
+	// faults). Nil means no injection and zero overhead on hot paths.
+	Faults *faults.Injector
 }
 
 func (o Options) withDefaults() Options {
@@ -51,6 +71,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.RequestTimeout <= 0 {
 		o.RequestTimeout = 5 * time.Second
+	}
+	if o.SnapshotEvery <= 0 {
+		o.SnapshotEvery = 1024
+	}
+	if o.DedupWindow <= 0 {
+		o.DedupWindow = 4096
 	}
 	return o
 }
@@ -72,6 +98,13 @@ type Server struct {
 	byKey   map[clientKey]*robj // one kernel object per (uid, kind)
 	byLease map[uint64]*robj
 
+	// Durability (nil store = in-memory daemon, the NewServer path).
+	store    *durable.Store
+	dedup    *dedupCache
+	recovery RecoveryInfo
+
+	faults *faults.Injector
+
 	metrics  *metrics
 	inflight chan struct{}
 	started  time.Time
@@ -82,30 +115,54 @@ type clientKey struct {
 	kind hooks.Kind
 }
 
-// NewServer assembles a daemon. Call Close when done to stop the clock.
+// NewServer assembles an in-memory daemon (no journal; state dies with the
+// process). Call Close when done to stop the clock. For a crash-safe daemon
+// use Open.
 func NewServer(opts Options) *Server {
+	return newServer(opts, runtime.NewWall())
+}
+
+// newServer assembles a daemon around the given clock, which Open passes in
+// unstarted so recovery can replay before real time begins.
+func newServer(opts Options, clock *runtime.Wall) *Server {
 	opts = opts.withDefaults()
 	s := &Server{
 		opts:       opts,
-		clock:      runtime.NewWall(),
+		clock:      clock,
 		apps:       newAppStats(),
 		clients:    make(map[string]power.UID),
 		clientName: make(map[power.UID]string),
 		nextUID:    1,
 		byKey:      make(map[clientKey]*robj),
 		byLease:    make(map[uint64]*robj),
+		dedup:      newDedupCache(opts.DedupWindow),
+		faults:     opts.Faults,
 		metrics:    newMetrics(),
 		inflight:   make(chan struct{}, opts.MaxInflight),
 		started:    time.Now(),
 	}
 	s.res = &resources{clock: s.clock, objs: make(map[uint64]*robj)}
 	s.mgr = lease.NewManager(s.clock, s.apps, opts.Lease)
+	if s.faults != nil {
+		site := s.faults.Site("wall.delay")
+		s.clock.SetLoopDelay(func() time.Duration {
+			if site.Fire() {
+				return site.Delay()
+			}
+			return 0
+		})
+	}
 	return s
 }
 
-// Close stops the wall clock's timer loop. In-flight Do sections finish
-// first; call after the HTTP server has shut down.
-func (s *Server) Close() { s.clock.Stop() }
+// Close stops the wall clock's timer loop and the journal. In-flight Do
+// sections finish first; call after the HTTP server has shut down.
+func (s *Server) Close() {
+	s.clock.Stop()
+	if s.store != nil {
+		s.store.Close()
+	}
+}
 
 // do runs fn serialized on the clock, with due term checks fired first.
 func (s *Server) do(fn func()) { s.clock.Do(fn) }
@@ -123,8 +180,10 @@ func (s *Server) uidOf(client string) power.UID {
 	return uid
 }
 
-// acquire creates or re-acquires the (client, kind) lease. Callers hold the
-// clock.
+// acquire creates or re-acquires the (client, kind) lease. The applied-
+// acquire counter is the client's double-apply detector: a retried request
+// that dedups does not reach here, so the counter tracks logical intents,
+// not wire attempts. Callers hold the clock.
 func (s *Server) acquire(client string, kind hooks.Kind) *robj {
 	uid := s.uidOf(client)
 	key := clientKey{uid, kind}
@@ -133,10 +192,12 @@ func (s *Server) acquire(client string, kind hooks.Kind) *robj {
 		o = s.res.create(uid, kind, client)
 		s.byKey[key] = o
 		o.held = true
+		o.acquires = 1
 		o.leaseID = s.mgr.Create(s.res.hookObject(o))
 		s.byLease[o.leaseID] = o
 		return o
 	}
+	o.acquires++
 	if !o.held {
 		s.res.settle(o)
 		o.held = true
@@ -185,6 +246,49 @@ func (s *Server) destroy(o *robj) {
 	delete(s.res.objs, o.id)
 }
 
+// applyRecord executes one external mutation at the clock's current frozen
+// instant. It is the single mutation codepath — live requests run it inside
+// applyOp (which journals it first), and recovery runs it during replay — so
+// a replayed history reproduces the live history exactly. Callers hold the
+// clock.
+func (s *Server) applyRecord(rec *opRecord) (status int, resp leaseResponse, errMsg string) {
+	switch rec.Op {
+	case "acquire":
+		kind, err := kindFromName(rec.Kind)
+		if err != nil {
+			return http.StatusBadRequest, resp, err.Error()
+		}
+		return http.StatusOK, s.leaseView(s.acquire(rec.Client, kind), false), ""
+	case "renew":
+		o := s.byLease[rec.LeaseID]
+		if o == nil {
+			return http.StatusNotFound, resp, "unknown or dead lease"
+		}
+		var rep usageReport
+		if rec.Report != nil {
+			rep = *rec.Report
+		}
+		s.renew(o, rep)
+		return http.StatusOK, s.leaseView(o, false), ""
+	case "release":
+		o := s.byLease[rec.LeaseID]
+		if o == nil {
+			return http.StatusNotFound, resp, "unknown or dead lease"
+		}
+		if rec.Destroy {
+			s.destroy(o)
+		} else {
+			s.release(o)
+		}
+		return http.StatusOK, s.leaseView(o, false), ""
+	case "mark":
+		// A no-op record: tests journal it to pin an exact replay stop
+		// point; replaying it does nothing.
+		return http.StatusOK, resp, ""
+	}
+	return http.StatusBadRequest, resp, "unknown op " + rec.Op
+}
+
 // foldReport adds a usage report to the object's pending term stats and the
 // holder's app-level counters. Callers hold the clock.
 func (s *Server) foldReport(o *robj, rep usageReport) {
@@ -226,6 +330,13 @@ type robj struct {
 	failedReqTime time.Duration
 	dataPoints    int
 	distanceM     float64
+
+	// acquires counts applied acquire operations (initial create plus
+	// re-acquires). Exposed to clients in every lease response so a
+	// retrying client can detect a double-applied acquire: after a retry
+	// storm, the server's count must still equal the client's count of
+	// distinct acquire intents.
+	acquires int64
 }
 
 // resources implements hooks.Controller over the live object table. All

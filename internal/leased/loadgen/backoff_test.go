@@ -1,0 +1,46 @@
+package loadgen
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestBackoffBoundsAndGrowth(t *testing.T) {
+	b := newBackoff(10*time.Millisecond, 160*time.Millisecond, rand.New(rand.NewSource(1)))
+	for attempt := 0; attempt < 20; attempt++ {
+		ceil := 10 * time.Millisecond << attempt
+		if ceil <= 0 || ceil > 160*time.Millisecond {
+			ceil = 160 * time.Millisecond
+		}
+		d := b.next(0)
+		if d <= 0 || d > ceil {
+			t.Fatalf("attempt %d: pause %v outside (0, %v]", attempt, d, ceil)
+		}
+	}
+	b.reset()
+	if d := b.next(0); d > 10*time.Millisecond {
+		t.Fatalf("after reset: pause %v exceeds base ceiling", d)
+	}
+}
+
+func TestBackoffHonorsRetryAfter(t *testing.T) {
+	b := newBackoff(time.Millisecond, 50*time.Millisecond, rand.New(rand.NewSource(1)))
+	if d := b.next(30 * time.Millisecond); d < 30*time.Millisecond {
+		t.Fatalf("pause %v shorter than the Retry-After hint", d)
+	}
+	// ...but never beyond max, even when the hint asks for more.
+	if d := b.next(time.Minute); d != 50*time.Millisecond {
+		t.Fatalf("pause %v, want clamp to max 50ms", d)
+	}
+}
+
+func TestBackoffDeterministicWithSeed(t *testing.T) {
+	a := newBackoff(5*time.Millisecond, time.Second, rand.New(rand.NewSource(42)))
+	b := newBackoff(5*time.Millisecond, time.Second, rand.New(rand.NewSource(42)))
+	for i := 0; i < 10; i++ {
+		if da, db := a.next(0), b.next(0); da != db {
+			t.Fatalf("attempt %d: same seed diverged (%v vs %v)", i, da, db)
+		}
+	}
+}

@@ -14,6 +14,17 @@
 //     exceptions, produce no visible utility. Low-Utility.
 //   - fab: the BetterWeather weak-GPS loop — a GPS lease whose reports are
 //     dominated by failed request time. Frequent-Ask.
+//   - crash: a well-behaved client that repeatedly vanishes mid-hold
+//     (process death) and later reconnects under the same name, exercising
+//     the daemon's name→UID continuity and reputation inheritance.
+//
+// Clients are self-healing: every mutation carries an idempotency key
+// (X-Request-ID) and is retried with jittered exponential backoff on lost
+// responses and server sheds, so a daemon restart or a chaotic network
+// costs availability, never correctness. Each response carries the server's
+// applied-acquire count; clients cross-check it against their own intent
+// count and report any double-application — the end-to-end proof that
+// retry + dedup compose.
 //
 // The generator is a plain HTTP client speaking the daemon's wire format;
 // it shares no code with the server, so it doubles as a protocol check.
@@ -24,6 +35,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"math/rand"
 	"net/http"
 	"sort"
 	"strconv"
@@ -31,17 +43,20 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/faults"
 )
 
 // Profile names one client behavior.
 type Profile string
 
-// The four behavior profiles.
+// The behavior profiles.
 const (
 	Normal Profile = "normal"
 	LHB    Profile = "lhb"
 	LUB    Profile = "lub"
 	FAB    Profile = "fab"
+	Crash  Profile = "crash"
 )
 
 // Misbehaving reports whether the profile should be caught by the server.
@@ -66,6 +81,21 @@ type Options struct {
 	Beat time.Duration
 	// Timeout bounds one HTTP request (default 2 s).
 	Timeout time.Duration
+
+	// Retries is how many times one idempotent mutation is attempted before
+	// it counts as a failure (default 4). Retries pause with jittered
+	// exponential backoff and honor the daemon's Retry-After hint.
+	Retries int
+	// RetryBase / RetryMax bound the backoff (defaults 25 ms / 1 s).
+	RetryBase time.Duration
+	RetryMax  time.Duration
+	// Seed makes the fleet's jitter and injected faults reproducible.
+	Seed int64
+
+	// Faults, when set, injects client-side chaos through the transport:
+	// site "client.drop" discards responses after the server has processed
+	// the request (the lost-ACK ambiguity), "client.delay" stalls requests.
+	Faults *faults.Injector
 }
 
 // ParseMix parses "normal=4,lhb=2,fab=2,lub=2".
@@ -82,7 +112,7 @@ func ParseMix(s string) (map[Profile]int, error) {
 		}
 		p := Profile(strings.TrimSpace(name))
 		switch p {
-		case Normal, LHB, LUB, FAB:
+		case Normal, LHB, LUB, FAB, Crash:
 		default:
 			return nil, fmt.Errorf("loadgen: unknown profile %q", name)
 		}
@@ -102,6 +132,13 @@ type ClientReport struct {
 	Ops          int64  `json:"ops"`
 	Errors       int64  `json:"errors"`
 	DeferredSeen int64  `json:"deferred_seen"` // responses observed in DEFERRED state
+
+	Sheds          int64 `json:"sheds"`
+	Retries        int64 `json:"retries"`
+	LostResponses  int64 `json:"lost_responses"`
+	Deduped        int64 `json:"deduped"`
+	DoubleAcquires int64 `json:"double_acquires"`
+	Reconnects     int64 `json:"reconnects"`
 }
 
 // Report aggregates a run.
@@ -118,17 +155,34 @@ type Report struct {
 	MisbehavingClients  int `json:"misbehaving_clients"`
 	MisbehavingDeferred int `json:"misbehaving_deferred"`
 	// NormalDeferred counts well-behaved clients the server wrongly
-	// deferred (false positives; should be zero).
+	// deferred (false positives; should be zero). Crash-profile clients are
+	// excluded: a lease held dark across a process death is legitimately
+	// policy-dependent.
 	NormalDeferred int `json:"normal_deferred"`
+
+	// Self-healing telemetry. Sheds are 503 back-pressure responses (paced
+	// retries, not failures); Retries counts resent attempts; LostResponses
+	// counts transport errors on requests that may still have applied;
+	// Deduped counts retries answered from the daemon's idempotency cache;
+	// Reconnects counts crash-profile re-attachments under the same name.
+	// DoubleAcquires counts server-applied acquires in excess of client
+	// intent — any nonzero value is a correctness bug in retry+dedup.
+	Sheds          int64 `json:"sheds"`
+	Retries        int64 `json:"retries"`
+	LostResponses  int64 `json:"lost_responses"`
+	Deduped        int64 `json:"deduped"`
+	DoubleAcquires int64 `json:"double_acquires"`
+	Reconnects     int64 `json:"reconnects"`
 
 	Clients []ClientReport `json:"clients"`
 }
 
 // leaseMsg is the subset of the daemon's lease response the generator needs.
 type leaseMsg struct {
-	LeaseID uint64 `json:"lease_id"`
-	State   string `json:"state"`
-	TermMS  int64  `json:"term_ms"`
+	LeaseID  uint64 `json:"lease_id"`
+	State    string `json:"state"`
+	TermMS   int64  `json:"term_ms"`
+	Acquires int64  `json:"acquires"`
 }
 
 type counters struct {
@@ -137,6 +191,13 @@ type counters struct {
 	acquire atomic.Int64
 	renew   atomic.Int64
 	release atomic.Int64
+
+	sheds      atomic.Int64
+	retries    atomic.Int64
+	lost       atomic.Int64
+	deduped    atomic.Int64
+	doubles    atomic.Int64
+	reconnects atomic.Int64
 }
 
 // Run generates load until opts.Duration elapses or ctx is cancelled, then
@@ -148,6 +209,9 @@ func Run(ctx context.Context, opts Options) (Report, error) {
 	if opts.Timeout <= 0 {
 		opts.Timeout = 2 * time.Second
 	}
+	if opts.Retries <= 0 {
+		opts.Retries = 4
+	}
 	total := 0
 	for _, n := range opts.Mix {
 		total += n
@@ -156,17 +220,23 @@ func Run(ctx context.Context, opts Options) (Report, error) {
 		return Report{}, fmt.Errorf("loadgen: empty client mix")
 	}
 
-	cli := &http.Client{
-		Timeout: opts.Timeout,
-		Transport: &http.Transport{
-			MaxIdleConns:        total + 8,
-			MaxIdleConnsPerHost: total + 8,
-		},
+	var rt http.RoundTripper = &http.Transport{
+		MaxIdleConns:        total + 8,
+		MaxIdleConnsPerHost: total + 8,
 	}
-	// Probe the daemon before unleashing the fleet.
-	if err := probe(ctx, cli, opts.BaseURL); err != nil {
+	// Probe the daemon on a clean client — injected chaos must not turn a
+	// healthy daemon into a startup failure.
+	if err := probe(ctx, &http.Client{Timeout: opts.Timeout}, opts.BaseURL); err != nil {
 		return Report{}, err
 	}
+	if opts.Faults != nil {
+		rt = &faultTransport{
+			inner: rt,
+			drop:  opts.Faults.Site("client.drop"),
+			delay: opts.Faults.Site("client.delay"),
+		}
+	}
+	cli := &http.Client{Timeout: opts.Timeout, Transport: rt}
 
 	runCtx, cancel := context.WithTimeout(ctx, opts.Duration)
 	defer cancel()
@@ -175,15 +245,20 @@ func Run(ctx context.Context, opts Options) (Report, error) {
 	reports := make([]ClientReport, 0, total)
 	var mu sync.Mutex
 	var wg sync.WaitGroup
-	for _, p := range []Profile{Normal, LHB, LUB, FAB} { // stable order
+	idx := 0
+	for _, p := range []Profile{Normal, LHB, LUB, FAB, Crash} { // stable order
 		for i := 0; i < opts.Mix[p]; i++ {
+			rng := rand.New(rand.NewSource(opts.Seed + int64(idx)*7919 + 1))
+			idx++
 			c := &client{
-				name: fmt.Sprintf("%s-%d", p, i),
-				prof: p,
-				http: cli,
-				base: opts.BaseURL,
-				beat: opts.Beat,
-				cnt:  &cnt,
+				name:    fmt.Sprintf("%s-%d", p, i),
+				prof:    p,
+				http:    cli,
+				base:    opts.BaseURL,
+				beat:    opts.Beat,
+				cnt:     &cnt,
+				retries: opts.Retries,
+				bo:      newBackoff(opts.RetryBase, opts.RetryMax, rng),
 			}
 			wg.Add(1)
 			go func() {
@@ -209,22 +284,61 @@ func Run(ctx context.Context, opts Options) (Report, error) {
 			"renew":   cnt.renew.Load(),
 			"release": cnt.release.Load(),
 		},
-		Clients: reports,
+		Sheds:          cnt.sheds.Load(),
+		Retries:        cnt.retries.Load(),
+		LostResponses:  cnt.lost.Load(),
+		Deduped:        cnt.deduped.Load(),
+		DoubleAcquires: cnt.doubles.Load(),
+		Reconnects:     cnt.reconnects.Load(),
+		Clients:        reports,
 	}
 	if secs := elapsed.Seconds(); secs > 0 {
 		rep.OpsPerSec = float64(rep.Ops) / secs
 	}
 	for _, cr := range reports {
-		if Profile(cr.Profile).Misbehaving() {
+		p := Profile(cr.Profile)
+		switch {
+		case p.Misbehaving():
 			rep.MisbehavingClients++
 			if cr.DeferredSeen > 0 {
 				rep.MisbehavingDeferred++
 			}
-		} else if cr.DeferredSeen > 0 {
+		case p == Crash:
+			// excluded from the false-positive count by design
+		case cr.DeferredSeen > 0:
 			rep.NormalDeferred++
 		}
 	}
 	return rep, nil
+}
+
+// faultTransport injects client-side network chaos below the retry layer:
+// "client.delay" stalls a request in flight, "client.drop" discards the
+// daemon's response after the request was fully processed — manufacturing
+// the did-it-apply ambiguity that the idempotent retry path must resolve.
+type faultTransport struct {
+	inner http.RoundTripper
+	drop  *faults.Site
+	delay *faults.Site
+}
+
+func (t *faultTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	if t.delay.Fire() {
+		select {
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		case <-time.After(t.delay.Delay()):
+		}
+	}
+	resp, err := t.inner.RoundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	if t.drop.Fire() {
+		resp.Body.Close()
+		return nil, fmt.Errorf("faults: response dropped (client.drop)")
+	}
+	return resp, nil
 }
 
 func probe(ctx context.Context, cli *http.Client, base string) error {
@@ -252,48 +366,112 @@ type client struct {
 	beat time.Duration
 	cnt  *counters
 
+	retries int
+	bo      backoff
+	seq     int64 // request-ID sequence; one ID per logical op
+	intents int64 // acquire ops that reached the wire — the dedup upper bound
+
 	ops, errs, deferred int64
+	sheds, retried, lost, deduped, doubles, recon int64
 }
 
-// call performs one JSON request, counting it under verb.
-func (c *client) call(ctx context.Context, verb *atomic.Int64, method, path string, body, out any) bool {
-	var buf bytes.Buffer
+// mutate performs one idempotent mutation. Every attempt carries the same
+// X-Request-ID, so however many times a lost response or a shed forces a
+// resend, the daemon applies the op at most once. Returns false only when
+// the op failed for good (a counted error) or the run ended.
+func (c *client) mutate(ctx context.Context, verb *atomic.Int64, method, path string, body, out any) bool {
+	c.seq++
+	reqID := fmt.Sprintf("%s-%d", c.name, c.seq)
+	var payload []byte
 	if body != nil {
-		json.NewEncoder(&buf).Encode(body)
-	}
-	req, err := http.NewRequestWithContext(ctx, method, c.base+path, &buf)
-	if err != nil {
-		return false
-	}
-	if body != nil {
-		req.Header.Set("Content-Type", "application/json")
+		payload, _ = json.Marshal(body)
 	}
 	c.ops++
 	c.cnt.ops.Add(1)
 	verb.Add(1)
-	resp, err := c.http.Do(req)
-	if err != nil {
-		// Cancellation at the end of the run is not a protocol error.
-		if ctx.Err() == nil {
-			c.errs++
-			c.cnt.errors.Add(1)
+	c.bo.reset()
+	for attempt := 0; attempt < c.retries; attempt++ {
+		if attempt > 0 {
+			c.retried++
+			c.cnt.retries.Add(1)
 		}
-		return false
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode >= 400 {
-		c.errs++
-		c.cnt.errors.Add(1)
-		return false
-	}
-	if out != nil {
-		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		req, err := http.NewRequestWithContext(ctx, method, c.base+path, bytes.NewReader(payload))
+		if err != nil {
+			break
+		}
+		if body != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		req.Header.Set("X-Request-ID", reqID)
+		resp, err := c.http.Do(req)
+		var retryAfter time.Duration
+		switch {
+		case err != nil:
+			// Cancellation at the end of the run is not a protocol error.
+			if ctx.Err() != nil {
+				return false
+			}
+			// The response is gone but the op may have applied server-side —
+			// exactly the ambiguity the request ID resolves on the resend.
+			c.lost++
+			c.cnt.lost.Add(1)
+		case resp.StatusCode == http.StatusOK:
+			if resp.Header.Get("X-Deduped") == "1" {
+				c.deduped++
+				c.cnt.deduped.Add(1)
+			}
+			var derr error
+			if out != nil {
+				derr = json.NewDecoder(resp.Body).Decode(out)
+			}
+			resp.Body.Close()
+			if derr != nil {
+				c.errs++
+				c.cnt.errors.Add(1)
+				return false
+			}
+			return true
+		case resp.StatusCode == http.StatusServiceUnavailable:
+			// A shed, not a failure: the daemon asked us to slow down.
+			if secs, aerr := strconv.Atoi(resp.Header.Get("Retry-After")); aerr == nil {
+				retryAfter = time.Duration(secs) * time.Second
+			}
+			resp.Body.Close()
+			c.sheds++
+			c.cnt.sheds.Add(1)
+		case resp.StatusCode >= 500:
+			resp.Body.Close()
+		default:
+			// 4xx: the daemon rejected the op outright; the same bytes
+			// cannot succeed on a resend.
+			resp.Body.Close()
 			c.errs++
 			c.cnt.errors.Add(1)
 			return false
 		}
+		t := time.NewTimer(c.bo.next(retryAfter))
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return false
+		case <-t.C:
+		}
 	}
-	return true
+	if ctx.Err() == nil {
+		c.errs++
+		c.cnt.errors.Add(1)
+	}
+	return false
+}
+
+// checkDoubles cross-checks the server's applied-acquire count against this
+// client's own acquire intents. Each intent carries one request ID, so the
+// server count exceeding the intent count proves a duplicate application.
+func (c *client) checkDoubles(acquires int64) {
+	if acquires > c.intents {
+		c.doubles++
+		c.cnt.doubles.Add(1)
+	}
 }
 
 type acquireMsg struct {
@@ -320,21 +498,24 @@ func (c *client) note(state string) {
 func (c *client) run(ctx context.Context) ClientReport {
 	var lease leaseMsg
 	acquire := func() bool {
-		ok := c.call(ctx, &c.cnt.acquire, "POST", "/v1/leases", acquireMsg{Client: c.name, Kind: c.prof.kind()}, &lease)
+		c.intents++
+		ok := c.mutate(ctx, &c.cnt.acquire, "POST", "/v1/leases", acquireMsg{Client: c.name, Kind: c.prof.kind()}, &lease)
 		if ok {
 			c.note(lease.State)
+			c.checkDoubles(lease.Acquires)
 		}
 		return ok
 	}
 	renew := func(rep usageMsg) {
 		var got leaseMsg
-		if c.call(ctx, &c.cnt.renew, "POST", fmt.Sprintf("/v1/leases/%d/renew", lease.LeaseID), rep, &got) {
+		if c.mutate(ctx, &c.cnt.renew, "POST", fmt.Sprintf("/v1/leases/%d/renew", lease.LeaseID), rep, &got) {
 			c.note(got.State)
+			c.checkDoubles(got.Acquires)
 		}
 	}
 	release := func() {
 		var got leaseMsg
-		if c.call(ctx, &c.cnt.release, "DELETE", fmt.Sprintf("/v1/leases/%d", lease.LeaseID), nil, &got) {
+		if c.mutate(ctx, &c.cnt.release, "DELETE", fmt.Sprintf("/v1/leases/%d", lease.LeaseID), nil, &got) {
 			c.note(got.State)
 		}
 	}
@@ -401,6 +582,29 @@ func (c *client) run(ctx context.Context) ClientReport {
 				break
 			}
 			acquire()
+		case Crash:
+			// Behave for ~a third of a term, then die without releasing
+			// (a process kill), stay dark for about a term, and reconnect
+			// under the same name: the daemon must recognize the name,
+			// reuse the UID, and carry reputation across the gap.
+			hold := term * 3 / 10
+			if hold < c.beat {
+				hold = c.beat
+			}
+			end := time.Now().Add(hold)
+			for ctx.Err() == nil && time.Now().Before(end) {
+				renew(usageMsg{CPUMS: beatMS * 0.6, UIUpdates: 1, Interactions: 1})
+				if !sleep(c.beat) {
+					break
+				}
+			}
+			if !sleep(term) { // dark: no release, no renews
+				break
+			}
+			if acquire() {
+				c.recon++
+				c.cnt.reconnects.Add(1)
+			}
 		}
 	}
 	return c.report()
@@ -408,10 +612,16 @@ func (c *client) run(ctx context.Context) ClientReport {
 
 func (c *client) report() ClientReport {
 	return ClientReport{
-		Client:       c.name,
-		Profile:      string(c.prof),
-		Ops:          c.ops,
-		Errors:       c.errs,
-		DeferredSeen: c.deferred,
+		Client:         c.name,
+		Profile:        string(c.prof),
+		Ops:            c.ops,
+		Errors:         c.errs,
+		DeferredSeen:   c.deferred,
+		Sheds:          c.sheds,
+		Retries:        c.retried,
+		LostResponses:  c.lost,
+		Deduped:        c.deduped,
+		DoubleAcquires: c.doubles,
+		Reconnects:     c.recon,
 	}
 }

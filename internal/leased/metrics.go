@@ -5,6 +5,8 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/durable"
+	"repro/internal/faults"
 	"repro/internal/lease"
 	"repro/internal/power"
 )
@@ -137,6 +139,10 @@ var routeNames = [numRoutes]string{"acquire", "renew", "release", "get", "metric
 type metrics struct {
 	routes   [numRoutes]hist
 	rejected atomic.Int64 // admission-control 503s
+
+	deduped       atomic.Int64 // idempotent retries answered from cache
+	journalErrors atomic.Int64 // failed journal appends / checkpoints
+	checkpoints   atomic.Int64 // successful snapshots
 }
 
 func newMetrics() *metrics { return &metrics{} }
@@ -169,6 +175,31 @@ type Snapshot struct {
 	Requests           map[string]RouteStats `json:"requests"`
 	InflightRejections int64                 `json:"inflight_rejections"`
 	MaxInflight        int                   `json:"max_inflight"`
+
+	// Deduped counts idempotent retries answered from the request-ID cache
+	// without re-applying the operation.
+	Deduped int64 `json:"deduped"`
+
+	// Durability reports the journal/snapshot machinery; absent on
+	// in-memory daemons.
+	Durability *DurabilityStats `json:"durability,omitempty"`
+
+	// Recovery describes what the last boot found on disk; absent on
+	// in-memory daemons.
+	Recovery *RecoveryInfo `json:"recovery,omitempty"`
+
+	// Faults reports the injection sites when chaos is configured.
+	Faults map[string]faults.SiteStats `json:"faults,omitempty"`
+}
+
+// DurabilityStats is the journal/snapshot section of a metrics snapshot.
+type DurabilityStats struct {
+	durable.Stats
+	SnapshotEvery int   `json:"snapshot_every"`
+	Fsync         bool  `json:"fsync"`
+	JournalErrors int64 `json:"journal_errors"`
+	Checkpoints   int64 `json:"checkpoints"`
+	DedupEntries  int   `json:"dedup_entries"`
 }
 
 // Defaulter is one detected misbehaving client.
@@ -190,8 +221,24 @@ func (s *Server) snapshot() Snapshot {
 	}
 	snap.InflightRejections = s.metrics.rejected.Load()
 	snap.MaxInflight = s.opts.MaxInflight
+	snap.Deduped = s.metrics.deduped.Load()
+	if s.faults != nil {
+		snap.Faults = s.faults.Stats()
+	}
 
 	s.do(func() {
+		if s.store != nil {
+			snap.Durability = &DurabilityStats{
+				Stats:         s.store.Stats(),
+				SnapshotEvery: s.opts.SnapshotEvery,
+				Fsync:         s.opts.Fsync,
+				JournalErrors: s.metrics.journalErrors.Load(),
+				Checkpoints:   s.metrics.checkpoints.Load(),
+				DedupEntries:  len(s.dedup.order),
+			}
+			rec := s.recovery
+			snap.Recovery = &rec
+		}
 		snap.Clients = len(s.clients)
 		snap.Leases.CreatedTotal = s.mgr.CreatedTotal()
 		snap.Leases.Live = s.mgr.LeaseCount()

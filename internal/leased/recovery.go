@@ -1,0 +1,355 @@
+package leased
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/android/hooks"
+	"repro/internal/durable"
+	"repro/internal/lease"
+	"repro/internal/power"
+	"repro/internal/runtime"
+	"repro/internal/simclock"
+)
+
+// Crash safety. The daemon's whole mutable state is a deterministic function
+// of (a) the lease policy, (b) the sequence of externally-driven mutations
+// and (c) the virtual instants at which they executed: every internal
+// transition — term checks, deferrals, restores, reputation updates — is an
+// event the simulation kernel fires at an exact virtual timestamp, and
+// Wall.Do guarantees each mutation runs at one frozen instant with all due
+// events already fired. So the write-ahead journal records only the external
+// mutations, each stamped with its virtual instant, and recovery replays
+// them on an unstarted wall clock: RunVirtual(rec.At) re-fires the internal
+// events exactly as the live run did, then the mutation re-applies. Log
+// order is clock order because records are appended inside the same Do
+// section that applies them.
+//
+// A periodic checkpoint (every Options.SnapshotEvery records) serializes the
+// full state — manager, resource table, client/UID map, app counters, dedup
+// cache — so replay cost stays bounded; the durable store guarantees the
+// snapshot+journal pair is consistent across a crash at any instant.
+
+// opRecord is one journaled external mutation. At is the virtual instant the
+// operation executed; replay advances the clock there before re-applying.
+type opRecord struct {
+	At simclock.Time `json:"at"`
+	Op string        `json:"op"` // acquire | renew | release | mark
+
+	Client string `json:"client,omitempty"` // acquire
+	Kind   string `json:"kind,omitempty"`   // acquire
+
+	LeaseID uint64       `json:"lease_id,omitempty"` // renew | release
+	Destroy bool         `json:"destroy,omitempty"`  // release
+	Report  *usageReport `json:"report,omitempty"`   // renew
+
+	// ReqID is the client's idempotency key, if it sent one; replay uses it
+	// to rebuild the dedup cache in the same order the live run filled it.
+	ReqID string `json:"req_id,omitempty"`
+}
+
+// persistedState is the checkpoint payload: everything a fresh process needs
+// to stand the daemon back up at one virtual instant.
+type persistedState struct {
+	Now     simclock.Time      `json:"now"`
+	Config  lease.Config       `json:"config"`
+	Manager lease.ManagerState `json:"manager"`
+
+	Clients []clientEntry `json:"clients,omitempty"`
+	NextUID int           `json:"next_uid"`
+
+	Objects   []objState `json:"objects,omitempty"`
+	NextObjID uint64     `json:"next_obj_id"`
+
+	Apps  []appEntry   `json:"apps,omitempty"`
+	Dedup []dedupEntry `json:"dedup,omitempty"`
+}
+
+type clientEntry struct {
+	Name string `json:"name"`
+	UID  int    `json:"uid"`
+}
+
+// objState serializes one robj (the server-side lease proxy).
+type objState struct {
+	ID      uint64 `json:"id"`
+	UID     int    `json:"uid"`
+	Kind    int    `json:"kind"`
+	Client  string `json:"client"`
+	LeaseID uint64 `json:"lease_id"`
+
+	Held       bool `json:"held"`
+	Suppressed bool `json:"suppressed"`
+
+	LastSettle simclock.Time `json:"last_settle"`
+	AccHeld    int64         `json:"acc_held"`
+	AccActive  int64         `json:"acc_active"`
+
+	Used          int64   `json:"used"`
+	ReqTime       int64   `json:"req_time"`
+	FailedReqTime int64   `json:"failed_req_time"`
+	DataPoints    int     `json:"data_points"`
+	DistanceM     float64 `json:"distance_m"`
+
+	Acquires int64 `json:"acquires"`
+}
+
+type appEntry struct {
+	UID   int   `json:"uid"`
+	CPU   int64 `json:"cpu"`
+	Exc   int   `json:"exc"`
+	UI    int   `json:"ui"`
+	Inter int   `json:"inter"`
+}
+
+// RecoveryInfo summarizes what Open found on disk.
+type RecoveryInfo struct {
+	SnapshotLoaded bool          `json:"snapshot_loaded"`
+	SnapshotNow    simclock.Time `json:"snapshot_now"`
+	Replayed       int           `json:"replayed"`
+	TruncatedBytes int64         `json:"truncated_bytes"`
+	StaleRecords   int           `json:"stale_records"`
+}
+
+// Open stands up a durable daemon from dir: load the snapshot, replay the
+// journal's intact prefix on an unstarted clock, then bind the recovered
+// virtual instant to the wall and start serving. A fresh directory is an
+// empty daemon that immediately writes its initial checkpoint (pinning the
+// lease policy, so a later restart with a different policy is refused
+// rather than silently misinterpreting the journal).
+func Open(dir string, opts Options) (*Server, RecoveryInfo, error) {
+	opts = opts.withDefaults()
+	store, res, err := durable.Open(dir, opts.Fsync)
+	if err != nil {
+		return nil, RecoveryInfo{}, err
+	}
+	s, info, err := recoverServer(store, res, opts)
+	if err != nil {
+		store.Close()
+		return nil, info, err
+	}
+	s.clock.Start()
+	if !info.SnapshotLoaded && info.Replayed == 0 {
+		// First boot: write the initial checkpoint so the policy is pinned.
+		s.do(func() { s.checkpointLocked() })
+	}
+	return s, info, nil
+}
+
+// recoverServer rebuilds a daemon from what the store found, leaving the
+// clock unstarted — frozen at the last journaled instant — so callers (Open,
+// and the crash-equality tests) can inspect or bind it to real time
+// themselves.
+func recoverServer(store *durable.Store, res durable.OpenResult, opts Options) (*Server, RecoveryInfo, error) {
+	s := newServer(opts, runtime.NewWallUnstarted())
+	s.store = store
+	info := RecoveryInfo{TruncatedBytes: res.TruncatedBytes, StaleRecords: res.StaleRecords}
+
+	if res.Snapshot != nil {
+		var st persistedState
+		if err := json.Unmarshal(res.Snapshot, &st); err != nil {
+			return nil, info, fmt.Errorf("leased: corrupt snapshot payload: %w", err)
+		}
+		if st.Config != s.mgr.Config() {
+			return nil, info, fmt.Errorf("leased: lease policy changed since the snapshot was written; refusing to reinterpret the journal (wipe the data dir or restore the old policy)")
+		}
+		if err := s.restoreState(st); err != nil {
+			return nil, info, err
+		}
+		info.SnapshotLoaded, info.SnapshotNow = true, st.Now
+	}
+	for _, raw := range res.Records {
+		var rec opRecord
+		if err := json.Unmarshal(raw, &rec); err != nil {
+			return nil, info, fmt.Errorf("leased: corrupt journal record %d: %w", info.Replayed, err)
+		}
+		s.clock.RunVirtual(rec.At)
+		s.replayRecord(rec)
+		info.Replayed++
+	}
+	s.recovery = info
+	return s, info, nil
+}
+
+// journalLocked appends rec to the journal and triggers the periodic
+// checkpoint. Callers hold the clock (so log order is clock order). Append
+// failures degrade durability, not availability: the daemon keeps serving
+// and surfaces the error count in /metrics.
+func (s *Server) journalLocked(rec *opRecord) {
+	if s.store == nil {
+		return
+	}
+	raw, err := json.Marshal(rec)
+	if err == nil {
+		err = s.store.Append(raw)
+	}
+	if err != nil {
+		s.metrics.journalErrors.Add(1)
+		return
+	}
+	if s.store.SinceCheckpoint() >= s.opts.SnapshotEvery {
+		s.checkpointLocked()
+	}
+}
+
+// checkpointLocked serializes the full state and swaps it in as the new
+// snapshot. Callers hold the clock.
+func (s *Server) checkpointLocked() {
+	if s.store == nil {
+		return
+	}
+	payload, err := json.Marshal(s.captureState())
+	if err == nil {
+		err = s.store.Checkpoint(payload)
+	}
+	if err != nil {
+		s.metrics.journalErrors.Add(1)
+		return
+	}
+	s.metrics.checkpoints.Add(1)
+}
+
+// Checkpoint forces a snapshot now; the daemon calls it on graceful
+// shutdown so the next boot replays zero records.
+func (s *Server) Checkpoint() {
+	s.do(func() { s.checkpointLocked() })
+}
+
+// captureState serializes the daemon. Callers hold the clock. Iteration
+// over every map is sorted, so equal states produce equal payloads.
+func (s *Server) captureState() persistedState {
+	st := persistedState{
+		Now:       s.clock.Now(),
+		Config:    s.mgr.Config(),
+		Manager:   s.mgr.CaptureState(),
+		NextUID:   int(s.nextUID),
+		NextObjID: s.res.nextID,
+	}
+	for _, uid := range sortedUIDs(s.clientName) {
+		st.Clients = append(st.Clients, clientEntry{Name: s.clientName[uid], UID: int(uid)})
+	}
+	ids := make([]uint64, 0, len(s.res.objs))
+	for id := range s.res.objs {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		o := s.res.objs[id]
+		st.Objects = append(st.Objects, objState{
+			ID: o.id, UID: int(o.uid), Kind: int(o.kind), Client: o.client,
+			LeaseID: o.leaseID, Held: o.held, Suppressed: o.suppressed,
+			LastSettle: o.lastSettle,
+			AccHeld:    int64(o.accHeld), AccActive: int64(o.accActive),
+			Used: int64(o.used), ReqTime: int64(o.reqTime),
+			FailedReqTime: int64(o.failedReqTime),
+			DataPoints:    o.dataPoints, DistanceM: o.distanceM,
+			Acquires: o.acquires,
+		})
+	}
+	for _, uid := range sortedStatUIDs(s.apps) {
+		st.Apps = append(st.Apps, appEntry{
+			UID: int(uid), CPU: int64(s.apps.cpu[uid]),
+			Exc: s.apps.exc[uid], UI: s.apps.ui[uid], Inter: s.apps.inter[uid],
+		})
+	}
+	st.Dedup = s.dedup.entries()
+	return st
+}
+
+// restoreState rebuilds the daemon from a checkpoint. The clock must be
+// unstarted; the manager must be fresh.
+func (s *Server) restoreState(st persistedState) error {
+	s.clock.RunVirtual(st.Now)
+	s.nextUID = power.UID(st.NextUID)
+	for _, c := range st.Clients {
+		s.clients[c.Name] = power.UID(c.UID)
+		s.clientName[power.UID(c.UID)] = c.Name
+	}
+	s.res.nextID = st.NextObjID
+	for _, os := range st.Objects {
+		o := &robj{
+			id: os.ID, uid: power.UID(os.UID), kind: hooks.Kind(os.Kind),
+			client: os.Client, leaseID: os.LeaseID,
+			held: os.Held, suppressed: os.Suppressed,
+			lastSettle: os.LastSettle,
+			accHeld:    time.Duration(os.AccHeld), accActive: time.Duration(os.AccActive),
+			used: time.Duration(os.Used), reqTime: time.Duration(os.ReqTime),
+			failedReqTime: time.Duration(os.FailedReqTime),
+			dataPoints:    os.DataPoints, distanceM: os.DistanceM,
+			acquires: os.Acquires,
+		}
+		s.res.objs[o.id] = o
+		s.byKey[clientKey{o.uid, o.kind}] = o
+		s.byLease[o.leaseID] = o
+	}
+	for _, a := range st.Apps {
+		uid := power.UID(a.UID)
+		s.apps.cpu[uid] = time.Duration(a.CPU)
+		s.apps.exc[uid] = a.Exc
+		s.apps.ui[uid] = a.UI
+		s.apps.inter[uid] = a.Inter
+	}
+	s.dedup.load(st.Dedup)
+	return s.mgr.RestoreState(st.Manager, func(ls lease.LeaseState) (hooks.Object, bool) {
+		r := s.byLease[ls.ID]
+		if r == nil {
+			return hooks.Object{}, false
+		}
+		return s.res.hookObject(r), true
+	})
+}
+
+// replayRecord re-applies one journaled mutation during recovery. The clock
+// already sits at rec.At. Outcomes are discarded — they were already sent to
+// the client in the previous life — except the dedup cache entry, which is
+// rebuilt so a retry arriving after the restart still dedups.
+func (s *Server) replayRecord(rec opRecord) {
+	status, resp, _ := s.applyRecord(&rec)
+	if rec.ReqID != "" && status == 200 {
+		if raw, err := json.Marshal(resp); err == nil {
+			s.dedup.put(rec.ReqID, raw)
+		}
+	}
+}
+
+// --- small helpers ---
+
+func sortUID(uids []power.UID) {
+	sort.Slice(uids, func(i, j int) bool { return uids[i] < uids[j] })
+}
+
+func sortedUIDs(m map[power.UID]string) []power.UID {
+	uids := make([]power.UID, 0, len(m))
+	for uid := range m {
+		uids = append(uids, uid)
+	}
+	sortUID(uids)
+	return uids
+}
+
+func sortedStatUIDs(a *appStats) []power.UID {
+	seen := make(map[power.UID]bool)
+	var uids []power.UID
+	add := func(uid power.UID) {
+		if !seen[uid] {
+			seen[uid] = true
+			uids = append(uids, uid)
+		}
+	}
+	for uid := range a.cpu {
+		add(uid)
+	}
+	for uid := range a.exc {
+		add(uid)
+	}
+	for uid := range a.ui {
+		add(uid)
+	}
+	for uid := range a.inter {
+		add(uid)
+	}
+	sortUID(uids)
+	return uids
+}

@@ -1,0 +1,238 @@
+package leased
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/durable"
+	"repro/internal/lease"
+	"repro/internal/power"
+)
+
+func newJSONRequest(method, url string, body any) (*http.Request, error) {
+	var buf bytes.Buffer
+	if body != nil {
+		if err := json.NewEncoder(&buf).Encode(body); err != nil {
+			return nil, err
+		}
+	}
+	return http.NewRequest(method, url, &buf)
+}
+
+// durableRig is a rig over a daemon stood up with Open.
+type durableRig struct {
+	*rig
+	dir  string
+	opts Options
+}
+
+func newDurableRig(t *testing.T, dir string, opts Options) *durableRig {
+	t.Helper()
+	s, _, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return &durableRig{
+		rig:  &rig{t: t, s: s, ts: ts, cli: ts.Client()},
+		dir:  dir,
+		opts: opts,
+	}
+}
+
+// crash simulates a process death: stop the goroutines and drop the store
+// WITHOUT a final checkpoint. Everything not already on disk is lost.
+func (d *durableRig) crash() {
+	d.ts.Close()
+	d.s.clock.Stop()
+	d.s.store.Close()
+}
+
+// markAndCapture journals a mark record and captures the full state at the
+// same frozen instant, so replay of the journal stops at exactly the
+// captured state.
+func markAndCapture(s *Server) persistedState {
+	var pre persistedState
+	s.do(func() {
+		s.journalLocked(&opRecord{At: s.clock.Now(), Op: "mark"})
+		pre = s.captureState()
+	})
+	return pre
+}
+
+// recoverCaptured reopens dir with the clock left unstarted and captures the
+// replayed state — the post-crash twin of markAndCapture's output.
+func recoverCaptured(t *testing.T, dir string, opts Options) (*Server, RecoveryInfo, persistedState) {
+	t.Helper()
+	store, res, err := durable.Open(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, info, err := recoverServer(store, res, opts.withDefaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var post persistedState
+	s.do(func() { post = s.captureState() })
+	return s, info, post
+}
+
+// driveDefaulter pushes traffic until the daemon has a deferred lease and a
+// detected defaulter: "torch" idles on a wakelock, "worker" renews with
+// healthy CPU, "tourist" acquires GPS and is destroyed (a dead record).
+func driveDefaulter(d *durableRig) (torchID uint64) {
+	t := d.t
+	t.Helper()
+	torch := d.acquire("torch", "wakelock")
+	worker := d.acquire("worker", "wakelock")
+	tourist := d.acquire("tourist", "gps")
+	if code := d.call("DELETE", fmt.Sprintf("/v1/leases/%d?destroy=1", tourist.LeaseID), nil, nil); code != 200 {
+		t.Fatalf("destroy: status %d", code)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		d.renew(worker.LeaseID, usageReport{CPUMS: 20})
+		var got leaseResponse
+		if code := d.call("GET", fmt.Sprintf("/v1/leases/%d", torch.LeaseID), nil, &got); code != 200 {
+			t.Fatalf("get: status %d", code)
+		}
+		if got.State == lease.Deferred.String() {
+			return torch.LeaseID
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("torch never deferred")
+	return 0
+}
+
+func TestCrashRecoveryRebuildsExactState(t *testing.T) {
+	dir := t.TempDir()
+	d := newDurableRig(t, dir, testOptions())
+	torchID := driveDefaulter(d)
+
+	// A deduped request, so the cache has entries to resurrect.
+	req, _ := newJSONRequest("POST", d.ts.URL+"/v1/leases", acquireRequest{Client: "worker", Kind: "gps"})
+	req.Header.Set("X-Request-ID", "req-gps-1")
+	if resp, err := d.cli.Do(req); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+	}
+
+	pre := markAndCapture(d.s)
+	d.crash()
+
+	s2, info, post := recoverCaptured(t, dir, d.opts)
+	defer s2.Close()
+	if info.Replayed == 0 {
+		t.Fatal("nothing replayed after crash")
+	}
+	if !reflect.DeepEqual(pre, post) {
+		t.Fatalf("recovered state differs from pre-crash state:\n pre: %+v\npost: %+v", pre, post)
+	}
+
+	// The deferred lease is still deferred, with its restore event pending
+	// at the original due instant.
+	var torch *lease.LeaseState
+	for i := range post.Manager.Leases {
+		if post.Manager.Leases[i].ID == torchID {
+			torch = &post.Manager.Leases[i]
+		}
+	}
+	if torch == nil {
+		t.Fatalf("torch lease %d missing after recovery", torchID)
+	}
+	if lease.State(torch.State) != lease.Deferred || !torch.HasRestor {
+		t.Fatalf("torch = state %d hasRestore %v, want deferred with pending restore", torch.State, torch.HasRestor)
+	}
+	// The server-side proxy still suppresses the resource.
+	if o := s2.byLease[torchID]; o == nil || !o.suppressed {
+		t.Fatal("torch robj not suppressed after recovery")
+	}
+
+	// The defaulter verdict survived: torch has deferrals on its record.
+	var foundRep bool
+	for _, r := range post.Manager.Reputations {
+		if s2.clientName[power.UID(r.UID)] == "torch" && r.Deferrals > 0 {
+			foundRep = true
+		}
+	}
+	if !foundRep {
+		t.Fatal("torch's deferral reputation lost in recovery")
+	}
+}
+
+func TestCrashRecoveryFromSnapshotPlusJournal(t *testing.T) {
+	dir := t.TempDir()
+	opts := testOptions()
+	opts.SnapshotEvery = 4 // force mid-run checkpoints
+	d := newDurableRig(t, dir, opts)
+	driveDefaulter(d)
+
+	pre := markAndCapture(d.s)
+	var snaps int64
+	d.s.do(func() { snaps = d.s.store.Stats().SnapshotsTotal })
+	if snaps == 0 {
+		t.Fatal("no checkpoint was written; test is not exercising the snapshot path")
+	}
+	d.crash()
+
+	s2, info, post := recoverCaptured(t, dir, d.opts)
+	defer s2.Close()
+	if !info.SnapshotLoaded {
+		t.Fatal("recovery ignored the snapshot")
+	}
+	if !reflect.DeepEqual(pre, post) {
+		t.Fatal("snapshot+journal recovery differs from pre-crash state")
+	}
+}
+
+func TestGracefulShutdownReplaysNothing(t *testing.T) {
+	dir := t.TempDir()
+	d := newDurableRig(t, dir, testOptions())
+	driveDefaulter(d)
+
+	// Graceful path: final checkpoint, captured at the same frozen instant
+	// so the comparison is exact, then clean close.
+	var pre persistedState
+	d.s.do(func() {
+		d.s.checkpointLocked()
+		pre = d.s.captureState()
+	})
+	d.ts.Close()
+	d.s.Close()
+
+	s2, info, post := recoverCaptured(t, dir, d.opts)
+	defer s2.Close()
+	if !info.SnapshotLoaded || info.Replayed != 0 {
+		t.Fatalf("graceful restart: snapshot=%v replayed=%d, want snapshot and zero replay",
+			info.SnapshotLoaded, info.Replayed)
+	}
+	if !reflect.DeepEqual(pre, post) {
+		t.Fatal("state after graceful restart differs")
+	}
+}
+
+func TestReopenRefusesChangedPolicy(t *testing.T) {
+	dir := t.TempDir()
+	d := newDurableRig(t, dir, testOptions())
+	d.acquire("alice", "wakelock")
+	d.s.Checkpoint()
+	d.ts.Close()
+	d.s.Close()
+
+	opts := testOptions()
+	opts.Lease.Term = 123 * time.Millisecond
+	if s, _, err := Open(dir, opts); err == nil {
+		s.Close()
+		t.Fatal("Open accepted a changed lease policy over an old journal")
+	}
+}
+

@@ -27,9 +27,17 @@ import (
 // the Clock methods directly. Calling Now/Schedule/Cancel outside Do or a
 // callback is a data race; the race detector enforces this in tests.
 type Wall struct {
-	mu    sync.Mutex
-	eng   *simclock.Engine
-	start time.Time
+	mu      sync.Mutex
+	eng     *simclock.Engine
+	start   time.Time
+	started bool
+
+	// loopDelay, when set, is consulted by the background loop each time a
+	// deadline comes due, and the loop sleeps that long before firing. It is
+	// the fault-injection hook for "late term checks": events still fire at
+	// their exact virtual timestamps (determinism holds), they just fire
+	// late in wall terms.
+	loopDelay func() time.Duration
 
 	wake     chan struct{} // poke the loop: the earliest deadline may have moved
 	stop     chan struct{}
@@ -39,15 +47,62 @@ type Wall struct {
 
 // NewWall starts a wall clock positioned at virtual time zero (= now).
 func NewWall() *Wall {
-	w := &Wall{
-		eng:   simclock.NewEngine(),
-		start: time.Now(),
-		wake:  make(chan struct{}, 1),
-		stop:  make(chan struct{}),
-		done:  make(chan struct{}),
-	}
-	go w.loop()
+	w := NewWallUnstarted()
+	w.Start()
 	return w
+}
+
+// NewWallUnstarted creates a wall clock whose timeline has not yet been
+// bound to real time. Before Start, the engine behaves like the simulator:
+// RunVirtual advances it deterministically, and Do runs critical sections
+// against the frozen virtual instant without catching up to the wall. This
+// is the recovery posture — a crashed daemon replays its journal into an
+// unstarted wall, then calls Start to resume real-time operation from the
+// replayed virtual instant.
+func NewWallUnstarted() *Wall {
+	return &Wall{
+		eng:  simclock.NewEngine(),
+		wake: make(chan struct{}, 1),
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+}
+
+// RunVirtual advances the virtual clock to t, firing every event due at or
+// before t in deterministic order — exactly simclock.Engine.RunUntil. It
+// may only be called before Start (journal replay); afterwards the
+// background loop owns clock advancement.
+func (w *Wall) RunVirtual(t simclock.Time) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.started {
+		panic("runtime: Wall.RunVirtual after Start")
+	}
+	w.eng.RunUntil(t)
+}
+
+// Start binds the virtual timeline to real time — wall "now" becomes the
+// engine's current virtual instant, so a clock that replayed to t=41s
+// resumes at 41s, not zero — and launches the background firing loop.
+// Start must be called at most once and not after Stop.
+func (w *Wall) Start() {
+	w.mu.Lock()
+	if w.started {
+		w.mu.Unlock()
+		panic("runtime: Wall.Start called twice")
+	}
+	w.started = true
+	w.start = time.Now().Add(-time.Duration(w.eng.Now()))
+	w.mu.Unlock()
+	go w.loop()
+}
+
+// SetLoopDelay installs the loop's pre-fire delay hook (nil uninstalls).
+// Call before Start or under no concurrent Start.
+func (w *Wall) SetLoopDelay(fn func() time.Duration) {
+	w.mu.Lock()
+	w.loopDelay = fn
+	w.mu.Unlock()
 }
 
 // wallNow is the current wall instant on the virtual timeline.
@@ -57,7 +112,12 @@ func (w *Wall) wallNow() simclock.Time {
 
 // catchUpLocked fires, in order, every event due at or before the current
 // wall instant, leaving the engine clock at that instant. Callers hold mu.
+// Before Start there is no wall instant: the clock stays frozen where
+// RunVirtual left it.
 func (w *Wall) catchUpLocked() {
+	if !w.started {
+		return
+	}
 	w.eng.RunUntil(w.wallNow())
 }
 
@@ -85,7 +145,16 @@ func (w *Wall) Do(fn func()) {
 // in-flight requests after stopping the timer loop. Stop is idempotent and
 // returns once the loop has exited.
 func (w *Wall) Stop() {
-	w.stopOnce.Do(func() { close(w.stop) })
+	w.stopOnce.Do(func() {
+		close(w.stop)
+		w.mu.Lock()
+		started := w.started
+		w.mu.Unlock()
+		if !started {
+			// No loop was ever launched; nothing will close done.
+			close(w.done)
+		}
+	})
 	<-w.done
 }
 
@@ -124,6 +193,19 @@ func (w *Wall) loop() {
 				}
 			}
 		case <-due:
+			// Fault hook: fire this deadline late. The sleep happens
+			// without the mutex so Do-based traffic keeps flowing — which
+			// is the point: requests observe state whose term check is
+			// overdue. Catch-up at the top of the loop still fires the
+			// event at its exact virtual timestamp.
+			w.mu.Lock()
+			delay := w.loopDelay
+			w.mu.Unlock()
+			if delay != nil {
+				if d := delay(); d > 0 {
+					time.Sleep(d)
+				}
+			}
 		}
 	}
 }

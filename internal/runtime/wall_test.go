@@ -158,3 +158,92 @@ func TestWallStopIdempotentAndHaltsFiring(t *testing.T) {
 		t.Fatal("Do after Stop did not catch up the clock")
 	}
 }
+
+func TestWallUnstartedReplayThenStart(t *testing.T) {
+	// The recovery posture: replay deterministically on an unstarted wall,
+	// then Start and confirm real time resumes from the replayed instant.
+	w := NewWallUnstarted()
+	defer w.Stop()
+
+	var fired []simclock.Time
+	w.Do(func() {
+		w.Schedule(10*time.Second, func() { fired = append(fired, w.Now()) })
+		w.Schedule(41*time.Second, func() { fired = append(fired, w.Now()) })
+	})
+	// Pre-start, Do must NOT catch up to the wall: the clock stays at zero.
+	w.Do(func() {
+		if w.Now() != 0 {
+			t.Errorf("unstarted clock advanced to %v", w.Now())
+		}
+	})
+	w.RunVirtual(20 * time.Second)
+	w.Do(func() {
+		if w.Now() != 20*time.Second {
+			t.Errorf("clock = %v after RunVirtual(20s)", w.Now())
+		}
+	})
+	if len(fired) != 1 || fired[0] != 10*time.Second {
+		t.Fatalf("replay fired %v, want exactly [10s]", fired)
+	}
+
+	w.Start()
+	// The 41s event is 21 virtual seconds away — it must not fire now, and
+	// wall time must be rebased so Now() tracks from 20s, not zero.
+	w.Do(func() {
+		if now := w.Now(); now < 20*time.Second || now > 21*time.Second {
+			t.Errorf("post-start clock = %v, want ~20s", now)
+		}
+	})
+	w.Do(func() {
+		if len(fired) != 1 {
+			t.Errorf("future event fired early: %v", fired)
+		}
+	})
+}
+
+func TestWallRunVirtualAfterStartPanics(t *testing.T) {
+	w := NewWall()
+	defer w.Stop()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("RunVirtual after Start did not panic")
+		}
+	}()
+	w.RunVirtual(time.Second)
+}
+
+func TestWallStopBeforeStart(t *testing.T) {
+	w := NewWallUnstarted()
+	done := make(chan struct{})
+	go func() { w.Stop(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Stop blocked on an unstarted wall")
+	}
+}
+
+func TestWallLoopDelayPostponesFiring(t *testing.T) {
+	w := NewWallUnstarted()
+	defer w.Stop()
+	w.SetLoopDelay(func() time.Duration { return 50 * time.Millisecond })
+	fired := make(chan simclock.Time, 1)
+	w.Do(func() {
+		w.Schedule(5*time.Millisecond, func() { fired <- w.Now() })
+	})
+	w.Start()
+	wallStart := time.Now()
+	select {
+	case at := <-fired:
+		// The event still fires at (or after) its virtual deadline even
+		// though the loop slept first.
+		if at < 5*time.Millisecond {
+			t.Fatalf("event fired at virtual %v", at)
+		}
+		if elapsed := time.Since(wallStart); elapsed < 50*time.Millisecond {
+			t.Fatalf("event fired after %v wall time; loop delay not applied", elapsed)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("event never fired")
+	}
+}

@@ -1,0 +1,139 @@
+#!/usr/bin/env bash
+# chaos_leased.sh — crash-recovery and fault-injection test of the durable
+# lease daemon. Three phases, each a property the crash-safety work exists
+# to provide:
+#
+#   1. Crash recovery: boot leased with a data dir, drive misbehaving load
+#      until defaulters are deferred, snapshot /metrics, SIGKILL the daemon
+#      mid-flight, restart it from the journal, and require (chaosverify)
+#      that every defaulter, every deferral count, and every DEFERRED lease
+#      survived — with journal records actually replayed.
+#
+#   2. Fault injection + self-healing: restart the fleet against a daemon
+#      that drops ≥5% of responses post-apply (server http.drop + client
+#      client.drop), with idempotent retries enabled, and require measurable
+#      loss, measurable dedup hits, and ZERO double-applied acquires
+#      (leaseload -require-no-doubles).
+#
+#   3. Graceful shutdown: SIGTERM the recovered daemon, restart once more,
+#      and require the final checkpoint made replay unnecessary
+#      (chaosverify -require-zero-replay).
+#
+# Artifacts (metrics snapshots, load reports, journal files, daemon logs)
+# are collected in ARTIFACTS (default chaos_artifacts/) for CI upload.
+#
+# Usage: scripts/chaos_leased.sh
+#   ADDR       listen address      (default 127.0.0.1:7072)
+#   DURATION   phase-1 load length (default 6s)
+#   ARTIFACTS  artifact directory  (default chaos_artifacts)
+set -euo pipefail
+
+ADDR="${ADDR:-127.0.0.1:7072}"
+DURATION="${DURATION:-6s}"
+ARTIFACTS="${ARTIFACTS:-chaos_artifacts}"
+
+cd "$(dirname "$0")/.."
+
+bin="$(mktemp -d)"
+data="$bin/data"
+mkdir -p "$ARTIFACTS"
+daemon=""
+cleanup() {
+    if [ -n "$daemon" ] && kill -0 "$daemon" 2>/dev/null; then
+        kill -9 "$daemon" 2>/dev/null || true
+        wait "$daemon" 2>/dev/null || true
+    fi
+    rm -rf "$bin"
+}
+trap cleanup EXIT
+
+fail() {
+    echo "FAIL: $*" >&2
+    exit 1
+}
+
+go build -o "$bin/leased" ./cmd/leased
+go build -o "$bin/leaseload" ./cmd/leaseload
+go build -o "$bin/chaosverify" ./cmd/chaosverify
+
+# json_int FILE KEY: first integer value of "key": N in FILE.
+json_int() {
+    grep -o "\"$2\": *[0-9]*" "$1" | head -1 | grep -o '[0-9]*$'
+}
+
+start_daemon() { # args: logfile, extra flags...
+    local logf="$1"; shift
+    "$bin/leased" -addr "$ADDR" -data "$data" \
+        -term 150ms -tau 5s -tau-max 20s -snapshot-every 64 "$@" \
+        2> "$logf" &
+    daemon=$!
+    for i in $(seq 1 50); do
+        if curl -sf "http://$ADDR/healthz" > /dev/null 2>&1; then return 0; fi
+        sleep 0.1
+    done
+    cat "$logf" >&2
+    fail "daemon never became healthy"
+}
+
+### Phase 1: SIGKILL mid-load, recover from the journal.
+echo "== phase 1: crash recovery =="
+start_daemon "$ARTIFACTS/leased_1.log"
+
+"$bin/leaseload" -addr "http://$ADDR" -duration "$DURATION" -beat 5ms \
+    -mix normal=2,lhb=2,lub=1,fab=1 -require-defaulters \
+    > "$ARTIFACTS/load_1.json"
+
+curl -sf "http://$ADDR/metrics" > "$ARTIFACTS/metrics_precrash.json"
+grep -q '"deferrals": [1-9]' "$ARTIFACTS/metrics_precrash.json" \
+    || fail "no deferrals before the crash; nothing to preserve"
+
+kill -9 "$daemon"
+wait "$daemon" 2>/dev/null || true
+daemon=""
+cp "$data/journal.log" "$ARTIFACTS/journal_postcrash.log"
+[ ! -f "$data/snapshot.bin" ] || cp "$data/snapshot.bin" "$ARTIFACTS/snapshot_postcrash.bin"
+
+start_daemon "$ARTIFACTS/leased_2.log"
+grep -q 'recovery:' "$ARTIFACTS/leased_2.log" || fail "no recovery line after restart"
+curl -sf "http://$ADDR/metrics" > "$ARTIFACTS/metrics_postcrash.json"
+
+"$bin/chaosverify" -pre "$ARTIFACTS/metrics_precrash.json" \
+    -post "$ARTIFACTS/metrics_postcrash.json" -require-replayed
+
+### Phase 2: response loss on both sides; retries must heal everything.
+echo "== phase 2: fault injection + self-healing =="
+kill -TERM "$daemon"; wait "$daemon" || true; daemon=""
+rm -rf "$data"
+
+start_daemon "$ARTIFACTS/leased_3.log" -faults "http.drop=0.07" -fault-seed 7
+"$bin/leaseload" -addr "http://$ADDR" -duration "$DURATION" -beat 5ms \
+    -mix normal=4,crash=2 -retries 6 -seed 3 \
+    -faults "client.drop=0.05" -require-no-doubles \
+    > "$ARTIFACTS/load_chaos.json"
+
+ops=$(json_int "$ARTIFACTS/load_chaos.json" ops)
+lost=$(json_int "$ARTIFACTS/load_chaos.json" lost_responses)
+deduped=$(json_int "$ARTIFACTS/load_chaos.json" deduped)
+# ≥5% of ops must have lost their response, or the chaos was a no-op.
+[ "$lost" -ge $((ops / 20)) ] \
+    || fail "only $lost/$ops responses dropped; fault injection ineffective"
+[ "$deduped" -gt 0 ] || fail "no retry was answered from the dedup cache"
+echo "chaos: $ops ops, $lost lost, $deduped deduped, 0 doubles"
+
+### Phase 3: graceful SIGTERM, restart must replay nothing.
+echo "== phase 3: graceful shutdown =="
+curl -sf "http://$ADDR/metrics" > "$ARTIFACTS/metrics_preterm.json"
+kill -TERM "$daemon"
+rc=0; wait "$daemon" || rc=$?; daemon=""
+[ "$rc" = 0 ] || { cat "$ARTIFACTS/leased_3.log" >&2; fail "daemon exited $rc on SIGTERM"; }
+grep -q 'final checkpoint written' "$ARTIFACTS/leased_3.log" \
+    || fail "no final-checkpoint marker in daemon log"
+
+start_daemon "$ARTIFACTS/leased_4.log"
+curl -sf "http://$ADDR/metrics" > "$ARTIFACTS/metrics_postterm.json"
+"$bin/chaosverify" -pre "$ARTIFACTS/metrics_preterm.json" \
+    -post "$ARTIFACTS/metrics_postterm.json" -require-zero-replay
+
+kill -TERM "$daemon"; wait "$daemon" || true; daemon=""
+
+echo "chaos_leased: OK (artifacts in $ARTIFACTS/)"
