@@ -7,11 +7,14 @@
 // Checks:
 //
 //   - every pre-crash defaulter is still a defaulter, with at least as many
-//     deferrals on its record (reputation survived);
+//     deferrals on its record (reputation survived), and on the SAME shard
+//     (a restart must not re-route clients);
 //   - every client whose lease was DEFERRED before the crash is still
 //     DEFERRED after it (a restart is not a pardon);
 //   - created_total and the manager's cumulative counters did not move
-//     backwards;
+//     backwards — merged, and per shard;
+//   - with -shards N, both snapshots report exactly N shards with N
+//     per-shard breakdowns;
 //   - with -require-replayed, the restart actually replayed journal records
 //     (proof the crash path, not a clean boot, was exercised);
 //   - with -require-zero-replay, the restart replayed nothing (proof a
@@ -47,6 +50,7 @@ func main() {
 	var (
 		prePath     = flag.String("pre", "", "metrics snapshot taken before the crash/shutdown")
 		postPath    = flag.String("post", "", "metrics snapshot taken after the restart")
+		shards      = flag.Int("shards", 0, "expected shard count in both snapshots (0 = don't check)")
 		reqReplay   = flag.Bool("require-replayed", false, "fail unless the restart replayed journal records")
 		reqNoReplay = flag.Bool("require-zero-replay", false, "fail unless the restart replayed nothing")
 	)
@@ -64,6 +68,20 @@ func main() {
 		fmt.Fprintf(os.Stderr, "chaosverify: FAIL: "+format+"\n", args...)
 	}
 
+	if *shards > 0 {
+		for name, s := range map[string]leased.Snapshot{"pre": pre, "post": post} {
+			if s.Shards != *shards {
+				failf("%s snapshot reports %d shards, want %d", name, s.Shards, *shards)
+			}
+			if len(s.PerShard) != *shards {
+				failf("%s snapshot has %d per-shard breakdowns, want %d", name, len(s.PerShard), *shards)
+			}
+		}
+	}
+	if pre.Shards != post.Shards {
+		failf("shard count changed across restart: %d → %d", pre.Shards, post.Shards)
+	}
+
 	postDef := make(map[string]leased.Defaulter, len(post.Defaulters))
 	for _, d := range post.Defaulters {
 		postDef[d.Client] = d
@@ -73,6 +91,9 @@ func main() {
 		if !ok {
 			failf("defaulter %q vanished across the restart", d.Client)
 			continue
+		}
+		if got.Shard != d.Shard {
+			failf("defaulter %q moved from shard %d to shard %d — restart re-routed a client", d.Client, d.Shard, got.Shard)
 		}
 		if got.Deferrals < d.Deferrals {
 			failf("defaulter %q lost deferrals: %d before, %d after", d.Client, d.Deferrals, got.Deferrals)
@@ -91,6 +112,30 @@ func main() {
 	}
 	if post.Manager.TermChecks < pre.Manager.TermChecks {
 		failf("manager term_checks went backwards: %d → %d", pre.Manager.TermChecks, post.Manager.TermChecks)
+	}
+
+	// Per-shard monotonicity: each shard's cumulative figures must survive
+	// its own recovery; the merged view can hide one shard regressing while
+	// another advances.
+	if len(pre.PerShard) == len(post.PerShard) {
+		for i := range pre.PerShard {
+			ps, qs := pre.PerShard[i], post.PerShard[i]
+			if ps.Shard != qs.Shard {
+				failf("per-shard order mismatch at index %d: %d vs %d", i, ps.Shard, qs.Shard)
+				continue
+			}
+			if qs.Leases.CreatedTotal < ps.Leases.CreatedTotal {
+				failf("shard %d created_total went backwards: %d → %d", ps.Shard, ps.Leases.CreatedTotal, qs.Leases.CreatedTotal)
+			}
+			if qs.Manager.Deferrals < ps.Manager.Deferrals {
+				failf("shard %d deferrals went backwards: %d → %d", ps.Shard, ps.Manager.Deferrals, qs.Manager.Deferrals)
+			}
+			if qs.Clients < ps.Clients {
+				failf("shard %d lost clients: %d → %d", ps.Shard, ps.Clients, qs.Clients)
+			}
+		}
+	} else if len(pre.PerShard) != 0 || len(post.PerShard) != 0 {
+		failf("per-shard breakdown count changed: %d → %d", len(pre.PerShard), len(post.PerShard))
 	}
 
 	if post.Recovery == nil {

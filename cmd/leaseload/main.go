@@ -74,6 +74,10 @@ func main() {
 	enc.SetIndent("", "  ")
 	enc.Encode(rep)
 
+	for _, sl := range rep.PerShard {
+		log.Printf("shard %d: %d clients, %d ops, %.0f ops/sec", sl.Shard, sl.Clients, sl.Ops, sl.OpsPerSec)
+	}
+
 	if *requireDet {
 		if rep.MisbehavingDeferred < rep.MisbehavingClients {
 			fmt.Fprintf(os.Stderr, "leaseload: FAIL: only %d/%d misbehaving clients deferred\n",

@@ -1,0 +1,53 @@
+package leased
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/lease"
+)
+
+// BenchmarkShardedApply measures the serialization point the sharding work
+// exists to split: concurrent goroutines driving renew operations through
+// applyOp (dedup check + clock section + mutation), at increasing shard
+// counts. On a multi-core machine throughput should scale with shards up to
+// GOMAXPROCS; on one core the curve is flat — the point of recording it per
+// shard count is exactly to see which machine you're on.
+func BenchmarkShardedApply(b *testing.B) {
+	for _, n := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", n), func(b *testing.B) {
+			opts := Options{
+				Lease: lease.Config{
+					Term:              time.Second,
+					Tau:               2 * time.Second,
+					TauMax:            8 * time.Second,
+					MisbehaviorWindow: 4,
+				},
+				Shards: n,
+			}
+			s := NewServer(opts)
+			defer s.Close()
+
+			var ctr atomic.Int64
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				name := fmt.Sprintf("bench-%03d", ctr.Add(1))
+				sh := s.shardFor(name)
+				out := sh.applyOp(&opRecord{Op: "acquire", Client: name, Kind: "wakelock"}, "")
+				var lr leaseResponse
+				if err := json.Unmarshal(out.body, &lr); err != nil {
+					b.Fatal(err)
+				}
+				_, local := decodeLeaseID(lr.LeaseID)
+				rep := usageReport{CPUMS: 1, UIUpdates: 1}
+				for pb.Next() {
+					sh.applyOp(&opRecord{Op: "renew", LeaseID: local, Report: &rep}, "")
+				}
+			})
+		})
+	}
+}

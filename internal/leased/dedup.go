@@ -6,10 +6,19 @@ package leased
 // second application. Bounded FIFO; eviction order is insertion order, so a
 // cache rebuilt by journal replay (insertions in log order) matches the
 // pre-crash cache exactly.
+//
+// The id queue is a fixed-capacity ring buffer, not a sliced-forward slice:
+// evicting with order = order[1:] would keep the backing array alive, so a
+// long-lived daemon would pin every evicted request-ID string (and, through
+// the map, every evicted response body) forever. The ring reuses its cap
+// slots in place and the map delete drops the response, so retention is
+// bounded by cap regardless of how many requests ever passed through.
 type dedupCache struct {
-	cap   int
-	m     map[string][]byte
-	order []string
+	cap  int
+	m    map[string][]byte
+	ring []string // circular id queue; oldest at head
+	head int      // index of the oldest live entry
+	n    int      // live entries (≤ cap)
 }
 
 // dedupEntry is one cached response in the checkpoint payload.
@@ -19,7 +28,11 @@ type dedupEntry struct {
 }
 
 func newDedupCache(capacity int) *dedupCache {
-	return &dedupCache{cap: capacity, m: make(map[string][]byte, capacity)}
+	return &dedupCache{
+		cap:  capacity,
+		m:    make(map[string][]byte, capacity),
+		ring: make([]string, capacity),
+	}
 }
 
 func (c *dedupCache) get(id string) ([]byte, bool) {
@@ -27,26 +40,38 @@ func (c *dedupCache) get(id string) ([]byte, bool) {
 	return raw, ok
 }
 
+func (c *dedupCache) size() int { return c.n }
+
 func (c *dedupCache) put(id string, resp []byte) {
 	if _, ok := c.m[id]; ok {
 		c.m[id] = resp
 		return
 	}
-	c.m[id] = resp
-	c.order = append(c.order, id)
-	for len(c.order) > c.cap {
-		delete(c.m, c.order[0])
-		c.order = c.order[1:]
+	if c.cap <= 0 {
+		return
 	}
+	if c.n == c.cap {
+		// Full: the tail slot is the head slot. Evict the oldest — map
+		// delete releases its response; overwriting the ring slot releases
+		// its id string — and advance the head.
+		delete(c.m, c.ring[c.head])
+		c.ring[c.head] = id
+		c.head = (c.head + 1) % c.cap
+	} else {
+		c.ring[(c.head+c.n)%c.cap] = id
+		c.n++
+	}
+	c.m[id] = resp
 }
 
 // entries lists the cache oldest-first, for the checkpoint payload.
 func (c *dedupCache) entries() []dedupEntry {
-	if len(c.order) == 0 {
+	if c.n == 0 {
 		return nil
 	}
-	out := make([]dedupEntry, 0, len(c.order))
-	for _, id := range c.order {
+	out := make([]dedupEntry, 0, c.n)
+	for i := 0; i < c.n; i++ {
+		id := c.ring[(c.head+i)%c.cap]
 		out = append(out, dedupEntry{ID: id, Resp: c.m[id]})
 	}
 	return out

@@ -2,6 +2,7 @@ package leased
 
 import (
 	"bytes"
+	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
@@ -24,10 +25,12 @@ func TestHTTPErrorPaths(t *testing.T) {
 	}
 
 	baseline := func() (created, renewals int) {
-		r.s.do(func() {
-			created = r.s.mgr.CreatedTotal()
-			renewals = r.s.mgr.Renewals
-		})
+		for _, sh := range r.s.shards {
+			sh.do(func() {
+				created += sh.mgr.CreatedTotal()
+				renewals += sh.mgr.Renewals
+			})
+		}
 		return
 	}
 	preCreated, preRenewals := baseline()
@@ -119,8 +122,12 @@ func TestDuplicateRequestIDDoesNotDoubleApply(t *testing.T) {
 		t.Fatalf("retry response differs:\n first: %s\nsecond: %s", first, second)
 	}
 
+	var acquired leaseResponse
+	if err := json.Unmarshal(first, &acquired); err != nil {
+		t.Fatal(err)
+	}
 	var lr leaseResponse
-	if c := r.call("GET", "/v1/leases/1", nil, &lr); c != 200 {
+	if c := r.call("GET", fmt.Sprintf("/v1/leases/%d", acquired.LeaseID), nil, &lr); c != 200 {
 		t.Fatalf("get: %d", c)
 	}
 	if lr.Acquires != 1 {
@@ -128,10 +135,12 @@ func TestDuplicateRequestIDDoesNotDoubleApply(t *testing.T) {
 	}
 
 	// Renew dedup: the usage report must fold in exactly once.
-	r.callWithID("POST", "/v1/leases/1/renew", "ren-1", usageReport{CPUMS: 100})
-	r.callWithID("POST", "/v1/leases/1/renew", "ren-1", usageReport{CPUMS: 100})
+	renewPath := fmt.Sprintf("/v1/leases/%d/renew", acquired.LeaseID)
+	r.callWithID("POST", renewPath, "ren-1", usageReport{CPUMS: 100})
+	r.callWithID("POST", renewPath, "ren-1", usageReport{CPUMS: 100})
 	var cpu time.Duration
-	r.s.do(func() { cpu = r.s.apps.cpu[r.s.clients["alice"]] })
+	sh := r.s.shardFor("alice")
+	sh.do(func() { cpu = sh.apps.cpu[sh.clients["alice"]] })
 	if cpu != 100*time.Millisecond {
 		t.Fatalf("cpu folded %v, want exactly 100ms (double-applied?)", cpu)
 	}
@@ -141,7 +150,7 @@ func TestDuplicateRequestIDDoesNotDoubleApply(t *testing.T) {
 	if code != 200 || deduped {
 		t.Fatalf("distinct id: code %d deduped %v", code, deduped)
 	}
-	if c := r.call("GET", "/v1/leases/1", nil, &lr); c != 200 || lr.Acquires != 2 {
+	if c := r.call("GET", fmt.Sprintf("/v1/leases/%d", acquired.LeaseID), nil, &lr); c != 200 || lr.Acquires != 2 {
 		t.Fatalf("acquires = %d after a distinct-id acquire, want 2", lr.Acquires)
 	}
 }
@@ -160,8 +169,9 @@ func TestInjectedErrorAndDelayFaults(t *testing.T) {
 	if code := r.call("POST", "/v1/leases", acquireRequest{Client: "a", Kind: "wakelock"}, nil); code != 503 {
 		t.Fatalf("injected error: status %d, want 503", code)
 	}
+	sh := r.s.shardFor("a")
 	var created int
-	r.s.do(func() { created = r.s.mgr.CreatedTotal() })
+	sh.do(func() { created = sh.mgr.CreatedTotal() })
 	if created != 0 {
 		t.Fatal("injected-error request still applied")
 	}
@@ -174,6 +184,19 @@ func TestInjectedErrorAndDelayFaults(t *testing.T) {
 	}
 	if code := r.call("POST", "/v1/leases", acquireRequest{Client: "a", Kind: "wakelock"}, nil); code != 503 {
 		t.Fatalf("slow handler: status %d, want timeout 503", code)
+	}
+	// The timed-out request must be accounted as an error even though the
+	// stalled inner handler eventually "succeeded" against the dead writer.
+	// The observation lands when the handler unblocks (~300ms), so poll.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if errs := r.s.snapshot().Requests["acquire"].Errors; errs >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("timed-out acquire never counted as an error in /metrics")
+		}
+		time.Sleep(10 * time.Millisecond)
 	}
 }
 
@@ -193,8 +216,9 @@ func TestDroppedResponseRetryDedups(t *testing.T) {
 	if _, err := r.cli.Do(req); err == nil {
 		t.Fatal("dropped response still reached the client")
 	}
+	sh := r.s.shardFor("ghost")
 	var created int
-	r.s.do(func() { created = r.s.mgr.CreatedTotal() })
+	sh.do(func() { created = sh.mgr.CreatedTotal() })
 	if created != 1 {
 		t.Fatalf("created = %d after dropped acquire, want 1 (op must apply)", created)
 	}
@@ -202,12 +226,16 @@ func TestDroppedResponseRetryDedups(t *testing.T) {
 	// Heal the network and retry with the same ID: the cached response
 	// comes back and the op is not re-applied.
 	inj.Site("http.drop").SetProb(0)
-	code, _, deduped := r.callWithID("POST", "/v1/leases", "ghost-1", acquireRequest{Client: "ghost", Kind: "wakelock"})
+	code, body, deduped := r.callWithID("POST", "/v1/leases", "ghost-1", acquireRequest{Client: "ghost", Kind: "wakelock"})
 	if code != 200 || !deduped {
 		t.Fatalf("retry after drop: code %d deduped %v, want cache hit", code, deduped)
 	}
+	var acquired leaseResponse
+	if err := json.Unmarshal(body, &acquired); err != nil {
+		t.Fatal(err)
+	}
 	var lr leaseResponse
-	if c := r.call("GET", "/v1/leases/1", nil, &lr); c != 200 || lr.Acquires != 1 {
+	if c := r.call("GET", fmt.Sprintf("/v1/leases/%d", acquired.LeaseID), nil, &lr); c != 200 || lr.Acquires != 1 {
 		t.Fatalf("acquires = %d after retry, want 1", lr.Acquires)
 	}
 }

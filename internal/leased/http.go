@@ -1,6 +1,7 @@
 package leased
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -51,11 +52,14 @@ func (r usageReport) used() time.Duration          { return msDur(r.UsedMS) }
 func (r usageReport) request() time.Duration       { return msDur(r.RequestMS) }
 func (r usageReport) failedRequest() time.Duration { return msDur(r.FailedRequestMS) }
 
-// leaseResponse describes one lease to the client.
+// leaseResponse describes one lease to the client. LeaseID is the wire ID:
+// the shard-local manager ID tagged with the owning shard in its low bits,
+// so subsequent renew/release/get requests route by arithmetic alone.
 type leaseResponse struct {
 	LeaseID uint64 `json:"lease_id"`
 	Client  string `json:"client"`
 	UID     int    `json:"uid"`
+	Shard   int    `json:"shard"`
 	Kind    string `json:"kind"`
 	State   string `json:"state"`
 	Held    bool   `json:"held"`
@@ -72,24 +76,25 @@ type errorResponse struct {
 	Error string `json:"error"`
 }
 
-// leaseView renders o's lease. Callers hold the clock.
-func (s *Server) leaseView(o *robj, withExplain bool) leaseResponse {
+// leaseView renders o's lease. Callers hold the shard clock.
+func (sh *shard) leaseView(o *robj, withExplain bool) leaseResponse {
 	resp := leaseResponse{
-		LeaseID:  o.leaseID,
+		LeaseID:  encodeLeaseID(sh.id, o.leaseID),
 		Client:   o.client,
 		UID:      int(o.uid),
+		Shard:    sh.id,
 		Kind:     o.kind.String(),
 		Held:     o.held,
 		Acquires: o.acquires,
 		State:    lease.Dead.String(),
 	}
-	if l := s.mgr.LeaseByID(o.leaseID); l != nil {
+	if l := sh.mgr.LeaseByID(o.leaseID); l != nil {
 		resp.State = l.State().String()
 		resp.Terms = l.Terms()
-		resp.TermMS = s.mgr.Config().Term.Milliseconds()
+		resp.TermMS = sh.mgr.Config().Term.Milliseconds()
 	}
 	if withExplain {
-		resp.Explain = s.mgr.Explain(o.leaseID)
+		resp.Explain = sh.mgr.Explain(o.leaseID)
 	}
 	return resp
 }
@@ -157,10 +162,13 @@ func (d *discardWriter) Header() http.Header         { return d.h }
 func (d *discardWriter) Write(b []byte) (int, error) { return len(b), nil }
 func (d *discardWriter) WriteHeader(int)             {}
 
-// statusWriter captures the response code for error accounting.
+// statusWriter captures the response code for error accounting, and carries
+// the shard a handler routed to so record can bill the observation to that
+// shard's histograms.
 type statusWriter struct {
 	http.ResponseWriter
 	status int
+	shard  *shard
 }
 
 func (w *statusWriter) WriteHeader(code int) {
@@ -168,19 +176,48 @@ func (w *statusWriter) WriteHeader(code int) {
 	w.ResponseWriter.WriteHeader(code)
 }
 
-// record wraps a handler with the route's latency histogram.
+// markShard notes which shard handled this request. Handlers call it right
+// after routing; requests that never route (parse failures, unroutable
+// lease IDs, /metrics) bill to the server-level unrouted histograms.
+func markShard(w http.ResponseWriter, sh *shard) {
+	if sw, ok := w.(*statusWriter); ok {
+		sw.shard = sh
+	}
+}
+
+// record wraps a handler with the route's latency histogram — the routed
+// shard's when the handler reached one, the server's unrouted set otherwise.
+//
+// A request that trips http.TimeoutHandler is counted as an error even
+// though the inner handler never wrote a failure status: the handler keeps
+// running against a dead ResponseWriter, finishes "successfully", and the
+// statusWriter still says 200 — but the client got a 503. The tell is the
+// request context, which TimeoutHandler arms with the deadline; if it has
+// expired by the time the handler returns, the observation is an error, not
+// a success (and its — necessarily huge — latency stays out of the success
+// accounting's good graces).
 func (s *Server) record(route int, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 		start := time.Now()
 		h(sw, r)
-		s.metrics.routes[route].observe(time.Since(start), sw.status >= 400)
+		isError := sw.status >= 400 ||
+			errors.Is(r.Context().Err(), context.DeadlineExceeded)
+		d := time.Since(start)
+		if sw.shard != nil {
+			sw.shard.metrics.routes[route].observe(d, isError)
+		} else {
+			s.metrics.unrouted[route].observe(d, isError)
+		}
 	}
 }
 
 // admit enforces the bounded in-flight limit: rather than queueing without
 // bound under overload, excess requests fail fast with 503 and a Retry-After
-// hint, keeping tail latency flat for the admitted ones.
+// hint, keeping tail latency flat for the admitted ones. The gate is global
+// — it bounds the daemon's total HTTP concurrency, which is an admission
+// decision, not a serialization point: admitted requests still proceed to
+// their shards independently.
 func (s *Server) admit(h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		select {
@@ -260,23 +297,24 @@ func (out opOutcome) write(w http.ResponseWriter) {
 	w.Write([]byte("\n"))
 }
 
-// applyOp runs one external mutation through the full durability pipeline
-// inside a single clock section: dedup check, virtual-time stamp, journal
-// append, state mutation, response cache. Failed ops (4xx) change no state
-// and are not journaled.
-func (s *Server) applyOp(rec *opRecord, reqID string) opOutcome {
+// applyOp runs one external mutation through this shard's full durability
+// pipeline inside a single clock section: dedup check, virtual-time stamp,
+// journal append, state mutation, response cache. Failed ops (4xx) change
+// no state and are not journaled. rec.LeaseID, if set, is already
+// shard-local — the handler decoded the wire ID to route here.
+func (sh *shard) applyOp(rec *opRecord, reqID string) opOutcome {
 	var out opOutcome
-	s.do(func() {
+	sh.do(func() {
 		if reqID != "" {
-			if raw, ok := s.dedup.get(reqID); ok {
-				s.metrics.deduped.Add(1)
+			if raw, ok := sh.dedup.get(reqID); ok {
+				sh.metrics.deduped.Add(1)
 				out = opOutcome{status: http.StatusOK, body: raw, deduped: true}
 				return
 			}
 		}
-		rec.At = s.clock.Now()
+		rec.At = sh.clock.Now()
 		rec.ReqID = reqID
-		status, resp, errMsg := s.applyRecord(rec)
+		status, resp, errMsg := sh.applyRecord(rec)
 		if status != http.StatusOK {
 			body, _ := json.Marshal(errorResponse{Error: errMsg})
 			out = opOutcome{status: status, body: body}
@@ -285,10 +323,10 @@ func (s *Server) applyOp(rec *opRecord, reqID string) opOutcome {
 		// Journal AFTER a successful apply but inside the same frozen
 		// instant: the mutation cannot fail after being logged, and the
 		// log order equals the clock order.
-		s.journalLocked(rec)
+		sh.journalLocked(rec)
 		body, _ := json.Marshal(resp)
 		if reqID != "" {
-			s.dedup.put(reqID, body)
+			sh.dedup.put(reqID, body)
 		}
 		out = opOutcome{status: http.StatusOK, body: body}
 	})
@@ -314,18 +352,38 @@ func (s *Server) handleAcquire(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	s.applyOp(&opRecord{Op: "acquire", Client: req.Client, Kind: req.Kind}, reqID).write(w)
+	sh := s.shardFor(req.Client)
+	markShard(w, sh)
+	sh.applyOp(&opRecord{Op: "acquire", Client: req.Client, Kind: req.Kind}, reqID).write(w)
 }
 
-// leaseID parses the {id} path segment.
+// leaseID parses the {id} path segment (a wire lease ID).
 func leaseID(r *http.Request) (uint64, error) {
 	return strconv.ParseUint(r.PathValue("id"), 10, 64)
 }
 
-func (s *Server) handleRenew(w http.ResponseWriter, r *http.Request) {
-	id, err := leaseID(r)
+// routeLease resolves the {id} path segment to its owning shard and local
+// lease ID, writing the error response itself when it cannot. A wire ID
+// whose shard tag names a shard this daemon does not have is
+// indistinguishable from a dead lease to the caller: 404.
+func (s *Server) routeLease(w http.ResponseWriter, r *http.Request) (*shard, uint64, bool) {
+	wire, err := leaseID(r)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "bad lease id")
+		return nil, 0, false
+	}
+	sh, local, ok := s.shardByWireID(wire)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown or dead lease")
+		return nil, 0, false
+	}
+	markShard(w, sh)
+	return sh, local, true
+}
+
+func (s *Server) handleRenew(w http.ResponseWriter, r *http.Request) {
+	sh, local, ok := s.routeLease(w, r)
+	if !ok {
 		return
 	}
 	var rep usageReport
@@ -338,13 +396,12 @@ func (s *Server) handleRenew(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	s.applyOp(&opRecord{Op: "renew", LeaseID: id, Report: &rep}, reqID).write(w)
+	sh.applyOp(&opRecord{Op: "renew", LeaseID: local, Report: &rep}, reqID).write(w)
 }
 
 func (s *Server) handleRelease(w http.ResponseWriter, r *http.Request) {
-	id, err := leaseID(r)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, "bad lease id")
+	sh, local, ok := s.routeLease(w, r)
+	if !ok {
 		return
 	}
 	reqID, err := requestID(r)
@@ -353,21 +410,20 @@ func (s *Server) handleRelease(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	destroy := r.URL.Query().Get("destroy") == "1"
-	s.applyOp(&opRecord{Op: "release", LeaseID: id, Destroy: destroy}, reqID).write(w)
+	sh.applyOp(&opRecord{Op: "release", LeaseID: local, Destroy: destroy}, reqID).write(w)
 }
 
 func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
-	id, err := leaseID(r)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, "bad lease id")
+	sh, local, ok := s.routeLease(w, r)
+	if !ok {
 		return
 	}
 	var resp leaseResponse
 	found := false
-	s.do(func() {
-		if o := s.byLease[id]; o != nil {
+	sh.do(func() {
+		if o := sh.byLease[local]; o != nil {
 			found = true
-			resp = s.leaseView(o, true)
+			resp = sh.leaseView(o, true)
 		}
 	})
 	if !found {

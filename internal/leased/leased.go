@@ -6,19 +6,29 @@
 //
 // Architecture:
 //
-//	HTTP handlers ──► runtime.Wall.Do ──► lease.Manager (unmodified)
-//	                        │                    │ Suppress/TermStats
-//	                        │                    ▼
-//	                        └──────────► resources (hooks.Controller)
+//	                    ┌► shard 0: runtime.Wall ─► lease.Manager ─► journal
+//	HTTP handlers ──────┤► shard 1: runtime.Wall ─► lease.Manager ─► journal
+//	 route by           │  ...
+//	 hash(client)       └► shard N-1
 //
-// The manager is the exact single-threaded mechanism the simulator runs;
-// the Wall clock's Do is the only door to it, so HTTP concurrency is
-// serialized at the clock, term-check events interleave with requests in
-// timestamp order, and the whole lease table keeps its simulation-grade
-// invariants under load. The resources table plays the role the Android
-// services play in the simulator: it is the lease proxy that tracks
-// held/active time server-side and folds in the utility signals clients
-// report with their renewals.
+// Every piece of mutable lease state is keyed by client identity —
+// reputation, EUB, the lease table, the UID map, the dedup cache — so the
+// daemon partitions into fully independent shards: each shard is a wall
+// clock, an unmodified manager, a resource table and a durable journal of
+// its own, and a request touches exactly one of them. Acquires route by
+// hash(client name); renew/release/get route by the shard tag carried in
+// the low bits of every lease ID. There are no cross-shard locks on the hot
+// path — N shards serialize at N independent clocks, so throughput scales
+// with cores instead of saturating one.
+//
+// Within a shard the manager remains the exact single-threaded mechanism
+// the simulator runs; the shard clock's Do is the only door to it, so HTTP
+// concurrency is serialized at that clock, term-check events interleave
+// with requests in timestamp order, and the shard's lease table keeps its
+// simulation-grade invariants under load. The resources table plays the
+// role the Android services play in the simulator: it is the lease proxy
+// that tracks held/active time server-side and folds in the utility signals
+// clients report with their renewals.
 package leased
 
 import (
@@ -41,22 +51,28 @@ type Options struct {
 	// live daemon the 5 s base term is usually right; tests and load
 	// experiments shrink it.
 	Lease lease.Config
+	// Shards is how many independent Wall+Manager+journal shards requests
+	// are partitioned across (default 1, max MaxShards). State partitions
+	// by client name, so a shard count change invalidates the routing; a
+	// durable daemon pins the count in its snapshots and refuses to reopen
+	// with a different one.
+	Shards int
 	// MaxInflight bounds concurrently-admitted requests; excess requests
 	// are rejected with 503 rather than queued (default 256).
 	MaxInflight int
 	// RequestTimeout bounds one request's total handling time (default 5 s).
 	RequestTimeout time.Duration
 
-	// SnapshotEvery is how many journal records accumulate before a
-	// checkpoint folds them into the snapshot (default 1024). Only
-	// meaningful for daemons stood up with Open.
+	// SnapshotEvery is how many journal records accumulate on one shard
+	// before a checkpoint folds them into that shard's snapshot (default
+	// 1024). Only meaningful for daemons stood up with Open.
 	SnapshotEvery int
 	// Fsync makes every journal append durable against power loss, not
 	// just process crash. Off by default: the chaos tests SIGKILL the
 	// process, and the page cache survives that.
 	Fsync bool
-	// DedupWindow bounds the idempotency cache: how many recent
-	// request-IDs the daemon remembers (default 4096).
+	// DedupWindow bounds each shard's idempotency cache: how many recent
+	// request-IDs a shard remembers (default 4096).
 	DedupWindow int
 
 	// Faults, when set, threads scripted chaos through the daemon: sites
@@ -66,6 +82,12 @@ type Options struct {
 }
 
 func (o Options) withDefaults() Options {
+	if o.Shards <= 0 {
+		o.Shards = 1
+	}
+	if o.Shards > MaxShards {
+		o.Shards = MaxShards
+	}
 	if o.MaxInflight <= 0 {
 		o.MaxInflight = 256
 	}
@@ -81,10 +103,60 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// Server is the lease daemon: the wall clock, the manager, the server-side
-// resource table, and the HTTP surface. Create with NewServer; all mutable
-// state below is touched only inside clock.Do.
+// --- shard routing ---
+
+// shardBits is how many low bits of a wire lease ID carry the shard index.
+const shardBits = 8
+
+// MaxShards is the largest supported shard count (the shard tag is
+// shardBits wide).
+const MaxShards = 1 << shardBits
+
+// encodeLeaseID tags a shard-local lease ID with its shard index. The tag
+// rides in the low bits so renew/release/get route to the owning shard by
+// arithmetic alone — no global lease map, no cross-shard lookup.
+func encodeLeaseID(shard int, local uint64) uint64 {
+	return local<<shardBits | uint64(shard)
+}
+
+// decodeLeaseID splits a wire lease ID into shard index and local ID.
+func decodeLeaseID(wire uint64) (shard int, local uint64) {
+	return int(wire & (MaxShards - 1)), wire >> shardBits
+}
+
+// shardIndex routes a client name: FNV-1a over the name, mod shard count.
+// Inlined (rather than hash/fnv) to keep the hot path allocation-free.
+func shardIndex(client string, n int) int {
+	const offset32, prime32 = 2166136261, 16777619
+	h := uint32(offset32)
+	for i := 0; i < len(client); i++ {
+		h ^= uint32(client[i])
+		h *= prime32
+	}
+	return int(h % uint32(n))
+}
+
+// Server is the lease daemon: N independent shards behind one HTTP surface,
+// plus the shared admission gate. Create with NewServer (in-memory) or Open
+// (durable).
 type Server struct {
+	opts   Options
+	shards []*shard
+
+	faults *faults.Injector
+
+	metrics  *serverMetrics
+	inflight chan struct{}
+	started  time.Time
+}
+
+// shard is one fully independent partition of the daemon: a wall clock, an
+// unmodified lease manager, the server-side resource table, the client/UID
+// map, the dedup cache and (for durable daemons) a journal+snapshot store.
+// All mutable state below is touched only inside clock.Do; nothing in a
+// shard is ever accessed from another shard.
+type shard struct {
+	id    int
 	opts  Options
 	clock *runtime.Wall
 	mgr   *lease.Manager
@@ -96,18 +168,14 @@ type Server struct {
 	nextUID    power.UID
 
 	byKey   map[clientKey]*robj // one kernel object per (uid, kind)
-	byLease map[uint64]*robj
+	byLease map[uint64]*robj    // keyed by shard-local lease ID
 
 	// Durability (nil store = in-memory daemon, the NewServer path).
 	store    *durable.Store
 	dedup    *dedupCache
 	recovery RecoveryInfo
 
-	faults *faults.Injector
-
-	metrics  *metrics
-	inflight chan struct{}
-	started  time.Time
+	metrics *shardMetrics
 }
 
 type clientKey struct {
@@ -115,18 +183,36 @@ type clientKey struct {
 	kind hooks.Kind
 }
 
-// NewServer assembles an in-memory daemon (no journal; state dies with the
-// process). Call Close when done to stop the clock. For a crash-safe daemon
-// use Open.
+// NewServer assembles an in-memory daemon (no journals; state dies with the
+// process). Call Close when done to stop the shard clocks. For a crash-safe
+// daemon use Open.
 func NewServer(opts Options) *Server {
-	return newServer(opts, runtime.NewWall())
+	opts = opts.withDefaults()
+	s := newServerShell(opts)
+	for i := 0; i < opts.Shards; i++ {
+		s.shards = append(s.shards, newShard(i, opts, runtime.NewWall()))
+	}
+	return s
 }
 
-// newServer assembles a daemon around the given clock, which Open passes in
-// unstarted so recovery can replay before real time begins.
-func newServer(opts Options, clock *runtime.Wall) *Server {
-	opts = opts.withDefaults()
-	s := &Server{
+// newServerShell builds the shard-independent part of a Server; callers
+// fill s.shards. opts must already carry defaults.
+func newServerShell(opts Options) *Server {
+	return &Server{
+		opts:     opts,
+		faults:   opts.Faults,
+		metrics:  &serverMetrics{},
+		inflight: make(chan struct{}, opts.MaxInflight),
+		started:  time.Now(),
+	}
+}
+
+// newShard assembles one shard around the given clock, which recovery
+// passes in unstarted so journal replay can run before real time begins.
+// opts must already carry defaults.
+func newShard(id int, opts Options, clock *runtime.Wall) *shard {
+	sh := &shard{
+		id:         id,
 		opts:       opts,
 		clock:      clock,
 		apps:       newAppStats(),
@@ -136,131 +222,148 @@ func newServer(opts Options, clock *runtime.Wall) *Server {
 		byKey:      make(map[clientKey]*robj),
 		byLease:    make(map[uint64]*robj),
 		dedup:      newDedupCache(opts.DedupWindow),
-		faults:     opts.Faults,
-		metrics:    newMetrics(),
-		inflight:   make(chan struct{}, opts.MaxInflight),
-		started:    time.Now(),
+		metrics:    &shardMetrics{},
 	}
-	s.res = &resources{clock: s.clock, objs: make(map[uint64]*robj)}
-	s.mgr = lease.NewManager(s.clock, s.apps, opts.Lease)
-	if s.faults != nil {
-		site := s.faults.Site("wall.delay")
-		s.clock.SetLoopDelay(func() time.Duration {
+	sh.res = &resources{clock: sh.clock, objs: make(map[uint64]*robj)}
+	sh.mgr = lease.NewManager(sh.clock, sh.apps, opts.Lease)
+	if opts.Faults != nil {
+		site := opts.Faults.Site("wall.delay")
+		sh.clock.SetLoopDelay(func() time.Duration {
 			if site.Fire() {
 				return site.Delay()
 			}
 			return 0
 		})
 	}
-	return s
+	return sh
 }
 
-// Close stops the wall clock's timer loop and the journal. In-flight Do
+// shardFor routes a client name to its owning shard.
+func (s *Server) shardFor(client string) *shard {
+	return s.shards[shardIndex(client, len(s.shards))]
+}
+
+// shardByWireID routes a wire lease ID to its owning shard and local ID;
+// ok is false when the tag names a shard this daemon does not have.
+func (s *Server) shardByWireID(wire uint64) (sh *shard, local uint64, ok bool) {
+	idx, local := decodeLeaseID(wire)
+	if idx >= len(s.shards) {
+		return nil, 0, false
+	}
+	return s.shards[idx], local, true
+}
+
+// Close stops every shard's clock-timer loop and journal. In-flight Do
 // sections finish first; call after the HTTP server has shut down.
 func (s *Server) Close() {
-	s.clock.Stop()
-	if s.store != nil {
-		s.store.Close()
+	for _, sh := range s.shards {
+		sh.clock.Stop()
+		if sh.store != nil {
+			sh.store.Close()
+		}
 	}
 }
 
-// do runs fn serialized on the clock, with due term checks fired first.
-func (s *Server) do(fn func()) { s.clock.Do(fn) }
+// do runs fn serialized on this shard's clock, with due term checks fired
+// first.
+func (sh *shard) do(fn func()) { sh.clock.Do(fn) }
 
-// uidOf maps a client name to its stable UID, assigning on first sight.
-// Callers hold the clock.
-func (s *Server) uidOf(client string) power.UID {
-	if uid, ok := s.clients[client]; ok {
+// uidOf maps a client name to its shard-stable UID, assigning on first
+// sight. UIDs are unique within a shard only; the globally unique identity
+// is the client name. Callers hold the shard clock.
+func (sh *shard) uidOf(client string) power.UID {
+	if uid, ok := sh.clients[client]; ok {
 		return uid
 	}
-	uid := s.nextUID
-	s.nextUID++
-	s.clients[client] = uid
-	s.clientName[uid] = client
+	uid := sh.nextUID
+	sh.nextUID++
+	sh.clients[client] = uid
+	sh.clientName[uid] = client
 	return uid
 }
 
 // acquire creates or re-acquires the (client, kind) lease. The applied-
 // acquire counter is the client's double-apply detector: a retried request
 // that dedups does not reach here, so the counter tracks logical intents,
-// not wire attempts. Callers hold the clock.
-func (s *Server) acquire(client string, kind hooks.Kind) *robj {
-	uid := s.uidOf(client)
+// not wire attempts. Callers hold the shard clock.
+func (sh *shard) acquire(client string, kind hooks.Kind) *robj {
+	uid := sh.uidOf(client)
 	key := clientKey{uid, kind}
-	o := s.byKey[key]
+	o := sh.byKey[key]
 	if o == nil || o.destroyed {
-		o = s.res.create(uid, kind, client)
-		s.byKey[key] = o
+		o = sh.res.create(uid, kind, client)
+		sh.byKey[key] = o
 		o.held = true
 		o.acquires = 1
-		o.leaseID = s.mgr.Create(s.res.hookObject(o))
-		s.byLease[o.leaseID] = o
+		o.leaseID = sh.mgr.Create(sh.res.hookObject(o))
+		sh.byLease[o.leaseID] = o
 		return o
 	}
 	o.acquires++
 	if !o.held {
-		s.res.settle(o)
+		sh.res.settle(o)
 		o.held = true
 	}
-	s.mgr.ObjectReacquired(s.res.hookObject(o))
+	sh.mgr.ObjectReacquired(sh.res.hookObject(o))
 	return o
 }
 
 // renew folds the client's usage report into the lease's current term and
 // re-asserts that the resource is held; an inactive lease is renewed back
 // to Active, a deferred one stays suppressed until its τ elapses (the
-// paper's "pretend to succeed"). Callers hold the clock.
-func (s *Server) renew(o *robj, rep usageReport) {
-	s.foldReport(o, rep)
+// paper's "pretend to succeed"). Callers hold the shard clock.
+func (sh *shard) renew(o *robj, rep usageReport) {
+	sh.foldReport(o, rep)
 	if !o.held {
-		s.res.settle(o)
+		sh.res.settle(o)
 		o.held = true
 	}
-	s.mgr.ObjectReacquired(s.res.hookObject(o))
+	sh.mgr.ObjectReacquired(sh.res.hookObject(o))
 }
 
 // release drops the hold; the lease itself transitions at its next term
 // boundary (paper §3.2). Releasing an unheld lease is a no-op. Callers
-// hold the clock.
-func (s *Server) release(o *robj) {
+// hold the shard clock.
+func (sh *shard) release(o *robj) {
 	if !o.held || o.destroyed {
 		return
 	}
-	s.res.settle(o)
+	sh.res.settle(o)
 	o.held = false
-	s.mgr.ObjectReleased(s.res.hookObject(o))
+	sh.mgr.ObjectReleased(sh.res.hookObject(o))
 }
 
 // destroy deallocates the kernel object: the lease dies and the (client,
-// kind) slot is freed for a fresh lease. Callers hold the clock.
-func (s *Server) destroy(o *robj) {
+// kind) slot is freed for a fresh lease. Callers hold the shard clock.
+func (sh *shard) destroy(o *robj) {
 	if o.destroyed {
 		return
 	}
-	s.res.settle(o)
+	sh.res.settle(o)
 	o.destroyed = true
 	o.held = false
-	s.mgr.ObjectDestroyed(s.res.hookObject(o))
-	delete(s.byKey, clientKey{o.uid, o.kind})
-	delete(s.byLease, o.leaseID)
-	delete(s.res.objs, o.id)
+	sh.mgr.ObjectDestroyed(sh.res.hookObject(o))
+	delete(sh.byKey, clientKey{o.uid, o.kind})
+	delete(sh.byLease, o.leaseID)
+	delete(sh.res.objs, o.id)
 }
 
-// applyRecord executes one external mutation at the clock's current frozen
-// instant. It is the single mutation codepath — live requests run it inside
-// applyOp (which journals it first), and recovery runs it during replay — so
-// a replayed history reproduces the live history exactly. Callers hold the
-// clock.
-func (s *Server) applyRecord(rec *opRecord) (status int, resp leaseResponse, errMsg string) {
+// applyRecord executes one external mutation at the shard clock's current
+// frozen instant. It is the single mutation codepath — live requests run it
+// inside applyOp (which journals it first), and recovery runs it during
+// replay — so a replayed history reproduces the live history exactly.
+// Record lease IDs are shard-local (the journal is per-shard; the shard tag
+// is implied by the directory). Callers hold the shard clock.
+func (sh *shard) applyRecord(rec *opRecord) (status int, resp leaseResponse, errMsg string) {
 	switch rec.Op {
 	case "acquire":
 		kind, err := kindFromName(rec.Kind)
 		if err != nil {
 			return http.StatusBadRequest, resp, err.Error()
 		}
-		return http.StatusOK, s.leaseView(s.acquire(rec.Client, kind), false), ""
+		return http.StatusOK, sh.leaseView(sh.acquire(rec.Client, kind), false), ""
 	case "renew":
-		o := s.byLease[rec.LeaseID]
+		o := sh.byLease[rec.LeaseID]
 		if o == nil {
 			return http.StatusNotFound, resp, "unknown or dead lease"
 		}
@@ -268,19 +371,19 @@ func (s *Server) applyRecord(rec *opRecord) (status int, resp leaseResponse, err
 		if rec.Report != nil {
 			rep = *rec.Report
 		}
-		s.renew(o, rep)
-		return http.StatusOK, s.leaseView(o, false), ""
+		sh.renew(o, rep)
+		return http.StatusOK, sh.leaseView(o, false), ""
 	case "release":
-		o := s.byLease[rec.LeaseID]
+		o := sh.byLease[rec.LeaseID]
 		if o == nil {
 			return http.StatusNotFound, resp, "unknown or dead lease"
 		}
 		if rec.Destroy {
-			s.destroy(o)
+			sh.destroy(o)
 		} else {
-			s.release(o)
+			sh.release(o)
 		}
-		return http.StatusOK, s.leaseView(o, false), ""
+		return http.StatusOK, sh.leaseView(o, false), ""
 	case "mark":
 		// A no-op record: tests journal it to pin an exact replay stop
 		// point; replaying it does nothing.
@@ -290,8 +393,8 @@ func (s *Server) applyRecord(rec *opRecord) (status int, resp leaseResponse, err
 }
 
 // foldReport adds a usage report to the object's pending term stats and the
-// holder's app-level counters. Callers hold the clock.
-func (s *Server) foldReport(o *robj, rep usageReport) {
+// holder's app-level counters. Callers hold the shard clock.
+func (sh *shard) foldReport(o *robj, rep usageReport) {
 	o.used += rep.used()
 	o.reqTime += rep.request()
 	o.failedReqTime += rep.failedRequest()
@@ -301,7 +404,7 @@ func (s *Server) foldReport(o *robj, rep usageReport) {
 	if rep.DistanceM > 0 {
 		o.distanceM += rep.DistanceM
 	}
-	s.apps.add(o.uid, rep)
+	sh.apps.add(o.uid, rep)
 }
 
 // --- the server-side lease proxy (hooks.Controller) ---
@@ -314,7 +417,7 @@ type robj struct {
 	uid     power.UID
 	kind    hooks.Kind
 	client  string
-	leaseID uint64
+	leaseID uint64 // shard-local manager lease ID
 
 	held       bool
 	suppressed bool
@@ -339,9 +442,9 @@ type robj struct {
 	acquires int64
 }
 
-// resources implements hooks.Controller over the live object table. All
-// methods run with the clock held (the manager only calls them from inside
-// term-check events or server operations).
+// resources implements hooks.Controller over one shard's live object table.
+// All methods run with the shard clock held (the manager only calls them
+// from inside term-check events or server operations).
 type resources struct {
 	clock  runtime.Clock
 	objs   map[uint64]*robj

@@ -127,11 +127,14 @@ func ParseMix(s string) (map[Profile]int, error) {
 
 // ClientReport is one client's outcome.
 type ClientReport struct {
-	Client       string `json:"client"`
-	Profile      string `json:"profile"`
-	Ops          int64  `json:"ops"`
-	Errors       int64  `json:"errors"`
-	DeferredSeen int64  `json:"deferred_seen"` // responses observed in DEFERRED state
+	Client  string `json:"client"`
+	Profile string `json:"profile"`
+	// Shard is the daemon shard this client's lease lives on (from the
+	// acquire response); -1 if the client never completed an acquire.
+	Shard        int   `json:"shard"`
+	Ops          int64 `json:"ops"`
+	Errors       int64 `json:"errors"`
+	DeferredSeen int64 `json:"deferred_seen"` // responses observed in DEFERRED state
 
 	Sheds          int64 `json:"sheds"`
 	Retries        int64 `json:"retries"`
@@ -174,12 +177,25 @@ type Report struct {
 	DoubleAcquires int64 `json:"double_acquires"`
 	Reconnects     int64 `json:"reconnects"`
 
+	// PerShard breaks client count and throughput down by the daemon shard
+	// the clients landed on — the fleet-side view of the routing spread.
+	PerShard []ShardLoad `json:"per_shard,omitempty"`
+
 	Clients []ClientReport `json:"clients"`
+}
+
+// ShardLoad is the load one daemon shard absorbed during the run.
+type ShardLoad struct {
+	Shard     int     `json:"shard"`
+	Clients   int     `json:"clients"`
+	Ops       int64   `json:"ops"`
+	OpsPerSec float64 `json:"ops_per_sec"`
 }
 
 // leaseMsg is the subset of the daemon's lease response the generator needs.
 type leaseMsg struct {
 	LeaseID  uint64 `json:"lease_id"`
+	Shard    int    `json:"shard"`
 	State    string `json:"state"`
 	TermMS   int64  `json:"term_ms"`
 	Acquires int64  `json:"acquires"`
@@ -259,6 +275,7 @@ func Run(ctx context.Context, opts Options) (Report, error) {
 				cnt:     &cnt,
 				retries: opts.Retries,
 				bo:      newBackoff(opts.RetryBase, opts.RetryMax, rng),
+				shard:   -1,
 			}
 			wg.Add(1)
 			go func() {
@@ -295,6 +312,28 @@ func Run(ctx context.Context, opts Options) (Report, error) {
 	if secs := elapsed.Seconds(); secs > 0 {
 		rep.OpsPerSec = float64(rep.Ops) / secs
 	}
+	// Per-shard throughput: group client ops by the shard their lease landed
+	// on. Clients that never acquired (shard -1) are left out.
+	byShard := map[int]*ShardLoad{}
+	for _, cr := range reports {
+		if cr.Shard < 0 {
+			continue
+		}
+		sl := byShard[cr.Shard]
+		if sl == nil {
+			sl = &ShardLoad{Shard: cr.Shard}
+			byShard[cr.Shard] = sl
+		}
+		sl.Clients++
+		sl.Ops += cr.Ops
+	}
+	for _, sl := range byShard {
+		if secs := elapsed.Seconds(); secs > 0 {
+			sl.OpsPerSec = float64(sl.Ops) / secs
+		}
+		rep.PerShard = append(rep.PerShard, *sl)
+	}
+	sort.Slice(rep.PerShard, func(i, j int) bool { return rep.PerShard[i].Shard < rep.PerShard[j].Shard })
 	for _, cr := range reports {
 		p := Profile(cr.Profile)
 		switch {
@@ -370,6 +409,7 @@ type client struct {
 	bo      backoff
 	seq     int64 // request-ID sequence; one ID per logical op
 	intents int64 // acquire ops that reached the wire — the dedup upper bound
+	shard   int   // daemon shard from the acquire response; -1 until known
 
 	ops, errs, deferred int64
 	sheds, retried, lost, deduped, doubles, recon int64
@@ -501,6 +541,7 @@ func (c *client) run(ctx context.Context) ClientReport {
 		c.intents++
 		ok := c.mutate(ctx, &c.cnt.acquire, "POST", "/v1/leases", acquireMsg{Client: c.name, Kind: c.prof.kind()}, &lease)
 		if ok {
+			c.shard = lease.Shard
 			c.note(lease.State)
 			c.checkDoubles(lease.Acquires)
 		}
@@ -614,6 +655,7 @@ func (c *client) report() ClientReport {
 	return ClientReport{
 		Client:         c.name,
 		Profile:        string(c.prof),
+		Shard:          c.shard,
 		Ops:            c.ops,
 		Errors:         c.errs,
 		DeferredSeen:   c.deferred,

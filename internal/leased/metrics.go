@@ -68,26 +68,70 @@ func (h *hist) observe(d time.Duration, isError bool) {
 	}
 }
 
+// snap reads the histogram into a plain value, the unit that per-shard
+// histograms are merged in: bucket-wise addition is exact, so the fleet-wide
+// percentile estimate is computed from the summed buckets rather than by
+// averaging per-shard percentiles (which would be meaningless).
+func (h *hist) snap() histSnap {
+	var s histSnap
+	for i := range h.buckets {
+		s.buckets[i] = h.buckets[i].Load()
+	}
+	s.count = h.count.Load()
+	s.errors = h.errors.Load()
+	s.sumNS = h.sumNS.Load()
+	s.maxNS = h.maxNS.Load()
+	return s
+}
+
+// histSnap is a point-in-time histogram: per-shard snapshots merge into the
+// fleet view by adding buckets and counters and taking the max of maxes.
+type histSnap struct {
+	buckets [numLatBounds + 1]int64
+	count   int64
+	errors  int64
+	sumNS   int64
+	maxNS   int64
+}
+
+func (s *histSnap) merge(o histSnap) {
+	for i := range s.buckets {
+		s.buckets[i] += o.buckets[i]
+	}
+	s.count += o.count
+	s.errors += o.errors
+	s.sumNS += o.sumNS
+	if o.maxNS > s.maxNS {
+		s.maxNS = o.maxNS
+	}
+}
+
 // quantile estimates the q-th (0..1) latency from the buckets: the upper
-// bound of the bucket where the cumulative count crosses q. The +Inf bucket
-// reports the observed max.
-func (h *hist) quantile(q float64) time.Duration {
-	total := h.count.Load()
-	if total == 0 {
+// bound of the bucket where the cumulative count crosses q, clamped to the
+// observed max. Without the clamp a sparse histogram lies upward — a single
+// 60µs request would report p99 = 100µs (its bucket bound) while max = 60µs;
+// no estimated quantile can exceed the largest latency actually seen. The
+// +Inf bucket reports the observed max directly.
+func (s histSnap) quantile(q float64) time.Duration {
+	if s.count == 0 {
 		return 0
 	}
-	rank := int64(q*float64(total) + 0.5)
+	max := time.Duration(s.maxNS)
+	rank := int64(q*float64(s.count) + 0.5)
 	if rank < 1 {
 		rank = 1
 	}
 	var cum int64
 	for i := 0; i < len(latBounds); i++ {
-		cum += h.buckets[i].Load()
+		cum += s.buckets[i]
 		if cum >= rank {
+			if latBounds[i] > max {
+				return max
+			}
 			return latBounds[i]
 		}
 	}
-	return time.Duration(h.maxNS.Load())
+	return max
 }
 
 // RouteStats is one route's request accounting in a metrics snapshot.
@@ -108,15 +152,15 @@ type Percentiles struct {
 
 func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
 
-func (h *hist) stats() RouteStats {
-	st := RouteStats{Count: h.count.Load(), Errors: h.errors.Load(), MaxMS: ms(time.Duration(h.maxNS.Load()))}
+func (s histSnap) stats() RouteStats {
+	st := RouteStats{Count: s.count, Errors: s.errors, MaxMS: ms(time.Duration(s.maxNS))}
 	if st.Count > 0 {
-		st.MeanMS = ms(time.Duration(h.sumNS.Load() / st.Count))
+		st.MeanMS = ms(time.Duration(s.sumNS / st.Count))
 	}
 	st.LatencyMS = Percentiles{
-		P50: ms(h.quantile(0.50)),
-		P90: ms(h.quantile(0.90)),
-		P99: ms(h.quantile(0.99)),
+		P50: ms(s.quantile(0.50)),
+		P90: ms(s.quantile(0.90)),
+		P99: ms(s.quantile(0.99)),
 	}
 	return st
 }
@@ -133,43 +177,74 @@ const (
 
 var routeNames = [numRoutes]string{"acquire", "renew", "release", "get", "metrics"}
 
-// metrics is the server's observability state. Histograms are updated
-// lock-free from handler goroutines; lease/manager figures are sampled
-// under the clock at snapshot time.
-type metrics struct {
-	routes   [numRoutes]hist
+// serverMetrics is the observability state that belongs to the HTTP surface
+// rather than any shard: admission rejections, and latency for requests that
+// never reached a shard (parse failures, unroutable lease IDs, /metrics).
+type serverMetrics struct {
+	unrouted [numRoutes]hist
 	rejected atomic.Int64 // admission-control 503s
+}
+
+// shardMetrics is one shard's observability state, updated lock-free from
+// the handler goroutines that routed to it.
+type shardMetrics struct {
+	routes [numRoutes]hist
 
 	deduped       atomic.Int64 // idempotent retries answered from cache
 	journalErrors atomic.Int64 // failed journal appends / checkpoints
 	checkpoints   atomic.Int64 // successful snapshots
 }
 
-func newMetrics() *metrics { return &metrics{} }
+// LeaseCounts is the per-state lease census in a metrics snapshot.
+type LeaseCounts struct {
+	Active       int `json:"active"`
+	Inactive     int `json:"inactive"`
+	Deferred     int `json:"deferred"`
+	Live         int `json:"live"`
+	CreatedTotal int `json:"created_total"`
+	Dead         int `json:"dead"`
+}
 
-// Snapshot is the GET /metrics document.
+func (c *LeaseCounts) merge(o LeaseCounts) {
+	c.Active += o.Active
+	c.Inactive += o.Inactive
+	c.Deferred += o.Deferred
+	c.Live += o.Live
+	c.CreatedTotal += o.CreatedTotal
+	c.Dead += o.Dead
+}
+
+// ManagerCounters are the lease manager's cumulative counters.
+type ManagerCounters struct {
+	TermChecks      int `json:"term_checks"`
+	Renewals        int `json:"renewals"`
+	Deferrals       int `json:"deferrals"`
+	TermAdaptations int `json:"term_adaptations"`
+}
+
+func (c *ManagerCounters) merge(o ManagerCounters) {
+	c.TermChecks += o.TermChecks
+	c.Renewals += o.Renewals
+	c.Deferrals += o.Deferrals
+	c.TermAdaptations += o.TermAdaptations
+}
+
+// Snapshot is the GET /metrics document. The top-level figures are merged
+// across every shard — counters summed, latency histograms merged
+// bucket-wise, defaulter lists concatenated — and PerShard carries the
+// unmerged per-shard breakdowns.
 type Snapshot struct {
 	UptimeMS int64 `json:"uptime_ms"`
+	Shards   int   `json:"shards"`
 	Clients  int   `json:"clients"`
 
-	Leases struct {
-		Active       int `json:"active"`
-		Inactive     int `json:"inactive"`
-		Deferred     int `json:"deferred"`
-		Live         int `json:"live"`
-		CreatedTotal int `json:"created_total"`
-		Dead         int `json:"dead"`
-	} `json:"leases"`
+	Leases LeaseCounts `json:"leases"`
 
-	Manager struct {
-		TermChecks      int `json:"term_checks"`
-		Renewals        int `json:"renewals"`
-		Deferrals       int `json:"deferrals"`
-		TermAdaptations int `json:"term_adaptations"`
-	} `json:"manager"`
+	Manager ManagerCounters `json:"manager"`
 
 	// Defaulters lists every client whose lease history includes at least
-	// one deferral — the misbehaving-app detections, by name.
+	// one deferral — the misbehaving-app detections, by name, across all
+	// shards (client names are globally unique; UIDs only per shard).
 	Defaulters []Defaulter `json:"defaulters"`
 
 	Requests           map[string]RouteStats `json:"requests"`
@@ -180,16 +255,36 @@ type Snapshot struct {
 	// without re-applying the operation.
 	Deduped int64 `json:"deduped"`
 
-	// Durability reports the journal/snapshot machinery; absent on
-	// in-memory daemons.
+	// Durability reports the journal/snapshot machinery summed across
+	// shards (epoch is the max shard epoch); absent on in-memory daemons.
 	Durability *DurabilityStats `json:"durability,omitempty"`
 
-	// Recovery describes what the last boot found on disk; absent on
-	// in-memory daemons.
+	// Recovery describes what the last boot found on disk, merged across
+	// shards (replayed/truncated/stale summed, snapshot_loaded true when any
+	// shard loaded one); absent on in-memory daemons.
 	Recovery *RecoveryInfo `json:"recovery,omitempty"`
 
 	// Faults reports the injection sites when chaos is configured.
 	Faults map[string]faults.SiteStats `json:"faults,omitempty"`
+
+	// PerShard breaks the merged figures down by shard.
+	PerShard []ShardSnapshot `json:"per_shard,omitempty"`
+}
+
+// ShardSnapshot is one shard's unmerged contribution to the metrics
+// document.
+type ShardSnapshot struct {
+	Shard   int `json:"shard"`
+	Clients int `json:"clients"`
+
+	Leases     LeaseCounts           `json:"leases"`
+	Manager    ManagerCounters       `json:"manager"`
+	Defaulters []Defaulter           `json:"defaulters,omitempty"`
+	Requests   map[string]RouteStats `json:"requests"`
+	Deduped    int64                 `json:"deduped"`
+
+	Durability *DurabilityStats `json:"durability,omitempty"`
+	Recovery   *RecoveryInfo    `json:"recovery,omitempty"`
 }
 
 // DurabilityStats is the journal/snapshot section of a metrics snapshot.
@@ -202,49 +297,57 @@ type DurabilityStats struct {
 	DedupEntries  int   `json:"dedup_entries"`
 }
 
+func (d *DurabilityStats) merge(o DurabilityStats) {
+	if o.Epoch > d.Epoch {
+		d.Epoch = o.Epoch
+	}
+	d.AppendedTotal += o.AppendedTotal
+	d.SinceSnapshot += o.SinceSnapshot
+	d.SnapshotsTotal += o.SnapshotsTotal
+	d.JournalErrors += o.JournalErrors
+	d.Checkpoints += o.Checkpoints
+	d.DedupEntries += o.DedupEntries
+	d.SnapshotEvery = o.SnapshotEvery
+	d.Fsync = o.Fsync
+}
+
 // Defaulter is one detected misbehaving client.
 type Defaulter struct {
 	Client      string `json:"client"`
 	UID         int    `json:"uid"`
+	Shard       int    `json:"shard"`
 	Deferrals   int    `json:"deferrals"`
 	NormalTerms int    `json:"normal_terms"`
 	State       string `json:"state,omitempty"` // current state of its lease(s), if live
 }
 
-// snapshot assembles the metrics document. It takes the clock internally.
-func (s *Server) snapshot() Snapshot {
-	var snap Snapshot
-	snap.UptimeMS = time.Since(s.started).Milliseconds()
+// collect assembles this shard's snapshot section. It takes the shard clock
+// internally; no other shard's clock is touched.
+func (sh *shard) collect() ShardSnapshot {
+	snap := ShardSnapshot{Shard: sh.id, Deduped: sh.metrics.deduped.Load()}
 	snap.Requests = make(map[string]RouteStats, numRoutes)
 	for i := 0; i < numRoutes; i++ {
-		snap.Requests[routeNames[i]] = s.metrics.routes[i].stats()
+		snap.Requests[routeNames[i]] = sh.metrics.routes[i].snap().stats()
 	}
-	snap.InflightRejections = s.metrics.rejected.Load()
-	snap.MaxInflight = s.opts.MaxInflight
-	snap.Deduped = s.metrics.deduped.Load()
-	if s.faults != nil {
-		snap.Faults = s.faults.Stats()
-	}
-
-	s.do(func() {
-		if s.store != nil {
+	sh.do(func() {
+		if sh.store != nil {
 			snap.Durability = &DurabilityStats{
-				Stats:         s.store.Stats(),
-				SnapshotEvery: s.opts.SnapshotEvery,
-				Fsync:         s.opts.Fsync,
-				JournalErrors: s.metrics.journalErrors.Load(),
-				Checkpoints:   s.metrics.checkpoints.Load(),
-				DedupEntries:  len(s.dedup.order),
+				Stats:         sh.store.Stats(),
+				SnapshotEvery: sh.opts.SnapshotEvery,
+				Fsync:         sh.opts.Fsync,
+				JournalErrors: sh.metrics.journalErrors.Load(),
+				Checkpoints:   sh.metrics.checkpoints.Load(),
+				DedupEntries:  sh.dedup.size(),
 			}
-			rec := s.recovery
+			rec := sh.recovery
 			snap.Recovery = &rec
 		}
-		snap.Clients = len(s.clients)
-		snap.Leases.CreatedTotal = s.mgr.CreatedTotal()
-		snap.Leases.Live = s.mgr.LeaseCount()
+		snap.Clients = len(sh.clients)
+		snap.Leases.CreatedTotal = sh.mgr.CreatedTotal()
+		snap.Leases.Live = sh.mgr.LeaseCount()
 		snap.Leases.Dead = snap.Leases.CreatedTotal - snap.Leases.Live
 		stateOf := make(map[power.UID]string)
-		for _, l := range s.mgr.Leases() {
+		for _, l := range sh.mgr.Leases() {
 			switch l.State() {
 			case lease.Active:
 				snap.Leases.Active++
@@ -255,15 +358,15 @@ func (s *Server) snapshot() Snapshot {
 			}
 			stateOf[l.UID()] = l.State().String()
 		}
-		snap.Manager.TermChecks = s.mgr.TermChecks
-		snap.Manager.Renewals = s.mgr.Renewals
-		snap.Manager.Deferrals = s.mgr.Deferrals
-		snap.Manager.TermAdaptations = s.mgr.TermAdaptations
-		for name, uid := range s.clients {
-			rep := s.mgr.ReputationOf(uid)
+		snap.Manager.TermChecks = sh.mgr.TermChecks
+		snap.Manager.Renewals = sh.mgr.Renewals
+		snap.Manager.Deferrals = sh.mgr.Deferrals
+		snap.Manager.TermAdaptations = sh.mgr.TermAdaptations
+		for name, uid := range sh.clients {
+			rep := sh.mgr.ReputationOf(uid)
 			if rep.Deferrals > 0 {
 				snap.Defaulters = append(snap.Defaulters, Defaulter{
-					Client: name, UID: int(uid),
+					Client: name, UID: int(uid), Shard: sh.id,
 					Deferrals: rep.Deferrals, NormalTerms: rep.NormalTerms,
 					State: stateOf[uid],
 				})
@@ -272,6 +375,60 @@ func (s *Server) snapshot() Snapshot {
 	})
 	sort.Slice(snap.Defaulters, func(i, j int) bool {
 		return snap.Defaulters[i].UID < snap.Defaulters[j].UID
+	})
+	return snap
+}
+
+// snapshot assembles the merged metrics document. Shards are visited one at
+// a time — each under its own clock, never two at once — so the merged view
+// is a per-shard-consistent composite, which is all fleet observability
+// needs.
+func (s *Server) snapshot() Snapshot {
+	var snap Snapshot
+	snap.UptimeMS = time.Since(s.started).Milliseconds()
+	snap.Shards = len(s.shards)
+	snap.InflightRejections = s.metrics.rejected.Load()
+	snap.MaxInflight = s.opts.MaxInflight
+	if s.faults != nil {
+		snap.Faults = s.faults.Stats()
+	}
+
+	var routeSnaps [numRoutes]histSnap
+	for i := 0; i < numRoutes; i++ {
+		routeSnaps[i] = s.metrics.unrouted[i].snap()
+	}
+	for _, sh := range s.shards {
+		shs := sh.collect()
+		for i := 0; i < numRoutes; i++ {
+			routeSnaps[i].merge(sh.metrics.routes[i].snap())
+		}
+		snap.Clients += shs.Clients
+		snap.Leases.merge(shs.Leases)
+		snap.Manager.merge(shs.Manager)
+		snap.Defaulters = append(snap.Defaulters, shs.Defaulters...)
+		snap.Deduped += shs.Deduped
+		if shs.Durability != nil {
+			if snap.Durability == nil {
+				snap.Durability = &DurabilityStats{}
+			}
+			snap.Durability.merge(*shs.Durability)
+		}
+		if shs.Recovery != nil {
+			if snap.Recovery == nil {
+				snap.Recovery = &RecoveryInfo{}
+			}
+			snap.Recovery.merge(*shs.Recovery)
+		}
+		snap.PerShard = append(snap.PerShard, shs)
+	}
+	snap.Requests = make(map[string]RouteStats, numRoutes)
+	for i := 0; i < numRoutes; i++ {
+		snap.Requests[routeNames[i]] = routeSnaps[i].stats()
+	}
+	// Client names are globally unique (a name hashes to exactly one
+	// shard); UIDs are only unique per shard.
+	sort.Slice(snap.Defaulters, func(i, j int) bool {
+		return snap.Defaulters[i].Client < snap.Defaulters[j].Client
 	})
 	return snap
 }

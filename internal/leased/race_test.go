@@ -26,6 +26,9 @@ func hammerOptions() Options {
 			TauMax:            100 * time.Millisecond,
 			MisbehaviorWindow: 1,
 		},
+		// Several shards, so the hammer exercises routing and concurrent
+		// per-shard clocks, not just one serialized event loop.
+		Shards: 3,
 	}
 }
 
@@ -150,43 +153,52 @@ func TestConcurrentHammer(t *testing.T) {
 	}
 	wg.Wait()
 
-	// Quiesced invariants, checked under the clock.
-	s.do(func() {
-		live := s.mgr.Leases()
-		if len(live) != s.mgr.LeaseCount() {
-			t.Errorf("Leases() len %d != LeaseCount %d", len(live), s.mgr.LeaseCount())
-		}
-		byID := map[uint64]bool{}
-		for _, l := range live {
-			if st := l.State(); st != lease.Active && st != lease.Inactive && st != lease.Deferred {
-				t.Errorf("live lease %d in state %v", l.ID(), st)
+	// Quiesced invariants, checked per shard under that shard's clock.
+	for _, sh := range s.shards {
+		sh := sh
+		sh.do(func() {
+			live := sh.mgr.Leases()
+			if len(live) != sh.mgr.LeaseCount() {
+				t.Errorf("shard %d: Leases() len %d != LeaseCount %d", sh.id, len(live), sh.mgr.LeaseCount())
 			}
-			if byID[l.ID()] {
-				t.Errorf("duplicate live lease id %d", l.ID())
+			byID := map[uint64]bool{}
+			for _, l := range live {
+				if st := l.State(); st != lease.Active && st != lease.Inactive && st != lease.Deferred {
+					t.Errorf("shard %d: live lease %d in state %v", sh.id, l.ID(), st)
+				}
+				if byID[l.ID()] {
+					t.Errorf("shard %d: duplicate live lease id %d", sh.id, l.ID())
+				}
+				byID[l.ID()] = true
 			}
-			byID[l.ID()] = true
-		}
-		// Every object the server tracks maps to a live lease and back.
-		for id, o := range s.byLease {
-			if o.destroyed {
-				t.Errorf("destroyed object still tracked for lease %d", id)
+			// Every object the shard tracks maps to a live lease and back.
+			for id, o := range sh.byLease {
+				if o.destroyed {
+					t.Errorf("shard %d: destroyed object still tracked for lease %d", sh.id, id)
+				}
+				if !byID[id] {
+					t.Errorf("shard %d: tracks lease %d the manager does not", sh.id, id)
+				}
+				if got := sh.byKey[clientKey{o.uid, o.kind}]; got != o {
+					t.Errorf("shard %d: byKey/byLease disagree for lease %d", sh.id, id)
+				}
 			}
-			if !byID[id] {
-				t.Errorf("server tracks lease %d the manager does not", id)
+			for key, o := range sh.byKey {
+				if sh.byLease[o.leaseID] != o {
+					t.Errorf("shard %d: byKey entry %v not in byLease", sh.id, key)
+				}
 			}
-			if got := s.byKey[clientKey{o.uid, o.kind}]; got != o {
-				t.Errorf("byKey/byLease disagree for lease %d", id)
+			if sh.mgr.CreatedTotal() < sh.mgr.LeaseCount() {
+				t.Errorf("shard %d: created %d < live %d", sh.id, sh.mgr.CreatedTotal(), sh.mgr.LeaseCount())
 			}
-		}
-		for key, o := range s.byKey {
-			if s.byLease[o.leaseID] != o {
-				t.Errorf("byKey entry %v not in byLease", key)
+			// Every client on this shard actually routes here.
+			for name := range sh.clients {
+				if got := shardIndex(name, len(s.shards)); got != sh.id {
+					t.Errorf("client %q lives on shard %d but routes to %d", name, sh.id, got)
+				}
 			}
-		}
-		if s.mgr.CreatedTotal() < s.mgr.LeaseCount() {
-			t.Errorf("created %d < live %d", s.mgr.CreatedTotal(), s.mgr.LeaseCount())
-		}
-	})
+		})
+	}
 }
 
 // TestConcurrentSnapshotDuringHammer takes metrics snapshots while leases

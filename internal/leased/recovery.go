@@ -3,7 +3,10 @@ package leased
 import (
 	"encoding/json"
 	"fmt"
+	"os"
+	"path/filepath"
 	"sort"
+	"sync"
 	"time"
 
 	"repro/internal/android/hooks"
@@ -14,26 +17,39 @@ import (
 	"repro/internal/simclock"
 )
 
-// Crash safety. The daemon's whole mutable state is a deterministic function
-// of (a) the lease policy, (b) the sequence of externally-driven mutations
-// and (c) the virtual instants at which they executed: every internal
-// transition — term checks, deferrals, restores, reputation updates — is an
-// event the simulation kernel fires at an exact virtual timestamp, and
-// Wall.Do guarantees each mutation runs at one frozen instant with all due
-// events already fired. So the write-ahead journal records only the external
-// mutations, each stamped with its virtual instant, and recovery replays
-// them on an unstarted wall clock: RunVirtual(rec.At) re-fires the internal
-// events exactly as the live run did, then the mutation re-applies. Log
-// order is clock order because records are appended inside the same Do
-// section that applies them.
+// Crash safety. A shard's whole mutable state is a deterministic function of
+// (a) the lease policy, (b) the sequence of externally-driven mutations
+// routed to it and (c) the virtual instants at which they executed: every
+// internal transition — term checks, deferrals, restores, reputation
+// updates — is an event the simulation kernel fires at an exact virtual
+// timestamp, and Wall.Do guarantees each mutation runs at one frozen instant
+// with all due events already fired. So each shard's write-ahead journal
+// records only the external mutations routed to that shard, stamped with
+// their virtual instants, and recovery replays them on an unstarted wall
+// clock: RunVirtual(rec.At) re-fires the internal events exactly as the live
+// run did, then the mutation re-applies. Log order is clock order because
+// records are appended inside the same Do section that applies them.
 //
-// A periodic checkpoint (every Options.SnapshotEvery records) serializes the
-// full state — manager, resource table, client/UID map, app counters, dedup
-// cache — so replay cost stays bounded; the durable store guarantees the
-// snapshot+journal pair is consistent across a crash at any instant.
+// Sharding changes the on-disk layout, not the model: the data directory
+// holds one subdirectory per shard (shard-00, shard-01, ...), each a
+// self-contained durable.Store — journal, snapshot, epoch — that recovers
+// independently. Shards never appear in each other's logs, so Open replays
+// all of them in parallel. Each shard's checkpoint pins the lease policy
+// AND the (shard index, shard count) it was written under: state partitions
+// by hash(client) mod count, so reopening with a different count would
+// route clients to shards that have never heard of them — Open refuses,
+// exactly as it refuses a changed lease policy.
+//
+// A periodic checkpoint (every Options.SnapshotEvery records per shard)
+// serializes the shard's full state — manager, resource table, client/UID
+// map, app counters, dedup cache — so replay cost stays bounded; the
+// durable store guarantees the snapshot+journal pair is consistent across a
+// crash at any instant.
 
 // opRecord is one journaled external mutation. At is the virtual instant the
 // operation executed; replay advances the clock there before re-applying.
+// LeaseID is shard-local: the journal belongs to one shard, and the shard
+// tag lives in the directory name, not in every record.
 type opRecord struct {
 	At simclock.Time `json:"at"`
 	Op string        `json:"op"` // acquire | renew | release | mark
@@ -51,11 +67,15 @@ type opRecord struct {
 }
 
 // persistedState is the checkpoint payload: everything a fresh process needs
-// to stand the daemon back up at one virtual instant.
+// to stand one shard back up at one virtual instant.
 type persistedState struct {
 	Now     simclock.Time      `json:"now"`
 	Config  lease.Config       `json:"config"`
 	Manager lease.ManagerState `json:"manager"`
+
+	// Shard/Shards pin the routing this state was partitioned under.
+	Shard  int `json:"shard"`
+	Shards int `json:"shards"`
 
 	Clients []clientEntry `json:"clients,omitempty"`
 	NextUID int           `json:"next_uid"`
@@ -104,7 +124,9 @@ type appEntry struct {
 	Inter int   `json:"inter"`
 }
 
-// RecoveryInfo summarizes what Open found on disk.
+// RecoveryInfo summarizes what Open found on disk — for one shard, or
+// merged across shards (counts summed, snapshot_loaded true when any shard
+// loaded one, snapshot_now the latest).
 type RecoveryInfo struct {
 	SnapshotLoaded bool          `json:"snapshot_loaded"`
 	SnapshotNow    simclock.Time `json:"snapshot_now"`
@@ -113,38 +135,113 @@ type RecoveryInfo struct {
 	StaleRecords   int           `json:"stale_records"`
 }
 
-// Open stands up a durable daemon from dir: load the snapshot, replay the
-// journal's intact prefix on an unstarted clock, then bind the recovered
-// virtual instant to the wall and start serving. A fresh directory is an
-// empty daemon that immediately writes its initial checkpoint (pinning the
-// lease policy, so a later restart with a different policy is refused
-// rather than silently misinterpreting the journal).
+func (r *RecoveryInfo) merge(o RecoveryInfo) {
+	if o.SnapshotLoaded {
+		r.SnapshotLoaded = true
+	}
+	if o.SnapshotNow > r.SnapshotNow {
+		r.SnapshotNow = o.SnapshotNow
+	}
+	r.Replayed += o.Replayed
+	r.TruncatedBytes += o.TruncatedBytes
+	r.StaleRecords += o.StaleRecords
+}
+
+// shardDir names shard i's subdirectory under the data dir.
+func shardDir(i int) string { return fmt.Sprintf("shard-%02d", i) }
+
+// Open stands up a durable daemon from dir: every shard loads its snapshot
+// and replays its journal's intact prefix in parallel on unstarted clocks,
+// then the recovered virtual instants bind to the wall and serving begins.
+// A fresh directory is an empty daemon whose shards immediately write their
+// initial checkpoints (pinning the lease policy and the shard count, so a
+// later restart with either changed is refused rather than silently
+// misinterpreting the journals). The returned RecoveryInfo is the merge
+// across shards; per-shard figures surface in /metrics.
 func Open(dir string, opts Options) (*Server, RecoveryInfo, error) {
 	opts = opts.withDefaults()
-	store, res, err := durable.Open(dir, opts.Fsync)
+	if _, err := os.Stat(filepath.Join(dir, "journal.log")); err == nil {
+		return nil, RecoveryInfo{}, fmt.Errorf("leased: %s holds a pre-shard (flat) data layout; migrate it into %s or start from a fresh directory", dir, shardDir(0))
+	}
+	shards, infos, err := openShards(dir, opts)
 	if err != nil {
 		return nil, RecoveryInfo{}, err
 	}
-	s, info, err := recoverServer(store, res, opts)
-	if err != nil {
-		store.Close()
-		return nil, info, err
+	s := newServerShell(opts)
+	s.shards = shards
+	var merged RecoveryInfo
+	for i, sh := range shards {
+		sh.clock.Start()
+		if !infos[i].SnapshotLoaded && infos[i].Replayed == 0 {
+			// First boot of this shard: write the initial checkpoint so the
+			// policy and shard count are pinned.
+			sh.do(func() { sh.checkpointLocked() })
+		}
+		merged.merge(infos[i])
 	}
-	s.clock.Start()
-	if !info.SnapshotLoaded && info.Replayed == 0 {
-		// First boot: write the initial checkpoint so the policy is pinned.
-		s.do(func() { s.checkpointLocked() })
-	}
-	return s, info, nil
+	return s, merged, nil
 }
 
-// recoverServer rebuilds a daemon from what the store found, leaving the
-// clock unstarted — frozen at the last journaled instant — so callers (Open,
-// and the crash-equality tests) can inspect or bind it to real time
+// PerShardRecovery re-reads each shard's recovery summary (what its last
+// boot found on disk), in shard order. Nil entries never occur; in-memory
+// daemons report zero values.
+func (s *Server) PerShardRecovery() []RecoveryInfo {
+	out := make([]RecoveryInfo, len(s.shards))
+	for i, sh := range s.shards {
+		out[i] = sh.recovery
+	}
+	return out
+}
+
+// openShards opens every shard directory and recovers each shard on an
+// unstarted clock, in parallel — the shards' logs are disjoint, so their
+// replays share nothing. On any error all stores are closed and the first
+// error (lowest shard index) is returned.
+func openShards(dir string, opts Options) ([]*shard, []RecoveryInfo, error) {
+	n := opts.Shards
+	shards := make([]*shard, n)
+	infos := make([]RecoveryInfo, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			store, res, err := durable.Open(filepath.Join(dir, shardDir(i)), opts.Fsync)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			sh, info, err := recoverShard(i, store, res, opts)
+			if err != nil {
+				store.Close()
+				errs[i] = fmt.Errorf("%s: %w", shardDir(i), err)
+				return
+			}
+			shards[i], infos[i] = sh, info
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			for _, sh := range shards {
+				if sh != nil {
+					sh.store.Close()
+				}
+			}
+			return nil, nil, err
+		}
+	}
+	return shards, infos, nil
+}
+
+// recoverShard rebuilds one shard from what its store found, leaving the
+// clock unstarted — frozen at the last journaled instant — so callers
+// (Open, and the crash-equality tests) can inspect or bind it to real time
 // themselves.
-func recoverServer(store *durable.Store, res durable.OpenResult, opts Options) (*Server, RecoveryInfo, error) {
-	s := newServer(opts, runtime.NewWallUnstarted())
-	s.store = store
+func recoverShard(id int, store *durable.Store, res durable.OpenResult, opts Options) (*shard, RecoveryInfo, error) {
+	sh := newShard(id, opts, runtime.NewWallUnstarted())
+	sh.store = store
 	info := RecoveryInfo{TruncatedBytes: res.TruncatedBytes, StaleRecords: res.StaleRecords}
 
 	if res.Snapshot != nil {
@@ -152,10 +249,13 @@ func recoverServer(store *durable.Store, res durable.OpenResult, opts Options) (
 		if err := json.Unmarshal(res.Snapshot, &st); err != nil {
 			return nil, info, fmt.Errorf("leased: corrupt snapshot payload: %w", err)
 		}
-		if st.Config != s.mgr.Config() {
+		if st.Config != sh.mgr.Config() {
 			return nil, info, fmt.Errorf("leased: lease policy changed since the snapshot was written; refusing to reinterpret the journal (wipe the data dir or restore the old policy)")
 		}
-		if err := s.restoreState(st); err != nil {
+		if st.Shards != opts.Shards || st.Shard != id {
+			return nil, info, fmt.Errorf("leased: snapshot was written as shard %d of %d but is being opened as shard %d of %d; state partitions by hash(client) mod shard count, so a count change would strand clients on shards that never heard of them (wipe the data dir or restore -shards %d)", st.Shard, st.Shards, id, opts.Shards, st.Shards)
+		}
+		if err := sh.restoreState(st); err != nil {
 			return nil, info, err
 		}
 		info.SnapshotLoaded, info.SnapshotNow = true, st.Now
@@ -165,78 +265,83 @@ func recoverServer(store *durable.Store, res durable.OpenResult, opts Options) (
 		if err := json.Unmarshal(raw, &rec); err != nil {
 			return nil, info, fmt.Errorf("leased: corrupt journal record %d: %w", info.Replayed, err)
 		}
-		s.clock.RunVirtual(rec.At)
-		s.replayRecord(rec)
+		sh.clock.RunVirtual(rec.At)
+		sh.replayRecord(rec)
 		info.Replayed++
 	}
-	s.recovery = info
-	return s, info, nil
+	sh.recovery = info
+	return sh, info, nil
 }
 
-// journalLocked appends rec to the journal and triggers the periodic
-// checkpoint. Callers hold the clock (so log order is clock order). Append
-// failures degrade durability, not availability: the daemon keeps serving
-// and surfaces the error count in /metrics.
-func (s *Server) journalLocked(rec *opRecord) {
-	if s.store == nil {
+// journalLocked appends rec to this shard's journal and triggers the
+// periodic checkpoint. Callers hold the shard clock (so log order is clock
+// order). Append failures degrade durability, not availability: the daemon
+// keeps serving and surfaces the error count in /metrics.
+func (sh *shard) journalLocked(rec *opRecord) {
+	if sh.store == nil {
 		return
 	}
 	raw, err := json.Marshal(rec)
 	if err == nil {
-		err = s.store.Append(raw)
+		err = sh.store.Append(raw)
 	}
 	if err != nil {
-		s.metrics.journalErrors.Add(1)
+		sh.metrics.journalErrors.Add(1)
 		return
 	}
-	if s.store.SinceCheckpoint() >= s.opts.SnapshotEvery {
-		s.checkpointLocked()
+	if sh.store.SinceCheckpoint() >= sh.opts.SnapshotEvery {
+		sh.checkpointLocked()
 	}
 }
 
-// checkpointLocked serializes the full state and swaps it in as the new
-// snapshot. Callers hold the clock.
-func (s *Server) checkpointLocked() {
-	if s.store == nil {
+// checkpointLocked serializes the shard's full state and swaps it in as the
+// new snapshot. Callers hold the shard clock.
+func (sh *shard) checkpointLocked() {
+	if sh.store == nil {
 		return
 	}
-	payload, err := json.Marshal(s.captureState())
+	payload, err := json.Marshal(sh.captureState())
 	if err == nil {
-		err = s.store.Checkpoint(payload)
+		err = sh.store.Checkpoint(payload)
 	}
 	if err != nil {
-		s.metrics.journalErrors.Add(1)
+		sh.metrics.journalErrors.Add(1)
 		return
 	}
-	s.metrics.checkpoints.Add(1)
+	sh.metrics.checkpoints.Add(1)
 }
 
-// Checkpoint forces a snapshot now; the daemon calls it on graceful
-// shutdown so the next boot replays zero records.
+// Checkpoint forces a snapshot of every shard now; the daemon calls it on
+// graceful shutdown so the next boot replays zero records.
 func (s *Server) Checkpoint() {
-	s.do(func() { s.checkpointLocked() })
+	for _, sh := range s.shards {
+		sh.do(func() { sh.checkpointLocked() })
+	}
 }
 
-// captureState serializes the daemon. Callers hold the clock. Iteration
-// over every map is sorted, so equal states produce equal payloads.
-func (s *Server) captureState() persistedState {
+// captureState serializes one shard. Callers hold the shard clock.
+// Iteration over every map is sorted, so equal states produce equal
+// payloads.
+func (sh *shard) captureState() persistedState {
 	st := persistedState{
-		Now:       s.clock.Now(),
-		Config:    s.mgr.Config(),
-		Manager:   s.mgr.CaptureState(),
-		NextUID:   int(s.nextUID),
-		NextObjID: s.res.nextID,
+		Now:       sh.clock.Now(),
+		Config:    sh.mgr.Config(),
+		Manager:   sh.mgr.CaptureState(),
+		Shard:     sh.id,
+		Shards:    sh.opts.Shards,
+		NextUID:   int(sh.nextUID),
+		NextObjID: sh.res.nextID,
 	}
-	for _, uid := range sortedUIDs(s.clientName) {
-		st.Clients = append(st.Clients, clientEntry{Name: s.clientName[uid], UID: int(uid)})
+	for _, uid := range sortedUIDs(sh.clientName) {
+		st.Clients = append(st.Clients, clientEntry{Name: sh.clientName[uid], UID: int(uid)})
 	}
-	ids := make([]uint64, 0, len(s.res.objs))
-	for id := range s.res.objs {
+	ids := make([]uint64, 0, len(sh.res.objs))
+	for id := range sh.res.objs {
 		ids = append(ids, id)
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	for _, id := range ids {
-		o := s.res.objs[id]
+		o := sh.res.objs[id]
 		st.Objects = append(st.Objects, objState{
 			ID: o.id, UID: int(o.uid), Kind: int(o.kind), Client: o.client,
 			LeaseID: o.leaseID, Held: o.held, Suppressed: o.suppressed,
@@ -248,26 +353,26 @@ func (s *Server) captureState() persistedState {
 			Acquires: o.acquires,
 		})
 	}
-	for _, uid := range sortedStatUIDs(s.apps) {
+	for _, uid := range sortedStatUIDs(sh.apps) {
 		st.Apps = append(st.Apps, appEntry{
-			UID: int(uid), CPU: int64(s.apps.cpu[uid]),
-			Exc: s.apps.exc[uid], UI: s.apps.ui[uid], Inter: s.apps.inter[uid],
+			UID: int(uid), CPU: int64(sh.apps.cpu[uid]),
+			Exc: sh.apps.exc[uid], UI: sh.apps.ui[uid], Inter: sh.apps.inter[uid],
 		})
 	}
-	st.Dedup = s.dedup.entries()
+	st.Dedup = sh.dedup.entries()
 	return st
 }
 
-// restoreState rebuilds the daemon from a checkpoint. The clock must be
+// restoreState rebuilds one shard from a checkpoint. The clock must be
 // unstarted; the manager must be fresh.
-func (s *Server) restoreState(st persistedState) error {
-	s.clock.RunVirtual(st.Now)
-	s.nextUID = power.UID(st.NextUID)
+func (sh *shard) restoreState(st persistedState) error {
+	sh.clock.RunVirtual(st.Now)
+	sh.nextUID = power.UID(st.NextUID)
 	for _, c := range st.Clients {
-		s.clients[c.Name] = power.UID(c.UID)
-		s.clientName[power.UID(c.UID)] = c.Name
+		sh.clients[c.Name] = power.UID(c.UID)
+		sh.clientName[power.UID(c.UID)] = c.Name
 	}
-	s.res.nextID = st.NextObjID
+	sh.res.nextID = st.NextObjID
 	for _, os := range st.Objects {
 		o := &robj{
 			id: os.ID, uid: power.UID(os.UID), kind: hooks.Kind(os.Kind),
@@ -280,36 +385,38 @@ func (s *Server) restoreState(st persistedState) error {
 			dataPoints:    os.DataPoints, distanceM: os.DistanceM,
 			acquires: os.Acquires,
 		}
-		s.res.objs[o.id] = o
-		s.byKey[clientKey{o.uid, o.kind}] = o
-		s.byLease[o.leaseID] = o
+		sh.res.objs[o.id] = o
+		sh.byKey[clientKey{o.uid, o.kind}] = o
+		sh.byLease[o.leaseID] = o
 	}
 	for _, a := range st.Apps {
 		uid := power.UID(a.UID)
-		s.apps.cpu[uid] = time.Duration(a.CPU)
-		s.apps.exc[uid] = a.Exc
-		s.apps.ui[uid] = a.UI
-		s.apps.inter[uid] = a.Inter
+		sh.apps.cpu[uid] = time.Duration(a.CPU)
+		sh.apps.exc[uid] = a.Exc
+		sh.apps.ui[uid] = a.UI
+		sh.apps.inter[uid] = a.Inter
 	}
-	s.dedup.load(st.Dedup)
-	return s.mgr.RestoreState(st.Manager, func(ls lease.LeaseState) (hooks.Object, bool) {
-		r := s.byLease[ls.ID]
+	sh.dedup.load(st.Dedup)
+	return sh.mgr.RestoreState(st.Manager, func(ls lease.LeaseState) (hooks.Object, bool) {
+		r := sh.byLease[ls.ID]
 		if r == nil {
 			return hooks.Object{}, false
 		}
-		return s.res.hookObject(r), true
+		return sh.res.hookObject(r), true
 	})
 }
 
 // replayRecord re-applies one journaled mutation during recovery. The clock
 // already sits at rec.At. Outcomes are discarded — they were already sent to
 // the client in the previous life — except the dedup cache entry, which is
-// rebuilt so a retry arriving after the restart still dedups.
-func (s *Server) replayRecord(rec opRecord) {
-	status, resp, _ := s.applyRecord(&rec)
+// rebuilt so a retry arriving after the restart still dedups. Replay
+// insertions happen in log order, so an overflowed cache evicts in the same
+// order it did live and ends up with identical contents.
+func (sh *shard) replayRecord(rec opRecord) {
+	status, resp, _ := sh.applyRecord(&rec)
 	if rec.ReqID != "" && status == 200 {
 		if raw, err := json.Marshal(resp); err == nil {
-			s.dedup.put(rec.ReqID, raw)
+			sh.dedup.put(rec.ReqID, raw)
 		}
 	}
 }

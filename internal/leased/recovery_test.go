@@ -10,7 +10,6 @@ import (
 	"testing"
 	"time"
 
-	"repro/internal/durable"
 	"repro/internal/lease"
 	"repro/internal/power"
 )
@@ -47,41 +46,48 @@ func newDurableRig(t *testing.T, dir string, opts Options) *durableRig {
 	}
 }
 
-// crash simulates a process death: stop the goroutines and drop the store
+// crash simulates a process death: stop the goroutines and drop the stores
 // WITHOUT a final checkpoint. Everything not already on disk is lost.
 func (d *durableRig) crash() {
 	d.ts.Close()
-	d.s.clock.Stop()
-	d.s.store.Close()
+	d.s.Close()
 }
 
-// markAndCapture journals a mark record and captures the full state at the
-// same frozen instant, so replay of the journal stops at exactly the
-// captured state.
-func markAndCapture(s *Server) persistedState {
-	var pre persistedState
-	s.do(func() {
-		s.journalLocked(&opRecord{At: s.clock.Now(), Op: "mark"})
-		pre = s.captureState()
-	})
+// markAndCapture journals a mark record on every shard and captures each
+// shard's full state at the same frozen instant, so replay of each journal
+// stops at exactly the captured state.
+func markAndCapture(s *Server) []persistedState {
+	pre := make([]persistedState, len(s.shards))
+	for i, sh := range s.shards {
+		i, sh := i, sh
+		sh.do(func() {
+			sh.journalLocked(&opRecord{At: sh.clock.Now(), Op: "mark"})
+			pre[i] = sh.captureState()
+		})
+	}
 	return pre
 }
 
-// recoverCaptured reopens dir with the clock left unstarted and captures the
-// replayed state — the post-crash twin of markAndCapture's output.
-func recoverCaptured(t *testing.T, dir string, opts Options) (*Server, RecoveryInfo, persistedState) {
+// recoverCaptured reopens dir with every shard clock left unstarted and
+// captures the replayed states — the post-crash twin of markAndCapture's
+// output. The returned Server is fully assembled but not serving time.
+func recoverCaptured(t *testing.T, dir string, opts Options) (*Server, RecoveryInfo, []persistedState) {
 	t.Helper()
-	store, res, err := durable.Open(dir, false)
+	opts = opts.withDefaults()
+	shards, infos, err := openShards(dir, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
-	s, info, err := recoverServer(store, res, opts.withDefaults())
-	if err != nil {
-		t.Fatal(err)
+	s := newServerShell(opts)
+	s.shards = shards
+	var merged RecoveryInfo
+	post := make([]persistedState, len(shards))
+	for i, sh := range shards {
+		i, sh := i, sh
+		sh.do(func() { post[i] = sh.captureState() })
+		merged.merge(infos[i])
 	}
-	var post persistedState
-	s.do(func() { post = s.captureState() })
-	return s, info, post
+	return s, merged, post
 }
 
 // driveDefaulter pushes traffic until the daemon has a deferred lease and a
@@ -139,11 +145,14 @@ func TestCrashRecoveryRebuildsExactState(t *testing.T) {
 	}
 
 	// The deferred lease is still deferred, with its restore event pending
-	// at the original due instant.
+	// at the original due instant. torchID is a wire ID; decode to find the
+	// owning shard and the manager-local ID.
+	shIdx, local := decodeLeaseID(torchID)
+	sh2 := s2.shards[shIdx]
 	var torch *lease.LeaseState
-	for i := range post.Manager.Leases {
-		if post.Manager.Leases[i].ID == torchID {
-			torch = &post.Manager.Leases[i]
+	for i := range post[shIdx].Manager.Leases {
+		if post[shIdx].Manager.Leases[i].ID == local {
+			torch = &post[shIdx].Manager.Leases[i]
 		}
 	}
 	if torch == nil {
@@ -153,14 +162,14 @@ func TestCrashRecoveryRebuildsExactState(t *testing.T) {
 		t.Fatalf("torch = state %d hasRestore %v, want deferred with pending restore", torch.State, torch.HasRestor)
 	}
 	// The server-side proxy still suppresses the resource.
-	if o := s2.byLease[torchID]; o == nil || !o.suppressed {
+	if o := sh2.byLease[local]; o == nil || !o.suppressed {
 		t.Fatal("torch robj not suppressed after recovery")
 	}
 
 	// The defaulter verdict survived: torch has deferrals on its record.
 	var foundRep bool
-	for _, r := range post.Manager.Reputations {
-		if s2.clientName[power.UID(r.UID)] == "torch" && r.Deferrals > 0 {
+	for _, r := range post[shIdx].Manager.Reputations {
+		if sh2.clientName[power.UID(r.UID)] == "torch" && r.Deferrals > 0 {
 			foundRep = true
 		}
 	}
@@ -178,7 +187,10 @@ func TestCrashRecoveryFromSnapshotPlusJournal(t *testing.T) {
 
 	pre := markAndCapture(d.s)
 	var snaps int64
-	d.s.do(func() { snaps = d.s.store.Stats().SnapshotsTotal })
+	for _, sh := range d.s.shards {
+		sh := sh
+		sh.do(func() { snaps += sh.store.Stats().SnapshotsTotal })
+	}
 	if snaps == 0 {
 		t.Fatal("no checkpoint was written; test is not exercising the snapshot path")
 	}
@@ -194,6 +206,113 @@ func TestCrashRecoveryFromSnapshotPlusJournal(t *testing.T) {
 	}
 }
 
+// TestCrashRecoveryMultiShard spreads clients over several shards, crashes,
+// and checks every shard's state recovers independently and exactly.
+func TestCrashRecoveryMultiShard(t *testing.T) {
+	dir := t.TempDir()
+	opts := testOptions()
+	opts.Shards = 4
+	d := newDurableRig(t, dir, opts)
+
+	// Enough clients that every shard sees traffic with high probability.
+	ids := make([]uint64, 0, 16)
+	for i := 0; i < 16; i++ {
+		lr := d.acquire(fmt.Sprintf("spread-%02d", i), "wakelock")
+		ids = append(ids, lr.LeaseID)
+	}
+	for _, id := range ids {
+		d.renew(id, usageReport{CPUMS: 3, UIUpdates: 1})
+	}
+
+	pre := markAndCapture(d.s)
+	d.crash()
+
+	s2, info, post := recoverCaptured(t, dir, d.opts)
+	defer s2.Close()
+	if info.Replayed == 0 {
+		t.Fatal("nothing replayed after crash")
+	}
+	if len(post) != 4 {
+		t.Fatalf("recovered %d shards, want 4", len(post))
+	}
+	for i := range pre {
+		if !reflect.DeepEqual(pre[i], post[i]) {
+			t.Errorf("shard %d recovered state differs:\n pre: %+v\npost: %+v", i, pre[i], post[i])
+		}
+	}
+	// Each lease still routes to the shard that owns it.
+	for i, id := range ids {
+		shIdx, local := decodeLeaseID(id)
+		if s2.shards[shIdx].byLease[local] == nil {
+			t.Errorf("lease %d (client spread-%02d) missing from shard %d after recovery", id, i, shIdx)
+		}
+	}
+}
+
+// TestCrashRecoveryRebuildsOverflowedDedup overflows each shard's dedup
+// cache before the crash; replay must rebuild the same post-eviction
+// contents in the same FIFO order on every shard — insertions happen in log
+// order, so the ring evicts exactly as the live run did.
+func TestCrashRecoveryRebuildsOverflowedDedup(t *testing.T) {
+	dir := t.TempDir()
+	opts := testOptions()
+	opts.Shards = 2
+	opts.DedupWindow = 4
+	d := newDurableRig(t, dir, opts)
+
+	// 3×cap distinct idempotent renews per client, one client per shard
+	// (names chosen so both shards are hit), so both caches overflow twice.
+	clients := []string{"overflow-a", "overflow-b", "overflow-c", "overflow-d"}
+	leases := make(map[string]uint64)
+	for _, c := range clients {
+		leases[c] = d.acquire(c, "wakelock").LeaseID
+	}
+	for i := 0; i < 3*opts.DedupWindow; i++ {
+		for _, c := range clients {
+			req, _ := newJSONRequest("POST", d.ts.URL+fmt.Sprintf("/v1/leases/%d/renew", leases[c]), usageReport{CPUMS: 1})
+			req.Header.Set("X-Request-ID", fmt.Sprintf("%s-ren-%03d", c, i))
+			resp, err := d.cli.Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+		}
+	}
+	// Both shards must actually be exercised, and their caches full.
+	hit := map[int]bool{}
+	for _, c := range clients {
+		hit[shardIndex(c, opts.Shards)] = true
+	}
+	if len(hit) != opts.Shards {
+		t.Fatalf("client names only cover %d of %d shards; rename them", len(hit), opts.Shards)
+	}
+	for _, sh := range d.s.shards {
+		sh := sh
+		var n int
+		sh.do(func() { n = sh.dedup.size() })
+		if n != opts.DedupWindow {
+			t.Fatalf("shard %d dedup size %d pre-crash, want full cache %d", sh.id, n, opts.DedupWindow)
+		}
+	}
+
+	pre := markAndCapture(d.s)
+	d.crash()
+
+	s2, _, post := recoverCaptured(t, dir, d.opts)
+	defer s2.Close()
+	for i := range pre {
+		if !reflect.DeepEqual(pre[i].Dedup, post[i].Dedup) {
+			t.Errorf("shard %d dedup cache differs after replay:\n pre: %+v\npost: %+v", i, pre[i].Dedup, post[i].Dedup)
+		}
+		if len(post[i].Dedup) > opts.DedupWindow {
+			t.Errorf("shard %d replayed dedup cache holds %d entries, cap %d", i, len(post[i].Dedup), opts.DedupWindow)
+		}
+	}
+	if !reflect.DeepEqual(pre, post) {
+		t.Fatal("full state differs after overflowed-dedup replay")
+	}
+}
+
 func TestGracefulShutdownReplaysNothing(t *testing.T) {
 	dir := t.TempDir()
 	d := newDurableRig(t, dir, testOptions())
@@ -201,11 +320,14 @@ func TestGracefulShutdownReplaysNothing(t *testing.T) {
 
 	// Graceful path: final checkpoint, captured at the same frozen instant
 	// so the comparison is exact, then clean close.
-	var pre persistedState
-	d.s.do(func() {
-		d.s.checkpointLocked()
-		pre = d.s.captureState()
-	})
+	pre := make([]persistedState, len(d.s.shards))
+	for i, sh := range d.s.shards {
+		i, sh := i, sh
+		sh.do(func() {
+			sh.checkpointLocked()
+			pre[i] = sh.captureState()
+		})
+	}
 	d.ts.Close()
 	d.s.Close()
 
@@ -236,3 +358,23 @@ func TestReopenRefusesChangedPolicy(t *testing.T) {
 	}
 }
 
+// TestReopenRefusesChangedShardCount pins the routing: state partitions by
+// hash(client) mod shard count, so reopening the same directory with a
+// different count must be refused, not silently misroute clients.
+func TestReopenRefusesChangedShardCount(t *testing.T) {
+	dir := t.TempDir()
+	opts := testOptions()
+	opts.Shards = 2
+	d := newDurableRig(t, dir, opts)
+	d.acquire("alice", "wakelock")
+	d.s.Checkpoint()
+	d.ts.Close()
+	d.s.Close()
+
+	opts2 := testOptions()
+	opts2.Shards = 3
+	if s, _, err := Open(dir, opts2); err == nil {
+		s.Close()
+		t.Fatal("Open accepted a changed shard count over old shard state")
+	}
+}

@@ -10,7 +10,7 @@
 #   E2E_BENCHTIME  iterations per e2e bench     (default 5x)
 set -euo pipefail
 
-OUT="${1:-BENCH_3.json}"
+OUT="${1:-BENCH_6.json}"
 BENCHTIME="${BENCHTIME:-1000x}"
 E2E_BENCHTIME="${E2E_BENCHTIME:-5x}"
 
@@ -23,6 +23,12 @@ trap 'rm -f "$tmp"' EXIT
 # framework hot path (appfw).
 go test -run '^$' -bench . -benchmem -benchtime "$BENCHTIME" \
 	./internal/simclock ./internal/power ./internal/android/appfw | tee -a "$tmp"
+
+# Daemon serving path: the sharded apply loop at 1/2/4/8 shards. Scaling
+# only shows on a multi-core runner; the sub-bench names carry the shard
+# count so the trajectory is comparable across PRs either way.
+go test -run '^$' -bench '^BenchmarkShardedApply$' -benchmem -benchtime "$BENCHTIME" \
+	./internal/leased | tee -a "$tmp"
 
 # End-to-end: the three experiment regenerations the perf work is judged on.
 go test -run '^$' -bench '^(BenchmarkBatteryLife|BenchmarkFigure12|BenchmarkTable5)$' \

@@ -1,13 +1,16 @@
 #!/usr/bin/env bash
 # chaos_leased.sh — crash-recovery and fault-injection test of the durable
-# lease daemon. Three phases, each a property the crash-safety work exists
-# to provide:
+# lease daemon, run against a sharded deployment (SHARDS independent
+# Wall+Manager+journal partitions). Three phases, each a property the
+# crash-safety work exists to provide:
 #
-#   1. Crash recovery: boot leased with a data dir, drive misbehaving load
-#      until defaulters are deferred, snapshot /metrics, SIGKILL the daemon
-#      mid-flight, restart it from the journal, and require (chaosverify)
-#      that every defaulter, every deferral count, and every DEFERRED lease
-#      survived — with journal records actually replayed.
+#   1. Crash recovery: boot leased -shards N with a data dir, drive
+#      misbehaving load until defaulters are deferred, snapshot /metrics,
+#      SIGKILL the daemon mid-flight, damage ONE shard's journal tail (a
+#      torn write), restart, and require (chaosverify) that every defaulter,
+#      every deferral count, and every DEFERRED lease survived — per shard,
+#      on the same shard, with journal records actually replayed and the
+#      damaged shard's torn tail truncated rather than poisoning recovery.
 #
 #   2. Fault injection + self-healing: restart the fleet against a daemon
 #      that drops ≥5% of responses post-apply (server http.drop + client
@@ -16,19 +19,21 @@
 #      (leaseload -require-no-doubles).
 #
 #   3. Graceful shutdown: SIGTERM the recovered daemon, restart once more,
-#      and require the final checkpoint made replay unnecessary
-#      (chaosverify -require-zero-replay).
+#      and require the final checkpoint made replay unnecessary on every
+#      shard (chaosverify -require-zero-replay).
 #
 # Artifacts (metrics snapshots, load reports, journal files, daemon logs)
 # are collected in ARTIFACTS (default chaos_artifacts/) for CI upload.
 #
 # Usage: scripts/chaos_leased.sh
 #   ADDR       listen address      (default 127.0.0.1:7072)
+#   SHARDS     daemon shard count  (default 4)
 #   DURATION   phase-1 load length (default 6s)
 #   ARTIFACTS  artifact directory  (default chaos_artifacts)
 set -euo pipefail
 
 ADDR="${ADDR:-127.0.0.1:7072}"
+SHARDS="${SHARDS:-4}"
 DURATION="${DURATION:-6s}"
 ARTIFACTS="${ARTIFACTS:-chaos_artifacts}"
 
@@ -56,14 +61,16 @@ go build -o "$bin/leased" ./cmd/leased
 go build -o "$bin/leaseload" ./cmd/leaseload
 go build -o "$bin/chaosverify" ./cmd/chaosverify
 
-# json_int FILE KEY: first integer value of "key": N in FILE.
+# json_int FILE KEY: first integer value of "key": N in FILE. The merged
+# top-level metrics precede the per_shard breakdowns in the snapshot JSON,
+# so "first" always reads the fleet-wide figure.
 json_int() {
     grep -o "\"$2\": *[0-9]*" "$1" | head -1 | grep -o '[0-9]*$'
 }
 
 start_daemon() { # args: logfile, extra flags...
     local logf="$1"; shift
-    "$bin/leased" -addr "$ADDR" -data "$data" \
+    "$bin/leased" -addr "$ADDR" -data "$data" -shards "$SHARDS" \
         -term 150ms -tau 5s -tau-max 20s -snapshot-every 64 "$@" \
         2> "$logf" &
     daemon=$!
@@ -75,8 +82,8 @@ start_daemon() { # args: logfile, extra flags...
     fail "daemon never became healthy"
 }
 
-### Phase 1: SIGKILL mid-load, recover from the journal.
-echo "== phase 1: crash recovery =="
+### Phase 1: SIGKILL mid-load, damage one shard's journal, recover.
+echo "== phase 1: crash recovery ($SHARDS shards) =="
 start_daemon "$ARTIFACTS/leased_1.log"
 
 "$bin/leaseload" -addr "http://$ADDR" -duration "$DURATION" -beat 5ms \
@@ -90,15 +97,30 @@ grep -q '"deferrals": [1-9]' "$ARTIFACTS/metrics_precrash.json" \
 kill -9 "$daemon"
 wait "$daemon" 2>/dev/null || true
 daemon=""
-cp "$data/journal.log" "$ARTIFACTS/journal_postcrash.log"
-[ ! -f "$data/snapshot.bin" ] || cp "$data/snapshot.bin" "$ARTIFACTS/snapshot_postcrash.bin"
+for d in "$data"/shard-*; do
+    s=$(basename "$d")
+    cp "$d/journal.log" "$ARTIFACTS/journal_postcrash_$s.log"
+    [ ! -f "$d/snapshot.bin" ] || cp "$d/snapshot.bin" "$ARTIFACTS/snapshot_postcrash_$s.bin"
+done
+
+# Damage exactly one shard's store: a torn tail on shard-00's journal, as a
+# power cut mid-append would leave. Recovery must truncate it on that shard
+# alone and keep everything that was intact — on every shard.
+damaged="$data/shard-00/journal.log"
+[ -f "$damaged" ] || fail "expected $damaged to exist"
+printf 'torn-tail-garbage' >> "$damaged"
 
 start_daemon "$ARTIFACTS/leased_2.log"
 grep -q 'recovery:' "$ARTIFACTS/leased_2.log" || fail "no recovery line after restart"
+grep -Eq 'recovery: shard=0 .*truncated_bytes=[1-9]' "$ARTIFACTS/leased_2.log" \
+    || fail "shard 0's torn journal tail was not truncated"
+if grep -E 'recovery: shard=[1-9] .*truncated_bytes=[1-9]' "$ARTIFACTS/leased_2.log"; then
+    fail "an undamaged shard reported truncation"
+fi
 curl -sf "http://$ADDR/metrics" > "$ARTIFACTS/metrics_postcrash.json"
 
 "$bin/chaosverify" -pre "$ARTIFACTS/metrics_precrash.json" \
-    -post "$ARTIFACTS/metrics_postcrash.json" -require-replayed
+    -post "$ARTIFACTS/metrics_postcrash.json" -shards "$SHARDS" -require-replayed
 
 ### Phase 2: response loss on both sides; retries must heal everything.
 echo "== phase 2: fault injection + self-healing =="
@@ -109,7 +131,7 @@ start_daemon "$ARTIFACTS/leased_3.log" -faults "http.drop=0.07" -fault-seed 7
 "$bin/leaseload" -addr "http://$ADDR" -duration "$DURATION" -beat 5ms \
     -mix normal=4,crash=2 -retries 6 -seed 3 \
     -faults "client.drop=0.05" -require-no-doubles \
-    > "$ARTIFACTS/load_chaos.json"
+    > "$ARTIFACTS/load_chaos.json" 2> "$ARTIFACTS/load_chaos_shards.log"
 
 ops=$(json_int "$ARTIFACTS/load_chaos.json" ops)
 lost=$(json_int "$ARTIFACTS/load_chaos.json" lost_responses)
@@ -132,8 +154,8 @@ grep -q 'final checkpoint written' "$ARTIFACTS/leased_3.log" \
 start_daemon "$ARTIFACTS/leased_4.log"
 curl -sf "http://$ADDR/metrics" > "$ARTIFACTS/metrics_postterm.json"
 "$bin/chaosverify" -pre "$ARTIFACTS/metrics_preterm.json" \
-    -post "$ARTIFACTS/metrics_postterm.json" -require-zero-replay
+    -post "$ARTIFACTS/metrics_postterm.json" -shards "$SHARDS" -require-zero-replay
 
 kill -TERM "$daemon"; wait "$daemon" || true; daemon=""
 
-echo "chaos_leased: OK (artifacts in $ARTIFACTS/)"
+echo "chaos_leased: OK ($SHARDS shards, artifacts in $ARTIFACTS/)"

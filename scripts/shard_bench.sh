@@ -1,0 +1,90 @@
+#!/usr/bin/env bash
+# shard_bench.sh — sustained-throughput sweep of the lease daemon across
+# shard counts. For each N in SHARD_COUNTS it boots `leased -shards N`
+# (in-memory: this measures the serving path, not the disk), drives it with
+# a fixed client fleet via leaseload, and records sustained ops/sec plus the
+# server-side renew p99 into the benchmark JSON:
+#
+#   {"name": "LeasedThroughput/shards=N", "ops_per_sec": ..., "p99_ms": ...,
+#    "gomaxprocs": ...}
+#
+# Records are appended to an existing bench.sh array (or a new array is
+# created), so `scripts/bench.sh BENCH_6.json && scripts/shard_bench.sh
+# BENCH_6.json` yields one combined perf record. gomaxprocs is recorded
+# because the scaling claim (shards=4 ≥ 2.5× shards=1) is only meaningful
+# on a ≥4-core runner; on fewer cores the numbers stay flat by design.
+#
+# Usage: scripts/shard_bench.sh [output.json]
+#   SHARD_COUNTS  shard counts to sweep        (default "1 2 4 8")
+#   DURATION      load length per shard count  (default 5s)
+#   CLIENTS       well-behaved clients driving (default 24)
+#   ADDR          listen address               (default 127.0.0.1:7073)
+set -euo pipefail
+
+OUT="${1:-BENCH_6.json}"
+SHARD_COUNTS="${SHARD_COUNTS:-1 2 4 8}"
+DURATION="${DURATION:-5s}"
+CLIENTS="${CLIENTS:-24}"
+ADDR="${ADDR:-127.0.0.1:7073}"
+
+cd "$(dirname "$0")/.."
+
+bin="$(mktemp -d)"
+daemon=""
+cleanup() {
+    if [ -n "$daemon" ] && kill -0 "$daemon" 2>/dev/null; then
+        kill -9 "$daemon" 2>/dev/null || true
+        wait "$daemon" 2>/dev/null || true
+    fi
+    rm -rf "$bin"
+}
+trap cleanup EXIT
+
+go build -o "$bin/leased" ./cmd/leased
+go build -o "$bin/leaseload" ./cmd/leaseload
+
+gomaxprocs="${GOMAXPROCS:-$(getconf _NPROCESSORS_ONLN)}"
+records=""
+
+for n in $SHARD_COUNTS; do
+    "$bin/leased" -addr "$ADDR" -shards "$n" \
+        -term 150ms -tau 5s -tau-max 20s 2> "$bin/leased_$n.log" &
+    daemon=$!
+    for i in $(seq 1 50); do
+        if curl -sf "http://$ADDR/healthz" > /dev/null 2>&1; then break; fi
+        sleep 0.1
+    done
+
+    "$bin/leaseload" -addr "http://$ADDR" -duration "$DURATION" -beat 1ms \
+        -mix "normal=$CLIENTS" > "$bin/load_$n.json" 2> /dev/null
+
+    # Top-level (merged) figures precede per-shard breakdowns in both JSON
+    # documents, so the first match is always the fleet-wide value.
+    ops_per_sec=$(grep -o '"ops_per_sec": *[0-9.]*' "$bin/load_$n.json" | head -1 | grep -o '[0-9.]*$')
+    curl -sf "http://$ADDR/metrics" > "$bin/metrics_$n.json"
+    p99_ms=$(awk -F': ' '/"renew"/{f=1} f && /"p99"/{gsub(/[,}].*/, "", $2); print $2; exit}' \
+        "$bin/metrics_$n.json")
+
+    kill -TERM "$daemon"
+    wait "$daemon" 2>/dev/null || true
+    daemon=""
+
+    echo "shards=$n: $ops_per_sec ops/sec, renew p99 ${p99_ms}ms" >&2
+    rec=$(printf '  {"name": "LeasedThroughput/shards=%d", "ops_per_sec": %s, "p99_ms": %s, "gomaxprocs": %s}' \
+        "$n" "${ops_per_sec:-0}" "${p99_ms:-0}" "$gomaxprocs")
+    if [ -n "$records" ]; then records="$records,
+$rec"; else records="$rec"; fi
+done
+
+if [ -s "$OUT" ] && grep -q '"name"' "$OUT"; then
+    # Splice into the existing benchmark array: drop the closing bracket,
+    # add a comma, append our records.
+    tmp="$(mktemp)"
+    head -n -1 "$OUT" > "$tmp"
+    printf ',\n%s\n]\n' "$records" >> "$tmp"
+    mv "$tmp" "$OUT"
+else
+    printf '[\n%s\n]\n' "$records" > "$OUT"
+fi
+
+echo "appended $(echo "$SHARD_COUNTS" | wc -w) throughput records to $OUT (gomaxprocs=$gomaxprocs)"
