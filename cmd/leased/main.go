@@ -14,6 +14,7 @@
 //
 //	POST   /v1/leases            acquire  {"client":"name","kind":"wakelock"}
 //	POST   /v1/leases/{id}/renew renew + usage report
+//	POST   /v1/batch             many acquire/renew/release ops in one request
 //	DELETE /v1/leases/{id}       release (?destroy=1 deallocates)
 //	GET    /v1/leases/{id}       state + explanation
 //	GET    /metrics              lease/manager/request metrics (JSON)

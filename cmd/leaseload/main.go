@@ -32,6 +32,7 @@ func main() {
 		mixStr     = flag.String("mix", "normal=4,lhb=2,lub=2,fab=2", "client mix: profile=count,...")
 		duration   = flag.Duration("duration", 10*time.Second, "how long to generate load")
 		beat       = flag.Duration("beat", 10*time.Millisecond, "per-client heartbeat cadence")
+		batch      = flag.Int("batch", 0, "send renews as /v1/batch requests of this many ops (0/1 = per-op routes)")
 		timeout    = flag.Duration("timeout", 2*time.Second, "per-request timeout")
 		retries    = flag.Int("retries", 4, "attempts per idempotent mutation before it counts as a failure")
 		seed       = flag.Int64("seed", 1, "seed for retry jitter and client-side fault injection")
@@ -61,6 +62,7 @@ func main() {
 		Mix:      mix,
 		Duration: *duration,
 		Beat:     *beat,
+		Batch:    *batch,
 		Timeout:  *timeout,
 		Retries:  *retries,
 		Seed:     *seed,

@@ -50,6 +50,15 @@ const (
 	// maxRecordLen rejects absurd lengths during scan: a length field that
 	// large is certainly a torn or corrupt frame, not a record.
 	maxRecordLen = 16 << 20
+
+	// flagBatch marks a frame whose payload holds multiple records packed
+	// as [u32 count][u32 len, bytes]... — the daemon's batch endpoint
+	// journals one shard group per frame so the group commits atomically
+	// (the frame CRC covers the whole payload; a torn tail drops the whole
+	// group, never a prefix of it). The flag rides in the high bit of the
+	// length word, far above maxRecordLen, so plain frames can never alias
+	// it.
+	flagBatch = 1 << 31
 )
 
 // Store is an open data directory. It is not safe for concurrent use; the
@@ -67,6 +76,7 @@ type Store struct {
 	snapshots int64
 
 	scratch [8]byte
+	batch   []byte // reused frame-assembly buffer for AppendBatch
 }
 
 // Stats is a point-in-time view of the store's activity, for /metrics.
@@ -209,8 +219,10 @@ func scanJournal(f *os.File) (epoch uint64, records [][]byte, goodLen, total int
 		if _, err := f.ReadAt(frame[:], goodLen); err != nil {
 			return epoch, records, goodLen, total, nil // short frame header: torn
 		}
-		length := binary.LittleEndian.Uint32(frame[:4])
+		lenWord := binary.LittleEndian.Uint32(frame[:4])
 		sum := binary.LittleEndian.Uint32(frame[4:8])
+		isBatch := lenWord&flagBatch != 0
+		length := lenWord &^ uint32(flagBatch)
 		if length == 0 || length > maxRecordLen {
 			return epoch, records, goodLen, total, nil
 		}
@@ -221,9 +233,51 @@ func scanJournal(f *os.File) (epoch uint64, records [][]byte, goodLen, total int
 		if crc32.ChecksumIEEE(payload) != sum {
 			return epoch, records, goodLen, total, nil // corrupt payload: torn
 		}
-		records = append(records, payload)
+		if isBatch {
+			// Flatten the group into the record stream: replay order inside
+			// a frame is append order, and the frame CRC already proved the
+			// whole group intact, so the records are equivalent to — and
+			// atomically stronger than — the same sequence of plain frames.
+			subs, ok := splitBatch(payload)
+			if !ok {
+				return epoch, records, goodLen, total, nil // malformed group: torn
+			}
+			records = append(records, subs...)
+		} else {
+			records = append(records, payload)
+		}
 		goodLen += 8 + int64(length)
 	}
+}
+
+// splitBatch unpacks a batch frame payload into its member records (views
+// into payload, which scanJournal allocated per frame).
+func splitBatch(payload []byte) ([][]byte, bool) {
+	if len(payload) < 4 {
+		return nil, false
+	}
+	count := binary.LittleEndian.Uint32(payload[:4])
+	// Each member costs at least 5 bytes (length word + one payload byte).
+	if count == 0 || int64(count)*5+4 > int64(len(payload)) {
+		return nil, false
+	}
+	subs := make([][]byte, 0, count)
+	rest := payload[4:]
+	for i := uint32(0); i < count; i++ {
+		if len(rest) < 4 {
+			return nil, false
+		}
+		n := binary.LittleEndian.Uint32(rest[:4])
+		if n == 0 || int64(n) > int64(len(rest))-4 {
+			return nil, false
+		}
+		subs = append(subs, rest[4:4+n])
+		rest = rest[4+n:]
+	}
+	if len(rest) != 0 {
+		return nil, false
+	}
+	return subs, true
 }
 
 // Append writes one record to the journal. The write reaches the kernel
@@ -249,6 +303,60 @@ func (s *Store) Append(payload []byte) error {
 	}
 	s.since++
 	s.appended++
+	return nil
+}
+
+// AppendBatch writes a group of records as one atomic journal frame: on
+// the next Open either every member replays or none does, because the
+// group shares a single CRC — a crash mid-write is a torn tail that drops
+// the whole frame. Record accounting (Stats, SinceCheckpoint) counts
+// members, not frames, so snapshot cadence is unaffected by batching. A
+// one-record group degrades to a plain frame; an empty group is a no-op.
+func (s *Store) AppendBatch(payloads [][]byte) error {
+	switch len(payloads) {
+	case 0:
+		return nil
+	case 1:
+		return s.Append(payloads[0])
+	}
+	total := 4
+	for _, p := range payloads {
+		if len(p) == 0 || len(p) > maxRecordLen {
+			return fmt.Errorf("durable: record of %d bytes", len(p))
+		}
+		total += 4 + len(p)
+	}
+	if total > maxRecordLen {
+		return fmt.Errorf("durable: batch frame of %d bytes", total)
+	}
+	buf := s.batch[:0]
+	if cap(buf) < total {
+		buf = make([]byte, 0, total)
+	}
+	var word [4]byte
+	binary.LittleEndian.PutUint32(word[:], uint32(len(payloads)))
+	buf = append(buf, word[:]...)
+	for _, p := range payloads {
+		binary.LittleEndian.PutUint32(word[:], uint32(len(p)))
+		buf = append(buf, word[:]...)
+		buf = append(buf, p...)
+	}
+	s.batch = buf
+	binary.LittleEndian.PutUint32(s.scratch[:4], uint32(total)|flagBatch)
+	binary.LittleEndian.PutUint32(s.scratch[4:8], crc32.ChecksumIEEE(buf))
+	if _, err := s.journal.Write(s.scratch[:8]); err != nil {
+		return fmt.Errorf("durable: %w", err)
+	}
+	if _, err := s.journal.Write(buf); err != nil {
+		return fmt.Errorf("durable: %w", err)
+	}
+	if s.fsync {
+		if err := s.journal.Sync(); err != nil {
+			return fmt.Errorf("durable: %w", err)
+		}
+	}
+	s.since += len(payloads)
+	s.appended += int64(len(payloads))
 	return nil
 }
 

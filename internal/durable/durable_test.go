@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"os"
 	"path/filepath"
 	"testing"
@@ -202,4 +203,187 @@ func TestManyRecordsRoundTrip(t *testing.T) {
 	s.Close()
 	_, res := openT(t, dir)
 	wantRecords(t, res, want...)
+}
+
+// --- batch frames ---
+
+func batchAppend(t *testing.T, s *Store, recs ...string) {
+	t.Helper()
+	payloads := make([][]byte, len(recs))
+	for i, r := range recs {
+		payloads[i] = []byte(r)
+	}
+	if err := s.AppendBatch(payloads); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAppendBatchReplaysMembersInOrder(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := openT(t, dir)
+	appendAll(t, s, "plain-1")
+	batchAppend(t, s, "batch-a", "batch-b", "batch-c")
+	appendAll(t, s, "plain-2")
+	batchAppend(t, s, "batch-d", "batch-e")
+	s.Close()
+
+	s2, res := openT(t, dir)
+	defer s2.Close()
+	wantRecords(t, res, "plain-1", "batch-a", "batch-b", "batch-c", "plain-2", "batch-d", "batch-e")
+	if res.TruncatedBytes != 0 || res.StaleRecords != 0 {
+		t.Fatalf("clean reopen reported damage: %+v", res)
+	}
+}
+
+// TestAppendBatchDegenerateSizes: an empty group is a no-op; a one-record
+// group is written as a plain frame (no batch flag on the wire).
+func TestAppendBatchDegenerateSizes(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := openT(t, dir)
+	if err := s.AppendBatch(nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.SinceCheckpoint(); got != 0 {
+		t.Fatalf("empty batch bumped since to %d", got)
+	}
+	batchAppend(t, s, "solo")
+	s.Close()
+
+	b, err := os.ReadFile(filepath.Join(dir, journalName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lenWord := binary.LittleEndian.Uint32(b[headerLen : headerLen+4])
+	if lenWord&flagBatch != 0 {
+		t.Fatal("one-record batch carries the batch flag; want a plain frame")
+	}
+	if int(lenWord) != len("solo") {
+		t.Fatalf("frame length = %d, want %d", lenWord, len("solo"))
+	}
+	_, res := openT(t, dir)
+	wantRecords(t, res, "solo")
+}
+
+// TestTornBatchTailDropsWholeGroup cuts a crash into the batch frame itself:
+// replay must drop every member of the group — never a prefix — while the
+// plain record before it survives.
+func TestTornBatchTailDropsWholeGroup(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := openT(t, dir)
+	appendAll(t, s, "before")
+	batchAppend(t, s, "member-1", "member-2", "member-3")
+	s.Close()
+
+	path := filepath.Join(dir, journalName)
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cut inside the batch payload: three bytes short of the full frame.
+	if err := os.Truncate(path, fi.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, res := openT(t, dir)
+	defer s2.Close()
+	wantRecords(t, res, "before")
+	if res.TruncatedBytes == 0 {
+		t.Fatal("torn batch frame not reported")
+	}
+	// The store keeps working, including new batches.
+	batchAppend(t, s2, "after-1", "after-2")
+	s2.Close()
+	_, res2 := openT(t, dir)
+	wantRecords(t, res2, "before", "after-1", "after-2")
+}
+
+// TestCorruptBatchPayloadDropsWholeGroup flips one byte inside a middle
+// member: the group CRC fails and the whole group is dropped atomically.
+func TestCorruptBatchPayloadDropsWholeGroup(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := openT(t, dir)
+	appendAll(t, s, "keep")
+	batchAppend(t, s, "aaaa", "bbbb", "cccc")
+	s.Close()
+
+	path := filepath.Join(dir, journalName)
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a byte of "bbbb" — 9 bytes from the end: cccc(4) + its length
+	// word (4) + 1.
+	b[len(b)-9] ^= 0xff
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, res := openT(t, dir)
+	defer s2.Close()
+	wantRecords(t, res, "keep")
+	if res.TruncatedBytes == 0 {
+		t.Fatal("corrupt batch payload not counted as torn tail")
+	}
+}
+
+// TestMalformedBatchStructureIsTorn hand-crafts a batch frame whose CRC is
+// valid but whose inner structure lies (member count promises more bytes
+// than the payload holds). Replay must refuse the group rather than read
+// out of bounds.
+func TestMalformedBatchStructureIsTorn(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := openT(t, dir)
+	appendAll(t, s, "intact")
+	s.Close()
+
+	// payload: count=3 but only one (short) member present.
+	payload := make([]byte, 0, 16)
+	var word [4]byte
+	binary.LittleEndian.PutUint32(word[:], 3)
+	payload = append(payload, word[:]...)
+	binary.LittleEndian.PutUint32(word[:], 2)
+	payload = append(payload, word[:]...)
+	payload = append(payload, "xy"...)
+
+	path := filepath.Join(dir, journalName)
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(payload))|flagBatch)
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
+	f.Write(hdr[:])
+	f.Write(payload)
+	f.Close()
+
+	s2, res := openT(t, dir)
+	defer s2.Close()
+	wantRecords(t, res, "intact")
+	if res.TruncatedBytes == 0 {
+		t.Fatal("malformed batch structure not treated as a torn tail")
+	}
+}
+
+// TestBatchStatsCountMembers: accounting counts records, not frames, so
+// snapshot cadence is oblivious to batching.
+func TestBatchStatsCountMembers(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := openT(t, dir)
+	defer s.Close()
+	appendAll(t, s, "one")
+	batchAppend(t, s, "two", "three", "four")
+	if got := s.SinceCheckpoint(); got != 4 {
+		t.Fatalf("since = %d, want 4", got)
+	}
+	if st := s.Stats(); st.AppendedTotal != 4 {
+		t.Fatalf("appended_total = %d, want 4", st.AppendedTotal)
+	}
+	if err := s.Checkpoint([]byte("S")); err != nil {
+		t.Fatal(err)
+	}
+	batchAppend(t, s, "five", "six")
+	if got := s.SinceCheckpoint(); got != 2 {
+		t.Fatalf("since after checkpoint+batch = %d, want 2", got)
+	}
 }

@@ -1,0 +1,193 @@
+package leased
+
+// Allocation pins for the serving hot path. BenchmarkShardedApply pins the
+// shard-level apply at zero allocations; these tests pin the full HTTP
+// serving path — record → admit → handler → decode → apply → journal →
+// encode → write — because that is where per-request garbage actually
+// accumulates under load. The renew path must be allocation-free in steady
+// state; a batch must cost O(1) allocations regardless of how many ops it
+// carries.
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime/debug"
+	"strconv"
+	"testing"
+	"time"
+
+	"repro/internal/lease"
+)
+
+// replayBody is a resettable request body: the same bytes replayed to the
+// handler on every run without a per-run reader allocation.
+type replayBody struct {
+	data []byte
+	off  int
+}
+
+func (b *replayBody) Read(p []byte) (int, error) {
+	if b.off >= len(b.data) {
+		return 0, io.EOF
+	}
+	n := copy(p, b.data[b.off:])
+	b.off += n
+	return n, nil
+}
+
+func (b *replayBody) Close() error { return nil }
+
+// nullWriter discards the response while presenting pre-populated header
+// slots, so setHeader's in-place path is exercised exactly as it is against
+// net/http's reused header maps.
+type nullWriter struct {
+	h      http.Header
+	status int
+	n      int
+}
+
+func (w *nullWriter) Header() http.Header         { return w.h }
+func (w *nullWriter) Write(b []byte) (int, error) { w.n += len(b); return len(b), nil }
+func (w *nullWriter) WriteHeader(code int)        { w.status = code }
+
+// allocServer stands up a durable daemon on a ramdisk (when one is
+// mounted) with the policy clock stretched so no term boundary — and none
+// of the adaptation work that rides on it — can fire mid-measurement, and
+// checkpoints pushed out of reach. What remains is exactly the per-request
+// path.
+func allocServer(t *testing.T) *Server {
+	t.Helper()
+	dir := t.TempDir()
+	if fi, err := os.Stat("/dev/shm"); err == nil && fi.IsDir() {
+		if d, err := os.MkdirTemp("/dev/shm", "leased-alloc-"); err == nil {
+			t.Cleanup(func() { os.RemoveAll(d) })
+			dir = d
+		}
+	}
+	s, _, err := Open(dir, Options{
+		Lease: lease.Config{
+			Term:              time.Hour,
+			Tau:               2 * time.Hour,
+			TauMax:            8 * time.Hour,
+			MisbehaviorWindow: 4,
+		},
+		SnapshotEvery: 1 << 30,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+// newReplayRequest builds one reusable request: rewinding the body is the
+// only per-run mutation.
+func newReplayRequest(method, target string, body []byte) (*http.Request, *replayBody) {
+	rb := &replayBody{data: body}
+	req := httptest.NewRequest(method, target, nil)
+	req.Body = rb
+	req.ContentLength = int64(len(body))
+	req.Header.Set("Content-Type", "application/json")
+	return req, rb
+}
+
+func measureAllocs(t *testing.T, runs int, f func()) float64 {
+	t.Helper()
+	// sync.Pool contents are GC-clearable; a collection mid-measurement
+	// would charge pool refills to the serving path. Pin the pools by
+	// pausing GC for the measurement window.
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	f()
+	f()
+	return testing.AllocsPerRun(runs, f)
+}
+
+func TestServePathDoesNotAllocate(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool bypasses itself under the race detector; allocation pins hold only in normal builds")
+	}
+	s := allocServer(t)
+	lr := httpAcquire(t, s, "alloc-client")
+
+	handler := s.record(routeRenew, s.admit(s.handleRenew))
+	req, rb := newReplayRequest("POST", fmt.Sprintf("/v1/leases/%d/renew", lr), []byte(`{"cpu_ms":1.5,"ui_updates":1}`))
+	req.SetPathValue("id", strconv.FormatUint(lr, 10))
+	w := &nullWriter{h: http.Header{"Content-Type": {""}}}
+
+	run := func() {
+		rb.off = 0
+		w.status = 0
+		handler(w, req)
+		if w.status != http.StatusOK {
+			t.Fatalf("renew: status %d", w.status)
+		}
+	}
+	if avg := measureAllocs(t, 200, run); avg > 0 {
+		t.Errorf("renew serve path allocates %.2f times per request, want 0", avg)
+	}
+}
+
+// TestBatchServePathAllocatesO1 pins the batch path's allocation count as
+// independent of op count: a 128-op batch may cost a small constant, not
+// O(ops).
+func TestBatchServePathAllocatesO1(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool bypasses itself under the race detector; allocation pins hold only in normal builds")
+	}
+	s := allocServer(t)
+	lr := httpAcquire(t, s, "alloc-batch-client")
+
+	const ops = 128
+	body := []byte(`{"ops":[`)
+	for i := 0; i < ops; i++ {
+		if i > 0 {
+			body = append(body, ',')
+		}
+		body = append(body, fmt.Sprintf(`{"op":"renew","lease_id":%d,"report":{"cpu_ms":1,"ui_updates":1}}`, lr)...)
+	}
+	body = append(body, ']', '}')
+
+	handler := s.record(routeBatch, s.admit(s.handleBatch))
+	req, rb := newReplayRequest("POST", "/v1/batch", body)
+	w := &nullWriter{h: http.Header{"Content-Type": {""}}}
+
+	run := func() {
+		rb.off = 0
+		w.status = 0
+		handler(w, req)
+		if w.status != http.StatusOK {
+			t.Fatalf("batch: status %d", w.status)
+		}
+	}
+	if avg := measureAllocs(t, 100, run); avg > 8 {
+		t.Errorf("%d-op batch allocates %.2f times per request, want O(1) (≤8)", ops, avg)
+	}
+}
+
+// httpAcquire performs one acquire through the env pipeline and returns the
+// wire lease ID.
+func httpAcquire(t *testing.T, s *Server, client string) uint64 {
+	t.Helper()
+	sh := s.shardFor(client)
+	env := getOpEnv()
+	defer putOpEnv(env)
+	env.rec = opRecord{Op: "acquire", Client: client, Kind: "wakelock"}
+	sh.applyOp(env, "")
+	if env.status != http.StatusOK {
+		t.Fatalf("acquire: status %d (%s)", env.status, env.result)
+	}
+	var wire uint64
+	env.p.begin(env.result)
+	if err := env.p.doc(func(key []byte) error {
+		if keyIs(key, "lease_id") {
+			return env.p.uint64Field(&wire)
+		}
+		return env.p.skipValue()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return wire
+}

@@ -10,25 +10,48 @@ import (
 	"repro/internal/lease"
 )
 
+func benchOptions(shards int) Options {
+	return Options{
+		Lease: lease.Config{
+			Term:              time.Second,
+			Tau:               2 * time.Second,
+			TauMax:            8 * time.Second,
+			MisbehaviorWindow: 4,
+		},
+		Shards: shards,
+	}
+}
+
+// benchAcquire applies one acquire through the env pipeline and returns the
+// shard-local lease ID.
+func benchAcquire(b *testing.B, s *Server, name string) (*shard, uint64) {
+	b.Helper()
+	sh := s.shardFor(name)
+	env := getOpEnv()
+	defer putOpEnv(env)
+	env.rec = opRecord{Op: "acquire", Client: name, Kind: "wakelock"}
+	sh.applyOp(env, "")
+	var lr leaseResponse
+	if err := json.Unmarshal(env.result, &lr); err != nil {
+		b.Fatal(err)
+	}
+	_, local := decodeLeaseID(lr.LeaseID)
+	return sh, local
+}
+
 // BenchmarkShardedApply measures the serialization point the sharding work
 // exists to split: concurrent goroutines driving renew operations through
-// applyOp (dedup check + clock section + mutation), at increasing shard
-// counts. On a multi-core machine throughput should scale with shards up to
-// GOMAXPROCS; on one core the curve is flat — the point of recording it per
-// shard count is exactly to see which machine you're on.
+// applyOp (dedup check + clock section + mutation + wire encode), at
+// increasing shard counts. On a multi-core machine throughput should scale
+// with shards up to GOMAXPROCS; on one core the curve is flat — the point
+// of recording it per shard count is exactly to see which machine you're
+// on. The allocs/op figure is load-bearing: the hot path pools every buffer
+// it touches, and this benchmark (plus TestServePathDoesNotAllocate) pins
+// it at zero.
 func BenchmarkShardedApply(b *testing.B) {
 	for _, n := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("shards=%d", n), func(b *testing.B) {
-			opts := Options{
-				Lease: lease.Config{
-					Term:              time.Second,
-					Tau:               2 * time.Second,
-					TauMax:            8 * time.Second,
-					MisbehaviorWindow: 4,
-				},
-				Shards: n,
-			}
-			s := NewServer(opts)
+			s := NewServer(benchOptions(n))
 			defer s.Close()
 
 			var ctr atomic.Int64
@@ -36,18 +59,52 @@ func BenchmarkShardedApply(b *testing.B) {
 			b.ResetTimer()
 			b.RunParallel(func(pb *testing.PB) {
 				name := fmt.Sprintf("bench-%03d", ctr.Add(1))
-				sh := s.shardFor(name)
-				out := sh.applyOp(&opRecord{Op: "acquire", Client: name, Kind: "wakelock"}, "")
-				var lr leaseResponse
-				if err := json.Unmarshal(out.body, &lr); err != nil {
-					b.Fatal(err)
-				}
-				_, local := decodeLeaseID(lr.LeaseID)
+				sh, local := benchAcquire(b, s, name)
 				rep := usageReport{CPUMS: 1, UIUpdates: 1}
+				env := getOpEnv()
+				defer putOpEnv(env)
 				for pb.Next() {
-					sh.applyOp(&opRecord{Op: "renew", LeaseID: local, Report: &rep}, "")
+					env.rec = opRecord{Op: "renew", LeaseID: local, Report: &rep}
+					sh.applyOp(env, "")
 				}
 			})
+		})
+	}
+}
+
+// BenchmarkBatchApply measures the amortized path: one shard group of
+// renews applied under a single clock crossing via applyBatchGroup, the
+// core of POST /v1/batch. ns/op is per operation (b.N ops run in
+// b.N/size batches), so the ratio to BenchmarkShardedApply/shards=1 is the
+// per-op saving from batching alone, with HTTP out of the picture.
+func BenchmarkBatchApply(b *testing.B) {
+	for _, size := range []int{16, 64, 256} {
+		b.Run(fmt.Sprintf("size=%d", size), func(b *testing.B) {
+			s := NewServer(benchOptions(1))
+			defer s.Close()
+			_, local := benchAcquire(b, s, "batch-bench")
+			wire := encodeLeaseID(0, local)
+
+			env := getBatchEnv()
+			defer putBatchEnv(env)
+			env.ops = env.ops[:0]
+			for i := 0; i < size; i++ {
+				env.ops = append(env.ops, batchOp{
+					opName: []byte("renew"),
+					wire:   wire,
+					report: usageReport{CPUMS: 1, UIUpdates: 1},
+					hasRep: true,
+				})
+			}
+			s.routeBatchOps(env)
+			env.groupByShard(len(s.shards))
+			group := env.idx
+
+			b.ReportAllocs()
+			b.ResetTimer()
+			for n := 0; n < b.N; n += size {
+				s.shards[0].applyBatchGroup(env, group)
+			}
 		})
 	}
 }

@@ -2,12 +2,13 @@ package leased
 
 import (
 	"context"
-	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"strconv"
+	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/lease"
@@ -55,6 +56,11 @@ func (r usageReport) failedRequest() time.Duration { return msDur(r.FailedReques
 // leaseResponse describes one lease to the client. LeaseID is the wire ID:
 // the shard-local manager ID tagged with the owning shard in its low bits,
 // so subsequent renew/release/get requests route by arithmetic alone.
+//
+// The struct's json tags remain authoritative for the wire format, but the
+// hot path encodes it with appendLeaseResponse (codec.go), which the codec
+// tests pin byte-identical to json.Marshal — change the fields and both
+// must move together.
 type leaseResponse struct {
 	LeaseID uint64 `json:"lease_id"`
 	Client  string `json:"client"`
@@ -91,7 +97,7 @@ func (sh *shard) leaseView(o *robj, withExplain bool) leaseResponse {
 	if l := sh.mgr.LeaseByID(o.leaseID); l != nil {
 		resp.State = l.State().String()
 		resp.Terms = l.Terms()
-		resp.TermMS = sh.mgr.Config().Term.Milliseconds()
+		resp.TermMS = sh.termMS
 	}
 	if withExplain {
 		resp.Explain = sh.mgr.Explain(o.leaseID)
@@ -110,6 +116,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/leases/{id}/renew", s.chaos(s.record(routeRenew, s.admit(s.handleRenew))))
 	mux.HandleFunc("DELETE /v1/leases/{id}", s.chaos(s.record(routeRelease, s.admit(s.handleRelease))))
 	mux.HandleFunc("GET /v1/leases/{id}", s.chaos(s.record(routeGet, s.admit(s.handleGet))))
+	mux.HandleFunc("POST /v1/batch", s.chaos(s.record(routeBatch, s.admit(s.handleBatch))))
 	// Observability stays reachable under overload and chaos: no admission
 	// gate, no fault injection.
 	mux.HandleFunc("GET /metrics", s.record(routeMetrics, s.handleMetrics))
@@ -164,12 +171,14 @@ func (d *discardWriter) WriteHeader(int)             {}
 
 // statusWriter captures the response code for error accounting, and carries
 // the shard a handler routed to so record can bill the observation to that
-// shard's histograms.
+// shard's histograms. Pooled: one is borrowed per request.
 type statusWriter struct {
 	http.ResponseWriter
 	status int
 	shard  *shard
 }
+
+var statusWriterPool = sync.Pool{New: func() any { return new(statusWriter) }}
 
 func (w *statusWriter) WriteHeader(code int) {
 	w.status = code
@@ -178,7 +187,8 @@ func (w *statusWriter) WriteHeader(code int) {
 
 // markShard notes which shard handled this request. Handlers call it right
 // after routing; requests that never route (parse failures, unroutable
-// lease IDs, /metrics) bill to the server-level unrouted histograms.
+// lease IDs, /metrics, cross-shard batches) bill to the server-level
+// unrouted histograms.
 func markShard(w http.ResponseWriter, sh *shard) {
 	if sw, ok := w.(*statusWriter); ok {
 		sw.shard = sh
@@ -198,7 +208,8 @@ func markShard(w http.ResponseWriter, sh *shard) {
 // accounting's good graces).
 func (s *Server) record(route int, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
-		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		sw := statusWriterPool.Get().(*statusWriter)
+		sw.ResponseWriter, sw.status, sw.shard = w, http.StatusOK, nil
 		start := time.Now()
 		h(sw, r)
 		isError := sw.status >= 400 ||
@@ -209,6 +220,8 @@ func (s *Server) record(route int, h http.HandlerFunc) http.HandlerFunc {
 		} else {
 			s.metrics.unrouted[route].observe(d, isError)
 		}
+		sw.ResponseWriter, sw.shard = nil, nil
+		statusWriterPool.Put(sw)
 	}
 }
 
@@ -226,44 +239,78 @@ func (s *Server) admit(h http.HandlerFunc) http.HandlerFunc {
 		default:
 			s.metrics.rejected.Add(1)
 			w.Header().Set("Retry-After", "1")
-			writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "too many in-flight requests"})
+			writeError(w, http.StatusServiceUnavailable, "too many in-flight requests")
 			return
 		}
 		h(w, r)
 	}
 }
 
-func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
-	enc.Encode(v)
+// setHeader sets a single-valued header without allocating when the map
+// already holds a slot for the key (the pooled-writer case).
+func setHeader(h http.Header, key, value string) {
+	if v := h[key]; len(v) == 1 {
+		v[0] = value
+		return
+	}
+	h[key] = []string{value}
 }
 
 func writeError(w http.ResponseWriter, status int, msg string) {
-	writeJSON(w, status, errorResponse{Error: msg})
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	b := appendErrorResponse(nil, msg)
+	b = append(b, '\n')
+	w.Write(b)
 }
 
-// maxBodyBytes bounds every request body; larger bodies fail with 413
-// rather than being silently truncated mid-JSON.
+// maxBodyBytes bounds every single-op request body; larger bodies fail with
+// 413 rather than being silently truncated mid-JSON. Batch bodies get the
+// larger batchMaxBodyBytes (batch.go).
 const maxBodyBytes = 64 << 10
 
-// decodeBody decodes a bounded JSON body, tolerating an empty one.
-func decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
-	if err := dec.Decode(v); err != nil && !errors.Is(err, io.EOF) {
-		return err
+// bodyTooLargeError reports a body that exceeded its route's limit.
+type bodyTooLargeError int
+
+func (e bodyTooLargeError) Error() string {
+	return fmt.Sprintf("request body exceeds %d bytes", int(e))
+}
+
+// readBody slurps r's body into *dst (growing and keeping its capacity for
+// reuse), enforcing limit. This replaces MaxBytesReader + json.Decoder on
+// the hot path: the parser wants the whole body as one slice anyway, and
+// the pooled buffer makes the read allocation-free in steady state.
+func readBody(r *http.Request, dst *[]byte, limit int) ([]byte, error) {
+	b := (*dst)[:0]
+	if n := r.ContentLength; n > int64(cap(b)) && n <= int64(limit) {
+		b = make([]byte, 0, n)
 	}
-	return nil
+	for {
+		if len(b) == cap(b) {
+			b = append(b, 0)[:len(b)]
+		}
+		n, err := r.Body.Read(b[len(b):cap(b)])
+		b = b[:len(b)+n]
+		if len(b) > limit {
+			*dst = b
+			return nil, bodyTooLargeError(limit)
+		}
+		if err != nil {
+			*dst = b
+			if err == io.EOF {
+				return b, nil
+			}
+			return nil, err
+		}
+	}
 }
 
 // writeBodyError maps a decode failure to its status: oversized bodies are
 // 413, everything else is a client syntax error.
 func writeBodyError(w http.ResponseWriter, err error) {
-	var tooBig *http.MaxBytesError
+	var tooBig bodyTooLargeError
 	if errors.As(err, &tooBig) {
-		writeError(w, http.StatusRequestEntityTooLarge,
-			fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit))
+		writeError(w, http.StatusRequestEntityTooLarge, tooBig.Error())
 		return
 	}
 	writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
@@ -271,80 +318,93 @@ func writeBodyError(w http.ResponseWriter, err error) {
 
 // requestID extracts and validates the client's idempotency key. An absent
 // key is fine (the request is simply not idempotent); a malformed one is
-// reported so the client learns its retries are unprotected.
+// reported so the client learns its retries are unprotected. The header map
+// is indexed directly with the canonical key: Header.Get("X-Request-ID")
+// would re-canonicalize the name — an allocation — on every request.
 func requestID(r *http.Request) (string, error) {
-	id := r.Header.Get("X-Request-ID")
+	var id string
+	if v := r.Header["X-Request-Id"]; len(v) > 0 {
+		id = v[0]
+	}
 	if len(id) > 128 {
 		return "", errors.New("X-Request-ID exceeds 128 bytes")
 	}
 	return id, nil
 }
 
-// opOutcome is a mutation's wire result.
-type opOutcome struct {
-	status  int
-	body    []byte
-	deduped bool
-}
-
-func (out opOutcome) write(w http.ResponseWriter) {
-	w.Header().Set("Content-Type", "application/json")
-	if out.deduped {
-		w.Header().Set("X-Deduped", "1")
+// write sends the op outcome carried by env: status, optional dedup marker,
+// and the response body plus trailing newline.
+func (env *opEnv) write(w http.ResponseWriter) {
+	setHeader(w.Header(), "Content-Type", "application/json")
+	if env.deduped {
+		setHeader(w.Header(), "X-Deduped", "1")
 	}
-	w.WriteHeader(out.status)
-	w.Write(out.body)
-	w.Write([]byte("\n"))
+	w.WriteHeader(env.status)
+	w.Write(env.result)
+	w.Write(newline)
 }
 
-// applyOp runs one external mutation through this shard's full durability
+var newline = []byte("\n")
+
+// applyOp runs env's decoded mutation through this shard's full durability
 // pipeline inside a single clock section: dedup check, virtual-time stamp,
-// journal append, state mutation, response cache. Failed ops (4xx) change
-// no state and are not journaled. rec.LeaseID, if set, is already
-// shard-local — the handler decoded the wire ID to route here.
-func (sh *shard) applyOp(rec *opRecord, reqID string) opOutcome {
-	var out opOutcome
+// state mutation, journal append, response cache. Failed ops (4xx) change
+// no state and are not journaled. env.rec.LeaseID, if set, is already
+// shard-local — the handler decoded the wire ID to route here. On return
+// env.status/env.result/env.deduped carry the outcome; env.result points
+// either at env.out (freshly encoded) or at a cache-owned body (dedup hit),
+// both stable until the env is recycled.
+func (sh *shard) applyOp(env *opEnv, reqID string) {
 	sh.do(func() {
 		if reqID != "" {
 			if raw, ok := sh.dedup.get(reqID); ok {
 				sh.metrics.deduped.Add(1)
-				out = opOutcome{status: http.StatusOK, body: raw, deduped: true}
+				env.status, env.result, env.deduped = http.StatusOK, raw, true
 				return
 			}
 		}
-		rec.At = sh.clock.Now()
-		rec.ReqID = reqID
-		status, resp, errMsg := sh.applyRecord(rec)
+		env.rec.At = sh.clock.Now()
+		env.rec.ReqID = reqID
+		status, resp, errMsg := sh.applyRecord(&env.rec)
 		if status != http.StatusOK {
-			body, _ := json.Marshal(errorResponse{Error: errMsg})
-			out = opOutcome{status: status, body: body}
+			env.out = appendErrorResponse(env.out[:0], errMsg)
+			env.status, env.result = status, env.out
 			return
 		}
 		// Journal AFTER a successful apply but inside the same frozen
 		// instant: the mutation cannot fail after being logged, and the
 		// log order equals the clock order.
-		sh.journalLocked(rec)
-		body, _ := json.Marshal(resp)
+		sh.journalLocked(&env.rec)
+		env.out = appendLeaseResponse(env.out[:0], &resp)
 		if reqID != "" {
-			sh.dedup.put(reqID, body)
+			// The cache must own a stable copy — env.out is recycled.
+			sh.dedup.put(reqID, append([]byte(nil), env.out...))
 		}
-		out = opOutcome{status: http.StatusOK, body: body}
+		env.status, env.result = http.StatusOK, env.out
 	})
-	return out
 }
 
 func (s *Server) handleAcquire(w http.ResponseWriter, r *http.Request) {
-	var req acquireRequest
-	if err := decodeBody(w, r, &req); err != nil {
+	env := getOpEnv()
+	defer putOpEnv(env)
+	body, err := readBody(r, &env.body, maxBodyBytes)
+	if err != nil {
 		writeBodyError(w, err)
 		return
 	}
-	if req.Client == "" || len(req.Client) > 128 {
+	env.p.begin(body)
+	var aw acquireWire
+	if err := env.p.decodeAcquire(&aw); err != nil {
+		writeBodyError(w, err)
+		return
+	}
+	if len(aw.client) == 0 || len(aw.client) > 128 {
 		writeError(w, http.StatusBadRequest, "client must be a non-empty name (≤128 chars)")
 		return
 	}
-	if _, err := kindFromName(req.Kind); err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+	kind, ok := kindFromBytes(aw.kind)
+	if !ok {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("unknown resource kind %q", aw.kind))
 		return
 	}
 	reqID, err := requestID(r)
@@ -352,9 +412,12 @@ func (s *Server) handleAcquire(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	sh := s.shardFor(req.Client)
+	client := string(aw.client) // the acquire path's one materialization
+	sh := s.shardFor(client)
 	markShard(w, sh)
-	sh.applyOp(&opRecord{Op: "acquire", Client: req.Client, Kind: req.Kind}, reqID).write(w)
+	env.rec = opRecord{Op: "acquire", Client: client, Kind: kind.String()}
+	sh.applyOp(env, reqID)
+	env.write(w)
 }
 
 // leaseID parses the {id} path segment (a wire lease ID).
@@ -386,8 +449,15 @@ func (s *Server) handleRenew(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	var rep usageReport
-	if err := decodeBody(w, r, &rep); err != nil {
+	env := getOpEnv()
+	defer putOpEnv(env)
+	body, err := readBody(r, &env.body, maxBodyBytes)
+	if err != nil {
+		writeBodyError(w, err)
+		return
+	}
+	env.p.begin(body)
+	if err := env.p.decodeUsage(&env.rep); err != nil {
 		writeBodyError(w, err)
 		return
 	}
@@ -396,7 +466,9 @@ func (s *Server) handleRenew(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	sh.applyOp(&opRecord{Op: "renew", LeaseID: local, Report: &rep}, reqID).write(w)
+	env.rec = opRecord{Op: "renew", LeaseID: local, Report: &env.rep}
+	sh.applyOp(env, reqID)
+	env.write(w)
 }
 
 func (s *Server) handleRelease(w http.ResponseWriter, r *http.Request) {
@@ -409,8 +481,37 @@ func (s *Server) handleRelease(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	destroy := r.URL.Query().Get("destroy") == "1"
-	sh.applyOp(&opRecord{Op: "release", LeaseID: local, Destroy: destroy}, reqID).write(w)
+	env := getOpEnv()
+	defer putOpEnv(env)
+	env.rec = opRecord{Op: "release", LeaseID: local, Destroy: queryFlag(r, "destroy")}
+	sh.applyOp(env, reqID)
+	env.write(w)
+}
+
+// queryFlag reports whether the query string sets key=1, scanning the raw
+// query in place for the overwhelmingly common unescaped case and falling
+// back to the allocating url.Values parse only when escapes are present.
+func queryFlag(r *http.Request, key string) bool {
+	raw := r.URL.RawQuery
+	if raw == "" {
+		return false
+	}
+	if strings.ContainsAny(raw, "%+") {
+		return r.URL.Query().Get(key) == "1"
+	}
+	for len(raw) > 0 {
+		var seg string
+		if i := strings.IndexByte(raw, '&'); i >= 0 {
+			seg, raw = raw[:i], raw[i+1:]
+		} else {
+			seg, raw = raw, ""
+		}
+		if len(seg) == len(key)+2 && seg[:len(key)] == key &&
+			seg[len(key)] == '=' && seg[len(key)+1] == '1' {
+			return true
+		}
+	}
+	return false
 }
 
 func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
@@ -418,6 +519,8 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	env := getOpEnv()
+	defer putOpEnv(env)
 	var resp leaseResponse
 	found := false
 	sh.do(func() {
@@ -430,13 +533,15 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "unknown or dead lease")
 		return
 	}
-	writeJSON(w, http.StatusOK, resp)
+	env.out = appendLeaseResponse(env.out[:0], &resp)
+	env.status, env.result = http.StatusOK, env.out
+	env.write(w)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	snap := s.snapshot()
+	b := appendSnapshotIndent(make([]byte, 0, 8<<10), &snap)
+	b = append(b, '\n')
 	w.Header().Set("Content-Type", "application/json")
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	enc.Encode(snap)
+	w.Write(b)
 }

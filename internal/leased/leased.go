@@ -136,6 +136,18 @@ func shardIndex(client string, n int) int {
 	return int(h % uint32(n))
 }
 
+// shardIndexBytes is shardIndex for an unmaterialized client name (the
+// batch decoder holds names as views into the request body).
+func shardIndexBytes(client []byte, n int) int {
+	const offset32, prime32 = 2166136261, 16777619
+	h := uint32(offset32)
+	for i := 0; i < len(client); i++ {
+		h ^= uint32(client[i])
+		h *= prime32
+	}
+	return int(h % uint32(n))
+}
+
 // Server is the lease daemon: N independent shards behind one HTTP surface,
 // plus the shared admission gate. Create with NewServer (in-memory) or Open
 // (durable).
@@ -174,6 +186,15 @@ type shard struct {
 	store    *durable.Store
 	dedup    *dedupCache
 	recovery RecoveryInfo
+
+	// termMS caches mgr.Config().Term.Milliseconds(): the policy is fixed
+	// for the shard's lifetime and every lease response carries it, so the
+	// per-request Config() copy + conversion is hoisted here.
+	termMS int64
+
+	// jbuf is the journal encode scratch; touched only under the shard
+	// clock, like everything else here.
+	jbuf []byte
 
 	metrics *shardMetrics
 }
@@ -226,6 +247,7 @@ func newShard(id int, opts Options, clock *runtime.Wall) *shard {
 	}
 	sh.res = &resources{clock: sh.clock, objs: make(map[uint64]*robj)}
 	sh.mgr = lease.NewManager(sh.clock, sh.apps, opts.Lease)
+	sh.termMS = sh.mgr.Config().Term.Milliseconds()
 	if opts.Faults != nil {
 		site := opts.Faults.Site("wall.delay")
 		sh.clock.SetLoopDelay(func() time.Duration {
@@ -569,12 +591,28 @@ func (a *appStats) InteractionsOf(uid power.UID) int      { return a.inter[uid] 
 
 var _ lease.AppStats = (*appStats)(nil)
 
+// allKinds is hooks.Kinds() computed once: Kinds allocates a fresh slice
+// per call, which the request path cannot afford.
+var allKinds = hooks.Kinds()
+
 // kindFromName resolves a resource-kind name ("wakelock", "gps", ...).
 func kindFromName(name string) (hooks.Kind, error) {
-	for _, k := range hooks.Kinds() {
+	for _, k := range allKinds {
 		if k.String() == name {
 			return k, nil
 		}
 	}
 	return 0, fmt.Errorf("unknown resource kind %q", name)
+}
+
+// kindFromBytes is kindFromName for an unmaterialized name; the returned
+// canonical name (k.String(), a static string) is what goes into records,
+// so valid requests never copy the client's bytes.
+func kindFromBytes(name []byte) (hooks.Kind, bool) {
+	for _, k := range allKinds {
+		if string(name) == k.String() {
+			return k, true
+		}
+	}
+	return 0, false
 }

@@ -82,6 +82,12 @@ type Options struct {
 	// Timeout bounds one HTTP request (default 2 s).
 	Timeout time.Duration
 
+	// Batch, when > 1, sends each client's renews as /v1/batch requests
+	// carrying this many ops (each with its own request ID, so retried
+	// batches dedup per op). 0 or 1 keeps the per-op routes. The daemon
+	// caps one batch at 4096 ops / 256 KiB.
+	Batch int
+
 	// Retries is how many times one idempotent mutation is attempted before
 	// it counts as a failure (default 4). Retries pause with jittered
 	// exponential backoff and honor the daemon's Retry-After hint.
@@ -207,6 +213,7 @@ type counters struct {
 	acquire atomic.Int64
 	renew   atomic.Int64
 	release atomic.Int64
+	batch   atomic.Int64 // /v1/batch requests (not the ops they carry)
 
 	sheds      atomic.Int64
 	retries    atomic.Int64
@@ -236,9 +243,13 @@ func Run(ctx context.Context, opts Options) (Report, error) {
 		return Report{}, fmt.Errorf("loadgen: empty client mix")
 	}
 
+	// Keep-alive tuned for a fleet hammering one host: every client's
+	// connection stays pooled for the whole run instead of competing for
+	// net/http's default two idle slots per host.
 	var rt http.RoundTripper = &http.Transport{
 		MaxIdleConns:        total + 8,
 		MaxIdleConnsPerHost: total + 8,
+		IdleConnTimeout:     90 * time.Second,
 	}
 	// Probe the daemon on a clean client — injected chaos must not turn a
 	// healthy daemon into a startup failure.
@@ -272,6 +283,7 @@ func Run(ctx context.Context, opts Options) (Report, error) {
 				http:    cli,
 				base:    opts.BaseURL,
 				beat:    opts.Beat,
+				batch:   opts.Batch,
 				cnt:     &cnt,
 				retries: opts.Retries,
 				bo:      newBackoff(opts.RetryBase, opts.RetryMax, rng),
@@ -300,6 +312,7 @@ func Run(ctx context.Context, opts Options) (Report, error) {
 			"acquire": cnt.acquire.Load(),
 			"renew":   cnt.renew.Load(),
 			"release": cnt.release.Load(),
+			"batch":   cnt.batch.Load(),
 		},
 		Sheds:          cnt.sheds.Load(),
 		Retries:        cnt.retries.Load(),
@@ -398,12 +411,13 @@ func probe(ctx context.Context, cli *http.Client, base string) error {
 
 // client is one simulated app.
 type client struct {
-	name string
-	prof Profile
-	http *http.Client
-	base string
-	beat time.Duration
-	cnt  *counters
+	name  string
+	prof  Profile
+	http  *http.Client
+	base  string
+	beat  time.Duration
+	batch int // >1: renews ride /v1/batch in groups of this size
+	cnt   *counters
 
 	retries int
 	bo      backoff
@@ -415,20 +429,15 @@ type client struct {
 	sheds, retried, lost, deduped, doubles, recon int64
 }
 
-// mutate performs one idempotent mutation. Every attempt carries the same
-// X-Request-ID, so however many times a lost response or a shed forces a
-// resend, the daemon applies the op at most once. Returns false only when
-// the op failed for good (a counted error) or the run ended.
-func (c *client) mutate(ctx context.Context, verb *atomic.Int64, method, path string, body, out any) bool {
-	c.seq++
-	reqID := fmt.Sprintf("%s-%d", c.name, c.seq)
-	var payload []byte
-	if body != nil {
-		payload, _ = json.Marshal(body)
-	}
-	c.ops++
-	c.cnt.ops.Add(1)
-	verb.Add(1)
+// send performs one idempotent request with the shared retry ladder. nops
+// is how many logical ops the request carries — 1 on the single-op routes,
+// the group size on /v1/batch — and scales the op and error accounting.
+// onOK consumes a 200 response body. Returns false only when the request
+// failed for good (a counted error) or the run ended.
+func (c *client) send(ctx context.Context, verb *atomic.Int64, nops int64, method, path, reqID string, payload []byte, onOK func(*http.Response) error) bool {
+	c.ops += nops
+	c.cnt.ops.Add(nops)
+	verb.Add(nops)
 	c.bo.reset()
 	for attempt := 0; attempt < c.retries; attempt++ {
 		if attempt > 0 {
@@ -439,7 +448,7 @@ func (c *client) mutate(ctx context.Context, verb *atomic.Int64, method, path st
 		if err != nil {
 			break
 		}
-		if body != nil {
+		if payload != nil {
 			req.Header.Set("Content-Type", "application/json")
 		}
 		req.Header.Set("X-Request-ID", reqID)
@@ -460,14 +469,11 @@ func (c *client) mutate(ctx context.Context, verb *atomic.Int64, method, path st
 				c.deduped++
 				c.cnt.deduped.Add(1)
 			}
-			var derr error
-			if out != nil {
-				derr = json.NewDecoder(resp.Body).Decode(out)
-			}
+			oerr := onOK(resp)
 			resp.Body.Close()
-			if derr != nil {
-				c.errs++
-				c.cnt.errors.Add(1)
+			if oerr != nil {
+				c.errs += nops
+				c.cnt.errors.Add(nops)
 				return false
 			}
 			return true
@@ -485,8 +491,8 @@ func (c *client) mutate(ctx context.Context, verb *atomic.Int64, method, path st
 			// 4xx: the daemon rejected the op outright; the same bytes
 			// cannot succeed on a resend.
 			resp.Body.Close()
-			c.errs++
-			c.cnt.errors.Add(1)
+			c.errs += nops
+			c.cnt.errors.Add(nops)
 			return false
 		}
 		t := time.NewTimer(c.bo.next(retryAfter))
@@ -498,10 +504,89 @@ func (c *client) mutate(ctx context.Context, verb *atomic.Int64, method, path st
 		}
 	}
 	if ctx.Err() == nil {
-		c.errs++
-		c.cnt.errors.Add(1)
+		c.errs += nops
+		c.cnt.errors.Add(nops)
 	}
 	return false
+}
+
+// mutate performs one idempotent mutation. Every attempt carries the same
+// X-Request-ID, so however many times a lost response or a shed forces a
+// resend, the daemon applies the op at most once.
+func (c *client) mutate(ctx context.Context, verb *atomic.Int64, method, path string, body, out any) bool {
+	c.seq++
+	reqID := fmt.Sprintf("%s-%d", c.name, c.seq)
+	var payload []byte
+	if body != nil {
+		payload, _ = json.Marshal(body)
+	}
+	return c.send(ctx, verb, 1, method, path, reqID, payload, func(resp *http.Response) error {
+		if out == nil {
+			return nil
+		}
+		return json.NewDecoder(resp.Body).Decode(out)
+	})
+}
+
+// Wire shapes for /v1/batch.
+type batchOpMsg struct {
+	Op      string    `json:"op"`
+	LeaseID uint64    `json:"lease_id,omitempty"`
+	ReqID   string    `json:"req_id,omitempty"`
+	Report  *usageMsg `json:"report,omitempty"`
+}
+
+type batchResultMsg struct {
+	Status  int       `json:"status"`
+	Deduped bool      `json:"deduped"`
+	Lease   *leaseMsg `json:"lease"`
+	Error   string    `json:"error"`
+}
+
+// batchRenew sends n renew ops for the held lease as one /v1/batch request.
+// Each op carries its own request ID, so a retried batch dedups per op —
+// the same at-most-once guarantee the single-op path has, at a fraction of
+// the per-op cost.
+func (c *client) batchRenew(ctx context.Context, leaseID uint64, rep usageMsg, n int) {
+	msg := struct {
+		Ops []batchOpMsg `json:"ops"`
+	}{Ops: make([]batchOpMsg, n)}
+	for i := range msg.Ops {
+		c.seq++
+		msg.Ops[i] = batchOpMsg{
+			Op:      "renew",
+			LeaseID: leaseID,
+			ReqID:   fmt.Sprintf("%s-%d", c.name, c.seq),
+			Report:  &rep,
+		}
+	}
+	payload, _ := json.Marshal(msg)
+	var out struct {
+		Results []batchResultMsg `json:"results"`
+	}
+	ok := c.send(ctx, &c.cnt.renew, int64(n), "POST", "/v1/batch", msg.Ops[0].ReqID, payload, func(resp *http.Response) error {
+		return json.NewDecoder(resp.Body).Decode(&out)
+	})
+	if !ok {
+		return
+	}
+	c.cnt.batch.Add(1)
+	for i := range out.Results {
+		res := &out.Results[i]
+		if res.Deduped {
+			c.deduped++
+			c.cnt.deduped.Add(1)
+		}
+		if res.Status != http.StatusOK {
+			c.errs++
+			c.cnt.errors.Add(1)
+			continue
+		}
+		if res.Lease != nil {
+			c.note(res.Lease.State)
+			c.checkDoubles(res.Lease.Acquires)
+		}
+	}
 }
 
 // checkDoubles cross-checks the server's applied-acquire count against this
@@ -548,6 +633,10 @@ func (c *client) run(ctx context.Context) ClientReport {
 		return ok
 	}
 	renew := func(rep usageMsg) {
+		if c.batch > 1 {
+			c.batchRenew(ctx, lease.LeaseID, rep, c.batch)
+			return
+		}
 		var got leaseMsg
 		if c.mutate(ctx, &c.cnt.renew, "POST", fmt.Sprintf("/v1/leases/%d/renew", lease.LeaseID), rep, &got) {
 			c.note(got.State)

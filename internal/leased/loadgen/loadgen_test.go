@@ -180,3 +180,58 @@ func TestCrashProfileReconnects(t *testing.T) {
 		t.Errorf("healthy daemon, but fleet saw %d errors: %+v", rep.Errors, rep.Clients)
 	}
 }
+
+// TestBatchModeEndToEnd runs the fleet in batch mode: renews ride /v1/batch
+// in groups, with per-op request IDs. Detection must still work (batched
+// zero-usage heartbeats are still a leak), nothing may error, and the op
+// count must reflect the batched ops.
+func TestBatchModeEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second wall-clock test")
+	}
+	srv := leased.NewServer(leased.Options{
+		Lease: lease.Config{
+			Term:              60 * time.Millisecond,
+			Tau:               120 * time.Millisecond,
+			TauMax:            480 * time.Millisecond,
+			MisbehaviorWindow: 1,
+		},
+		Shards: 2,
+	})
+	ts := httptest.NewServer(srv.Handler())
+	defer func() {
+		ts.Close()
+		srv.Close()
+	}()
+
+	rep, err := Run(context.Background(), Options{
+		BaseURL:  ts.URL,
+		Mix:      map[Profile]int{Normal: 2, LHB: 2},
+		Duration: 2 * time.Second,
+		Beat:     10 * time.Millisecond,
+		Batch:    16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != 0 {
+		t.Errorf("batch-mode fleet saw %d errors: %+v", rep.Errors, rep.Clients)
+	}
+	if rep.MisbehavingDeferred != rep.MisbehavingClients {
+		t.Errorf("only %d/%d misbehaving clients deferred in batch mode",
+			rep.MisbehavingDeferred, rep.MisbehavingClients)
+	}
+	if rep.NormalDeferred != 0 {
+		t.Errorf("%d well-behaved clients wrongly deferred in batch mode", rep.NormalDeferred)
+	}
+	if rep.ByVerb["batch"] == 0 {
+		t.Error("batch mode sent no /v1/batch requests")
+	}
+	// Each batch request carries 16 renews; logical ops must dwarf requests.
+	if rep.ByVerb["renew"] < rep.ByVerb["batch"]*16 {
+		t.Errorf("renew ops %d < 16× batch requests %d", rep.ByVerb["renew"], rep.ByVerb["batch"])
+	}
+	if rep.DoubleAcquires != 0 {
+		t.Fatalf("%d double acquires in batch mode", rep.DoubleAcquires)
+	}
+}

@@ -171,11 +171,12 @@ const (
 	routeRenew
 	routeRelease
 	routeGet
+	routeBatch
 	routeMetrics
 	numRoutes
 )
 
-var routeNames = [numRoutes]string{"acquire", "renew", "release", "get", "metrics"}
+var routeNames = [numRoutes]string{"acquire", "renew", "release", "get", "batch", "metrics"}
 
 // serverMetrics is the observability state that belongs to the HTTP surface
 // rather than any shard: admission rejections, and latency for requests that

@@ -1,0 +1,5 @@
+//go:build !race
+
+package leased
+
+const raceEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package leased
+
+// Under the race detector sync.Pool deliberately drops and bypasses entries
+// to diversify schedules, so pooled-buffer allocation pins are meaningless
+// there; the alloc tests skip themselves.
+const raceEnabled = true

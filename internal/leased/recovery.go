@@ -281,11 +281,12 @@ func (sh *shard) journalLocked(rec *opRecord) {
 	if sh.store == nil {
 		return
 	}
-	raw, err := json.Marshal(rec)
-	if err == nil {
-		err = sh.store.Append(raw)
-	}
-	if err != nil {
+	// Hand-rolled, byte-identical to json.Marshal (codec.go) — the journal
+	// stays plain JSON for replay and external tools, without the per-op
+	// reflection or garbage. The Append copies to the kernel before
+	// returning, so the shard-owned scratch is free to be reused.
+	sh.jbuf = appendOpRecord(sh.jbuf[:0], rec)
+	if err := sh.store.Append(sh.jbuf); err != nil {
 		sh.metrics.journalErrors.Add(1)
 		return
 	}
@@ -415,9 +416,10 @@ func (sh *shard) restoreState(st persistedState) error {
 func (sh *shard) replayRecord(rec opRecord) {
 	status, resp, _ := sh.applyRecord(&rec)
 	if rec.ReqID != "" && status == 200 {
-		if raw, err := json.Marshal(resp); err == nil {
-			sh.dedup.put(rec.ReqID, raw)
-		}
+		// Encode with the same appender the live path uses so the rebuilt
+		// cache entry is byte-identical to the one the previous life stored
+		// (the crash-equality tests DeepEqual the dedup contents).
+		sh.dedup.put(rec.ReqID, appendLeaseResponse(nil, &resp))
 	}
 }
 

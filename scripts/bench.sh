@@ -10,7 +10,7 @@
 #   E2E_BENCHTIME  iterations per e2e bench     (default 5x)
 set -euo pipefail
 
-OUT="${1:-BENCH_6.json}"
+OUT="${1:-BENCH_7.json}"
 BENCHTIME="${BENCHTIME:-1000x}"
 E2E_BENCHTIME="${E2E_BENCHTIME:-5x}"
 
@@ -24,10 +24,12 @@ trap 'rm -f "$tmp"' EXIT
 go test -run '^$' -bench . -benchmem -benchtime "$BENCHTIME" \
 	./internal/simclock ./internal/power ./internal/android/appfw | tee -a "$tmp"
 
-# Daemon serving path: the sharded apply loop at 1/2/4/8 shards. Scaling
-# only shows on a multi-core runner; the sub-bench names carry the shard
-# count so the trajectory is comparable across PRs either way.
-go test -run '^$' -bench '^BenchmarkShardedApply$' -benchmem -benchtime "$BENCHTIME" \
+# Daemon serving path: the sharded apply loop at 1/2/4/8 shards, and the
+# batch apply loop at several group sizes (its ns/op is per op, so the two
+# are directly comparable). Scaling only shows on a multi-core runner; the
+# sub-bench names carry the shard count so the trajectory is comparable
+# across PRs either way.
+go test -run '^$' -bench '^(BenchmarkShardedApply|BenchmarkBatchApply)$' -benchmem -benchtime "$BENCHTIME" \
 	./internal/leased | tee -a "$tmp"
 
 # End-to-end: the three experiment regenerations the perf work is judged on.

@@ -142,6 +142,24 @@ deduped=$(json_int "$ARTIFACTS/load_chaos.json" deduped)
 [ "$deduped" -gt 0 ] || fail "no retry was answered from the dedup cache"
 echo "chaos: $ops ops, $lost lost, $deduped deduped, 0 doubles"
 
+### Phase 2b: the same chaos against batched traffic. Renews ride /v1/batch
+### with per-op request IDs; a dropped batch response forces a whole-batch
+### resend that must be answered op-by-op from the dedup cache, with zero
+### double-applied acquires.
+echo "== phase 2b: fault injection over /v1/batch =="
+"$bin/leaseload" -addr "http://$ADDR" -duration "$DURATION" -beat 5ms \
+    -mix normal=4,crash=2 -batch 16 -retries 6 -seed 5 \
+    -faults "client.drop=0.05" -require-no-doubles \
+    > "$ARTIFACTS/load_batch_chaos.json" 2> /dev/null
+
+batch_reqs=$(grep -o '"batch": *[0-9]*' "$ARTIFACTS/load_batch_chaos.json" | head -1 | grep -o '[0-9]*$')
+batch_lost=$(json_int "$ARTIFACTS/load_batch_chaos.json" lost_responses)
+batch_deduped=$(json_int "$ARTIFACTS/load_batch_chaos.json" deduped)
+[ "${batch_reqs:-0}" -gt 0 ] || fail "batch mode sent no /v1/batch requests"
+[ "$batch_lost" -gt 0 ] || fail "no batch responses dropped; batch chaos ineffective"
+[ "$batch_deduped" -gt 0 ] || fail "no batched retry hit the dedup cache"
+echo "batch chaos: $batch_reqs batch requests, $batch_lost lost, $batch_deduped deduped, 0 doubles"
+
 ### Phase 3: graceful SIGTERM, restart must replay nothing.
 echo "== phase 3: graceful shutdown =="
 curl -sf "http://$ADDR/metrics" > "$ARTIFACTS/metrics_preterm.json"

@@ -14,17 +14,26 @@
 # because the scaling claim (shards=4 ≥ 2.5× shards=1) is only meaningful
 # on a ≥4-core runner; on fewer cores the numbers stay flat by design.
 #
+# With BATCH > 1 the fleet rides POST /v1/batch (leaseload -batch), each
+# request carrying BATCH renews; the record names gain a "/batch=B" suffix
+# and a "batch" field, so per-op and batched sweeps coexist in one file:
+#
+#   scripts/shard_bench.sh BENCH_7.json          # per-op baseline
+#   BATCH=64 scripts/shard_bench.sh BENCH_7.json # batched sweep
+#
 # Usage: scripts/shard_bench.sh [output.json]
 #   SHARD_COUNTS  shard counts to sweep        (default "1 2 4 8")
 #   DURATION      load length per shard count  (default 5s)
 #   CLIENTS       well-behaved clients driving (default 24)
+#   BATCH         renews per /v1/batch request (default 0 = per-op routes)
 #   ADDR          listen address               (default 127.0.0.1:7073)
 set -euo pipefail
 
-OUT="${1:-BENCH_6.json}"
+OUT="${1:-BENCH_7.json}"
 SHARD_COUNTS="${SHARD_COUNTS:-1 2 4 8}"
 DURATION="${DURATION:-5s}"
 CLIENTS="${CLIENTS:-24}"
+BATCH="${BATCH:-0}"
 ADDR="${ADDR:-127.0.0.1:7073}"
 
 cd "$(dirname "$0")/.."
@@ -56,22 +65,27 @@ for n in $SHARD_COUNTS; do
     done
 
     "$bin/leaseload" -addr "http://$ADDR" -duration "$DURATION" -beat 1ms \
-        -mix "normal=$CLIENTS" > "$bin/load_$n.json" 2> /dev/null
+        -mix "normal=$CLIENTS" -batch "$BATCH" > "$bin/load_$n.json" 2> /dev/null
 
     # Top-level (merged) figures precede per-shard breakdowns in both JSON
-    # documents, so the first match is always the fleet-wide value.
+    # documents, so the first match is always the fleet-wide value. Batched
+    # renews bill to the "batch" route, so read that histogram instead.
+    route="renew"
+    if [ "$BATCH" -gt 1 ]; then route="batch"; fi
     ops_per_sec=$(grep -o '"ops_per_sec": *[0-9.]*' "$bin/load_$n.json" | head -1 | grep -o '[0-9.]*$')
     curl -sf "http://$ADDR/metrics" > "$bin/metrics_$n.json"
-    p99_ms=$(awk -F': ' '/"renew"/{f=1} f && /"p99"/{gsub(/[,}].*/, "", $2); print $2; exit}' \
+    p99_ms=$(awk -F': ' -v route="\"$route\"" '$0 ~ route {f=1} f && /"p99"/{gsub(/[,}].*/, "", $2); print $2; exit}' \
         "$bin/metrics_$n.json")
 
     kill -TERM "$daemon"
     wait "$daemon" 2>/dev/null || true
     daemon=""
 
-    echo "shards=$n: $ops_per_sec ops/sec, renew p99 ${p99_ms}ms" >&2
-    rec=$(printf '  {"name": "LeasedThroughput/shards=%d", "ops_per_sec": %s, "p99_ms": %s, "gomaxprocs": %s}' \
-        "$n" "${ops_per_sec:-0}" "${p99_ms:-0}" "$gomaxprocs")
+    name="LeasedThroughput/shards=$n"
+    if [ "$BATCH" -gt 1 ]; then name="$name/batch=$BATCH"; fi
+    echo "$name: $ops_per_sec ops/sec, renew p99 ${p99_ms}ms" >&2
+    rec=$(printf '  {"name": "%s", "ops_per_sec": %s, "p99_ms": %s, "batch": %s, "gomaxprocs": %s}' \
+        "$name" "${ops_per_sec:-0}" "${p99_ms:-0}" "$BATCH" "$gomaxprocs")
     if [ -n "$records" ]; then records="$records,
 $rec"; else records="$rec"; fi
 done
