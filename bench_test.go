@@ -263,3 +263,15 @@ func BenchmarkWindowSweep(b *testing.B) { runExperiment(b, exp.WindowSweep) }
 func BenchmarkFixedApps(b *testing.B) { runExperiment(b, exp.FixedApps) }
 
 func BenchmarkCrossDevice(b *testing.B) { runExperiment(b, exp.CrossDevice) }
+
+// BenchmarkFleetDevice measures the per-device cost of a population sweep:
+// one b.N-device fleet, so ns/op is the marginal device (drawn config +
+// pooled world reset + 30 simulated minutes + streamed aggregation) and
+// devices/sec is the fleet engine's single-box throughput.
+func BenchmarkFleetDevice(b *testing.B) {
+	rep := exp.RunFleet(exp.FleetConfig{Devices: b.N, Seed: 1})
+	if len(rep.PerPolicy) == 0 {
+		b.Fatal("empty fleet report")
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "devices/sec")
+}

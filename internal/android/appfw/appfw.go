@@ -95,6 +95,39 @@ func New(engine *simclock.Engine, meter *power.Meter, profile device.Profile, wo
 // SetGovernor replaces the work-gating governor before app activity begins.
 func (fw *Framework) SetGovernor(gov hooks.Governor) { fw.gov = gov }
 
+// Reset discards all processes and accounting while keeping the work-item
+// pool and the dense counters table at capacity, so a recycled framework
+// runs the next simulation without re-growing its hot structures. It must
+// be called after the engine and meter have been reset: pending events and
+// draw slots are already gone, so work items are scrubbed straight back to
+// the pool (their stale draw handles degrade to no-ops). The power-manager
+// awake subscription wired in New stays valid across reuse.
+func (fw *Framework) Reset() {
+	for _, p := range fw.procList {
+		for w := p.workHead; w != nil; {
+			next := w.next
+			w.runIdx = -1
+			w.prev = nil
+			fw.releaseWork(w)
+			w = next
+		}
+		p.workHead, p.workTail = nil, nil
+		p.dead = true
+	}
+	for uid := range fw.procs {
+		delete(fw.procs, uid)
+	}
+	clear(fw.procList)
+	fw.procList = fw.procList[:0]
+	fw.procIter = 0
+	fw.procSweep = false
+	for i := range fw.counters {
+		fw.counters[i] = uidCounters{}
+	}
+	clear(fw.runningCPU)
+	fw.runningCPU = fw.runningCPU[:0]
+}
+
 // counter returns the accounting record for uid, growing the dense table
 // on demand (append amortises the growth, like power's owner table).
 func (fw *Framework) counter(uid power.UID) *uidCounters {

@@ -74,6 +74,18 @@ func NewRegistry(engine *simclock.Engine) *Registry {
 	return &Registry{engine: engine, byOwner: make(map[power.UID][]*Token)}
 }
 
+// Reset drops every token and restarts the id sequence, returning the
+// registry to its NewRegistry state while keeping the owner map's buckets.
+// Death recipients are not notified: a reset models the whole world being
+// torn down, not individual processes dying.
+func (r *Registry) Reset() {
+	for uid := range r.byOwner {
+		delete(r.byOwner, uid)
+	}
+	r.nextID = 0
+	r.IPCCount = 0
+}
+
 // NewToken mints a live token owned by uid inside service.
 func (r *Registry) NewToken(owner power.UID, service string) *Token {
 	r.nextID++

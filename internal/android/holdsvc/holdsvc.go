@@ -7,6 +7,8 @@
 package holdsvc
 
 import (
+	"slices"
+
 	"repro/internal/android/binder"
 	"repro/internal/android/hooks"
 	"repro/internal/power"
@@ -40,7 +42,12 @@ type Service struct {
 	wattsW float64
 
 	objects map[uint64]*object
-	drawn   map[power.UID]bool
+
+	// Dense per-uid effective-holder counts, double-buffered across
+	// recomputes exactly as in powermgr, so recompute never allocates.
+	cnt      []int32
+	uids     []power.UID
+	prevUIDs []power.UID
 }
 
 // New creates a hold-style service drawing wattsW per holding uid.
@@ -50,12 +57,24 @@ func New(engine *simclock.Engine, meter *power.Meter, registry *binder.Registry,
 		engine: engine, meter: meter, registry: registry, gov: gov,
 		name: name, kind: kind, comp: comp, wattsW: wattsW,
 		objects: make(map[uint64]*object),
-		drawn:   make(map[power.UID]bool),
 	}
 }
 
 // SetGovernor replaces the governor before app activity begins.
 func (s *Service) SetGovernor(gov hooks.Governor) { s.gov = gov }
+
+// Reset drops all objects and draw attribution, keeping the dense count
+// tables at capacity, so a recycled service acquires without reallocating.
+func (s *Service) Reset() {
+	for id := range s.objects {
+		delete(s.objects, id)
+	}
+	for i := range s.cnt {
+		s.cnt[i] = 0
+	}
+	s.uids = s.uids[:0]
+	s.prevUIDs = s.prevUIDs[:0]
+}
 
 // Lock is the app-side descriptor for one held resource instance.
 type Lock struct {
@@ -143,26 +162,31 @@ func (s *Service) settle(o *object) {
 	}
 }
 
+// recompute re-derives the draw attribution without allocating: dense
+// uid-indexed counts with double-buffered uid lists, as in powermgr.
 func (s *Service) recompute() {
-	holders := map[power.UID]int{}
+	s.prevUIDs, s.uids = s.uids, s.prevUIDs[:0]
+	for _, uid := range s.prevUIDs {
+		s.cnt[uid] = 0
+	}
 	n := 0
 	for _, o := range s.objects {
 		if o.effective() {
-			holders[o.uid]++
+			s.cnt, s.uids = power.BumpCount(s.cnt, s.uids, o.uid)
 			n++
 		}
 	}
-	newDrawn := make(map[power.UID]bool, len(holders))
-	for uid, c := range holders {
-		newDrawn[uid] = true
-		s.meter.Set(uid, s.comp, s.name, s.wattsW*float64(c)/float64(n))
+	// The object map iterates in random order; sort so meter updates land
+	// in a fixed order and float accumulation is run-to-run deterministic.
+	slices.Sort(s.uids)
+	for _, uid := range s.uids {
+		s.meter.Set(uid, s.comp, s.name, s.wattsW*float64(s.cnt[uid])/float64(n))
 	}
-	for uid := range s.drawn {
-		if !newDrawn[uid] {
+	for _, uid := range s.prevUIDs {
+		if s.cnt[uid] == 0 {
 			s.meter.Clear(uid, s.comp, s.name)
 		}
 	}
-	s.drawn = newDrawn
 }
 
 // --- hooks.Controller implementation ---

@@ -18,6 +18,7 @@
 package location
 
 import (
+	"slices"
 	"time"
 
 	"repro/internal/android/binder"
@@ -54,6 +55,12 @@ type listener struct {
 	fixEvent  simclock.EventID
 	lockEvent simclock.EventID
 
+	// lockFn/fixFn are the listener's search-complete and fix-delivery
+	// callbacks, bound once at registration so the per-event scheduling in
+	// reschedule/deliver never allocates a closure.
+	lockFn func()
+	fixFn  func()
+
 	lastSettle simclock.Time
 	lastFixPos float64
 	haveFixPos bool
@@ -73,7 +80,12 @@ type Service struct {
 	gov      hooks.Governor
 
 	listeners map[uint64]*listener
-	drawn     map[power.UID]bool
+
+	// Dense per-uid effective-listener counts, double-buffered across
+	// recomputes exactly as in powermgr, so recomputePower never allocates.
+	gpsCnt   []int32
+	gpsUIDs  []power.UID
+	prevUIDs []power.UID
 
 	// 1-D device position integrated from environment speed.
 	pos     float64
@@ -86,7 +98,6 @@ func New(engine *simclock.Engine, meter *power.Meter, registry *binder.Registry,
 		engine: engine, meter: meter, registry: registry, profile: profile,
 		world: world, gov: gov,
 		listeners: make(map[uint64]*listener),
-		drawn:     make(map[power.UID]bool),
 	}
 	world.Subscribe(s.onEnvChange)
 	return s
@@ -94,6 +105,22 @@ func New(engine *simclock.Engine, meter *power.Meter, registry *binder.Registry,
 
 // SetGovernor replaces the governor before app activity begins.
 func (s *Service) SetGovernor(gov hooks.Governor) { s.gov = gov }
+
+// Reset drops all listeners and draw attribution and rewinds the device
+// position, keeping the dense count tables at capacity. The environment
+// subscription wired at construction time stays valid across world reuse.
+func (s *Service) Reset() {
+	for id := range s.listeners {
+		delete(s.listeners, id)
+	}
+	for i := range s.gpsCnt {
+		s.gpsCnt[i] = 0
+	}
+	s.gpsUIDs = s.gpsUIDs[:0]
+	s.prevUIDs = s.prevUIDs[:0]
+	s.pos = 0
+	s.posTime = 0
+}
 
 // position integrates device movement up to now.
 func (s *Service) position() float64 {
@@ -131,6 +158,24 @@ func (s *Service) Register(uid power.UID, interval time.Duration, onFix func(Fix
 	l := &listener{
 		token: tok, uid: uid, interval: interval, onFix: onFix,
 		registered: true, boundAlive: true, lastSettle: s.engine.Now(),
+	}
+	l.lockFn = func() {
+		l.lockEvent = 0
+		s.settle(l)
+		l.locked = true
+		// settle classified the just-finished search interval as failed
+		// request time; it succeeded, so reclassify the last LockTime
+		// (it remains counted in RequestTime).
+		if l.acc.FailedRequestTime >= LockTime {
+			l.acc.FailedRequestTime -= LockTime
+		} else {
+			l.acc.FailedRequestTime = 0
+		}
+		s.deliver(l)
+	}
+	l.fixFn = func() {
+		l.fixEvent = 0
+		s.deliver(l)
 	}
 	s.listeners[tok.ID()] = l
 	tok.LinkToDeath(func() { s.destroy(l) })
@@ -255,26 +300,10 @@ func (s *Service) reschedule(l *listener) {
 		return
 	}
 	if !l.locked {
-		l.lockEvent = s.engine.Schedule(LockTime, func() {
-			l.lockEvent = 0
-			s.settle(l)
-			l.locked = true
-			// settle classified the just-finished search interval as failed
-			// request time; it succeeded, so reclassify the last LockTime
-			// (it remains counted in RequestTime).
-			if l.acc.FailedRequestTime >= LockTime {
-				l.acc.FailedRequestTime -= LockTime
-			} else {
-				l.acc.FailedRequestTime = 0
-			}
-			s.deliver(l)
-		})
+		l.lockEvent = s.engine.Schedule(LockTime, l.lockFn)
 		return
 	}
-	l.fixEvent = s.engine.Schedule(l.interval, func() {
-		l.fixEvent = 0
-		s.deliver(l)
-	})
+	l.fixEvent = s.engine.Schedule(l.interval, l.fixFn)
 }
 
 // deliver sends one fix to l and schedules the next.
@@ -298,34 +327,36 @@ func (s *Service) deliver(l *listener) {
 		l.onFix(Fix{At: s.engine.Now(), PositionM: pos, DistanceM: dist})
 	}
 	if l.effective() {
-		l.fixEvent = s.engine.Schedule(l.interval, func() {
-			l.fixEvent = 0
-			s.deliver(l)
-		})
+		l.fixEvent = s.engine.Schedule(l.interval, l.fixFn)
 	}
 }
 
-// recomputePower re-derives the GPS radio draw attribution.
+// recomputePower re-derives the GPS radio draw attribution. The counting
+// pass is allocation-free on the steady state: dense uid-indexed counts with
+// double-buffered uid lists, as in powermgr.
 func (s *Service) recomputePower() {
-	holders := map[power.UID]int{}
+	s.prevUIDs, s.gpsUIDs = s.gpsUIDs, s.prevUIDs[:0]
+	for _, uid := range s.prevUIDs {
+		s.gpsCnt[uid] = 0
+	}
 	n := 0
 	for _, l := range s.listeners {
 		if l.effective() {
-			holders[l.uid]++
+			s.gpsCnt, s.gpsUIDs = power.BumpCount(s.gpsCnt, s.gpsUIDs, l.uid)
 			n++
 		}
 	}
-	newDrawn := make(map[power.UID]bool, len(holders))
-	for uid, c := range holders {
-		newDrawn[uid] = true
-		s.meter.Set(uid, power.GPS, "gps", s.profile.GPSActiveW*float64(c)/float64(n))
+	// The listener map iterates in random order; sort so meter updates land
+	// in a fixed order and float accumulation is run-to-run deterministic.
+	slices.Sort(s.gpsUIDs)
+	for _, uid := range s.gpsUIDs {
+		s.meter.Set(uid, power.GPS, "gps", s.profile.GPSActiveW*float64(s.gpsCnt[uid])/float64(n))
 	}
-	for uid := range s.drawn {
-		if !newDrawn[uid] {
+	for _, uid := range s.prevUIDs {
+		if s.gpsCnt[uid] == 0 {
 			s.meter.Clear(uid, power.GPS, "gps")
 		}
 	}
-	s.drawn = newDrawn
 }
 
 // --- hooks.Controller implementation ---

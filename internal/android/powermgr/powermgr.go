@@ -15,6 +15,7 @@ package powermgr
 
 import (
 	"fmt"
+	"slices"
 	"time"
 
 	"repro/internal/android/binder"
@@ -94,6 +95,33 @@ func New(engine *simclock.Engine, meter *power.Meter, registry *binder.Registry,
 // SetGovernor replaces the governor. Intended for simulation assembly before
 // any app activity, not for mid-run swaps.
 func (s *Service) SetGovernor(gov hooks.Governor) { s.gov = gov }
+
+// Reset drops all wakelock objects and accumulated state, keeping the dense
+// count tables and uid lists at capacity. The meter has already been reset
+// by the caller, so the baseline suspend draw is re-registered here exactly
+// as New does. Awake-change subscribers are kept: they were wired at
+// construction time and stay valid across world reuse.
+func (s *Service) Reset() {
+	for id := range s.objects {
+		delete(s.objects, id)
+	}
+	for i := range s.partialCnt {
+		s.partialCnt[i] = 0
+	}
+	for i := range s.screenCnt {
+		s.screenCnt[i] = 0
+	}
+	s.partialUIDs = s.partialUIDs[:0]
+	s.screenUIDs = s.screenUIDs[:0]
+	s.prevPartialUIDs = s.prevPartialUIDs[:0]
+	s.prevScreenUIDs = s.prevScreenUIDs[:0]
+	s.userScreen = false
+	s.awake = false
+	s.screenOn = false
+	s.AwakeTime = 0
+	s.awakeSince = 0
+	s.meter.Set(power.SystemUID, power.System, "suspend-base", s.profile.SuspendW)
+}
 
 // Wakelock is the app-side descriptor bound to one kernel object. It mirrors
 // android.os.PowerManager.WakeLock, including the reference-counting switch:
@@ -336,6 +364,12 @@ func (s *Service) recompute() {
 			nScreen++
 		}
 	}
+
+	// The object map iterates in random order; sort the uid lists so meter
+	// updates land in a fixed order and float accumulation is run-to-run
+	// deterministic.
+	slices.Sort(s.partialUIDs)
+	slices.Sort(s.screenUIDs)
 
 	screenOn := s.userScreen || nScreen > 0
 	awake := screenOn || nPartial > 0

@@ -9,6 +9,7 @@
 package sensor
 
 import (
+	"slices"
 	"time"
 
 	"repro/internal/android/binder"
@@ -68,6 +69,10 @@ type listener struct {
 	tickEvent simclock.EventID
 	seq       int
 
+	// tickFn is the delivery callback, bound once at registration so the
+	// per-tick scheduling never allocates a closure.
+	tickFn func()
+
 	lastSettle simclock.Time
 	acc        hooks.TermStats
 }
@@ -83,7 +88,12 @@ type Service struct {
 	gov      hooks.Governor
 
 	listeners map[uint64]*listener
-	drawn     map[power.UID]bool
+
+	// Dense per-uid effective-listener counts, double-buffered across
+	// recomputes exactly as in powermgr, so recomputePower never allocates.
+	cnt      []int32
+	uids     []power.UID
+	prevUIDs []power.UID
 }
 
 // New creates the service.
@@ -91,12 +101,24 @@ func New(engine *simclock.Engine, meter *power.Meter, registry *binder.Registry,
 	return &Service{
 		engine: engine, meter: meter, registry: registry, profile: profile, gov: gov,
 		listeners: make(map[uint64]*listener),
-		drawn:     make(map[power.UID]bool),
 	}
 }
 
 // SetGovernor replaces the governor before app activity begins.
 func (s *Service) SetGovernor(gov hooks.Governor) { s.gov = gov }
+
+// Reset drops all listeners and draw attribution, keeping the dense count
+// tables at capacity, so a recycled service registers without reallocating.
+func (s *Service) Reset() {
+	for id := range s.listeners {
+		delete(s.listeners, id)
+	}
+	for i := range s.cnt {
+		s.cnt[i] = 0
+	}
+	s.uids = s.uids[:0]
+	s.prevUIDs = s.prevUIDs[:0]
+}
 
 // Registration is the app-side handle for one sensor listener.
 type Registration struct {
@@ -115,6 +137,10 @@ func (s *Service) Register(uid power.UID, typ Type, rate time.Duration, onEvent 
 	l := &listener{
 		token: tok, uid: uid, typ: typ, rate: rate, onEvent: onEvent,
 		registered: true, boundAlive: true, lastSettle: s.engine.Now(),
+	}
+	l.tickFn = func() {
+		l.tickEvent = 0
+		s.deliver(l)
 	}
 	s.listeners[tok.ID()] = l
 	tok.LinkToDeath(func() { s.destroy(l) })
@@ -210,10 +236,7 @@ func (s *Service) reschedule(l *listener) {
 	if !l.effective() {
 		return
 	}
-	l.tickEvent = s.engine.Schedule(l.rate, func() {
-		l.tickEvent = 0
-		s.deliver(l)
-	})
+	l.tickEvent = s.engine.Schedule(l.rate, l.tickFn)
 }
 
 func (s *Service) deliver(l *listener) {
@@ -227,29 +250,33 @@ func (s *Service) deliver(l *listener) {
 		l.onEvent(Event{At: s.engine.Now(), Type: l.typ, Seq: l.seq})
 	}
 	if l.effective() {
-		l.tickEvent = s.engine.Schedule(l.rate, func() {
-			l.tickEvent = 0
-			s.deliver(l)
-		})
+		l.tickEvent = s.engine.Schedule(l.rate, l.tickFn)
 	}
 }
 
+// recomputePower re-derives the sensor draw attribution without allocating:
+// dense uid-indexed counts with double-buffered uid lists, as in powermgr.
 func (s *Service) recomputePower() {
-	holders := map[power.UID]bool{}
+	s.prevUIDs, s.uids = s.uids, s.prevUIDs[:0]
+	for _, uid := range s.prevUIDs {
+		s.cnt[uid] = 0
+	}
 	for _, l := range s.listeners {
 		if l.effective() {
-			holders[l.uid] = true
+			s.cnt, s.uids = power.BumpCount(s.cnt, s.uids, l.uid)
 		}
 	}
-	for uid := range holders {
+	// The listener map iterates in random order; sort so meter updates land
+	// in a fixed order and float accumulation is run-to-run deterministic.
+	slices.Sort(s.uids)
+	for _, uid := range s.uids {
 		s.meter.Set(uid, power.Sensor, "sensor", s.profile.SensorW)
 	}
-	for uid := range s.drawn {
-		if !holders[uid] {
+	for _, uid := range s.prevUIDs {
+		if s.cnt[uid] == 0 {
 			s.meter.Clear(uid, power.Sensor, "sensor")
 		}
 	}
-	s.drawn = holders
 }
 
 // --- hooks.Controller implementation ---

@@ -124,11 +124,39 @@ func (a *Kontalk) Stop() {
 type K9 struct {
 	base
 	wl *powermgr.Wakelock
+
+	// Bound callbacks, created once per instance: the defect is a tight
+	// retry loop, and building its closures inside iterate would allocate
+	// two per retry.
+	serialized func()
+	pushReply  func(error)
+	processed  func()
+	pushAgain  func()
 }
 
 // NewK9 builds the model.
 func NewK9(s *sim.Sim, uid power.UID) *K9 {
-	return &K9{base: newBase(s, uid, "K-9")}
+	a := &K9{base: newBase(s, uid, "K-9")}
+	a.serialized = func() { a.proc.NetworkRequest(3*time.Second, a.pushReply) }
+	a.pushReply = func(err error) {
+		if a.stopped {
+			return
+		}
+		if err != nil {
+			// The defect: catch, log, retry immediately — no back-off.
+			a.proc.ThrowException()
+			a.iterate()
+			return
+		}
+		// Mail fetched: process it and sleep until the next push cycle.
+		a.proc.RunWork(time.Second, a.processed)
+	}
+	a.processed = func() {
+		a.wl.Release()
+		a.proc.AlarmAfter(15*time.Minute, a.pushAgain)
+	}
+	a.pushAgain = a.startPush
+	return a
 }
 
 // Start implements App.
@@ -150,24 +178,7 @@ func (a *K9) iterate() {
 		return
 	}
 	// Serialize folders, then send the push request (Figure 8's ➋ and ➌).
-	a.proc.RunWork(30*time.Millisecond, func() {
-		a.proc.NetworkRequest(3*time.Second, func(err error) {
-			if a.stopped {
-				return
-			}
-			if err != nil {
-				// The defect: catch, log, retry immediately — no back-off.
-				a.proc.ThrowException()
-				a.iterate()
-				return
-			}
-			// Mail fetched: process it and sleep until the next push cycle.
-			a.proc.RunWork(time.Second, func() {
-				a.wl.Release()
-				a.proc.AlarmAfter(15*time.Minute, a.startPush)
-			})
-		})
-	})
+	a.proc.RunWork(30*time.Millisecond, a.serialized)
 }
 
 // WakelockID exposes the push wakelock's kernel-object id for profilers

@@ -88,10 +88,13 @@ func (a *Spotify) Start() {
 	as := a.s.Audio.NewSession(a.UID())
 	as.Acquire()
 	a.audio = as
+	// The decode-complete callback is bound once: building it inside the
+	// per-second tick would allocate a closure every simulated second.
+	decoded := func() { a.SecondsPlayed++ }
 	a.stopPlay = a.proc.Every(time.Second, func() {
 		// Decode the next second of audio. If we are suppressed, the timer
 		// stalls and playback audibly stops — the disruption signal.
-		a.proc.RunWork(120*time.Millisecond, func() { a.SecondsPlayed++ })
+		a.proc.RunWork(120*time.Millisecond, decoded)
 	})
 	a.stopFetch = a.proc.Every(30*time.Second, func() {
 		a.proc.NetworkRequest(2*time.Second, nil)
@@ -255,12 +258,15 @@ func NewForeground(s *sim.Sim, uid power.UID, name string) *Foreground {
 // Start implements App.
 func (a *Foreground) Start() {
 	a.proc.SetForeground(true)
+	// The render-complete callback is bound once: building it inside the
+	// per-second tick would allocate a closure every simulated second.
+	rendered := func() {
+		if !a.stopped {
+			a.proc.NoteUIUpdate()
+		}
+	}
 	a.stopRender = a.proc.Every(time.Second, func() {
-		a.proc.RunWork(a.renderWork, func() {
-			if !a.stopped {
-				a.proc.NoteUIUpdate()
-			}
-		})
+		a.proc.RunWork(a.renderWork, rendered)
 	})
 	a.stopFetch = a.proc.Every(a.netEvery, func() {
 		a.proc.NetworkRequest(2*time.Second, nil)

@@ -63,6 +63,20 @@ func New(engine *simclock.Engine) *Environment {
 	}
 }
 
+// Reset restores the benign defaults New establishes, without notifying:
+// a reset happens between simulation runs, when no subsystem should react.
+// Subscribers are kept — they were wired at construction time and stay
+// valid across world reuse.
+func (e *Environment) Reset() {
+	e.networkConnected = true
+	e.networkOnWiFi = true
+	e.serverHealthy = true
+	e.gps = GPSGood
+	e.moving = false
+	e.speedMps = 0
+	e.userPresent = false
+}
+
 // Subscribe registers fn to run after any environment change.
 func (e *Environment) Subscribe(fn func()) { e.subs = append(e.subs, fn) }
 

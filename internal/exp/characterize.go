@@ -20,7 +20,8 @@ import (
 // failed GPS asking and zero successful fixes.
 func Figure1() Result {
 	r := Result{ID: "figure-1", Title: "BetterWeather GPS try duration per minute (weak signal, Nexus)"}
-	s := sim.New(sim.Options{Policy: sim.Vanilla, Device: device.Nexus6})
+	s := borrowSim(sim.Options{Policy: sim.Vanilla, Device: device.Nexus6})
+	defer returnSim(s)
 	s.World.SetGPS(env.GPSWeak)
 	bw := apps.NewBetterWeather(s, 100)
 	bw.Start()
@@ -45,7 +46,8 @@ func Figure1() Result {
 // long per-minute wakelock holding with near-zero CPU usage.
 func Figure2() Result {
 	r := Result{ID: "figure-2", Title: "K-9 wakelock holding vs CPU per minute (bad server, Moto G)"}
-	s := sim.New(sim.Options{Policy: sim.Vanilla, Device: device.MotoG})
+	s := borrowSim(sim.Options{Policy: sim.Vanilla, Device: device.MotoG})
+	defer returnSim(s)
 	s.World.SetServerHealthy(false)
 	k9 := apps.NewK9(s, 100)
 	k9.Start()
@@ -72,7 +74,8 @@ func Figure3() Result {
 	r := Result{ID: "figure-3", Title: "Kontalk wakelock holding + CPU/WL ratio (Nexus vs Samsung)"}
 	profiles := []device.Profile{device.Nexus6, device.GalaxyS4}
 	lines := fanOut(profiles, func(_ int, prof device.Profile) string {
-		s := sim.New(sim.Options{Policy: sim.Vanilla, Device: prof})
+		s := borrowSim(sim.Options{Policy: sim.Vanilla, Device: prof})
+		defer returnSim(s)
 		app := apps.NewKontalk(s, 100)
 		app.Start()
 		p := newMinuteProfiler(s, 100, s.Power, app.WakelockID, time.Minute)
@@ -97,7 +100,8 @@ func Figure3() Result {
 // high utilisation doing useless exception-handling work.
 func Figure4() Result {
 	r := Result{ID: "figure-4", Title: "K-9 wakelock holding vs CPU per minute (disconnected, Pixel XL)"}
-	s := sim.New(sim.Options{Policy: sim.Vanilla, Device: device.PixelXL})
+	s := borrowSim(sim.Options{Policy: sim.Vanilla, Device: device.PixelXL})
+	defer returnSim(s)
 	s.World.SetNetwork(false, false)
 	k9 := apps.NewK9(s, 100)
 	k9.Start()
@@ -180,8 +184,9 @@ func Table2() Result {
 // edges.
 func Figure5() Result {
 	r := Result{ID: "figure-5", Title: "Lease state transitions (observed)"}
-	s := sim.New(sim.Options{Policy: sim.LeaseOS,
+	s := borrowSim(sim.Options{Policy: sim.LeaseOS,
 		Lease: lease.Config{RecordTransitions: true, NoTauEscalation: true}})
+	defer returnSim(s)
 	// Drive one lease through every state: misbehave (idle hold), recover
 	// (healthy work), release, re-acquire, die.
 	wl := s.Power.NewWakelock(100, hooks.Wakelock, "fsm")

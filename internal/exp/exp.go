@@ -46,6 +46,20 @@ func fanOut[T, R any](items []T, fn func(i int, item T) R) []R {
 	return parallel.Map(Parallelism(), items, fn)
 }
 
+// worldPool recycles simulations across runners and benchmark iterations.
+// Building a world costs ~60k allocations; resetting one costs none, and
+// sim.Reuse guarantees a reset world behaves byte-identically to a fresh
+// one, so pooling changes no experiment output.
+var worldPool = sim.NewPool()
+
+// borrowSim returns a world configured per opts, recycling a finished one
+// of identical configuration when available. Pair with returnSim.
+func borrowSim(opts sim.Options) *sim.Sim { return worldPool.Get(opts) }
+
+// returnSim gives a finished world back to the pool. The caller must be
+// done with every object reachable from s.
+func returnSim(s *sim.Sim) { worldPool.Put(s) }
+
 // Result is one regenerated artefact.
 type Result struct {
 	// ID is the artefact tag, e.g. "figure-9" or "table-5".

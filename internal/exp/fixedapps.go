@@ -20,7 +20,8 @@ func FixedApps() Result {
 	const d = 30 * time.Minute
 
 	run := func(pol sim.Policy, build func(s *sim.Sim) apps.App, trigger func(*env.Environment)) float64 {
-		s := sim.New(sim.Options{Policy: pol})
+		s := borrowSim(sim.Options{Policy: pol})
+		defer returnSim(s)
 		trigger(s.World)
 		app := build(s)
 		app.Start()

@@ -24,7 +24,8 @@ func DetectionLatency() Result {
 	const onset = 10 * time.Minute
 
 	measure := func(pol sim.Policy) (time.Duration, bool) {
-		s := sim.New(sim.Options{Policy: pol, ThrottleTerm: time.Minute})
+		s := borrowSim(sim.Options{Policy: pol, ThrottleTerm: time.Minute})
+		defer returnSim(s)
 		s.Apps.NewProcess(100, "leaker")
 		s.Engine.ScheduleAt(onset, func() {
 			wl := s.Power.NewWakelock(100, hooks.Wakelock, "leak")
@@ -77,7 +78,8 @@ func windowCost(window int) (steadyDetect time.Duration, burstyDeferrals int) {
 	cfg.RecordTransitions = true
 
 	// Steady defect: time to first deferral.
-	s := sim.New(sim.Options{Policy: sim.LeaseOS, Lease: cfg})
+	s := borrowSim(sim.Options{Policy: sim.LeaseOS, Lease: cfg})
+	defer returnSim(s)
 	s.Apps.NewProcess(100, "leak")
 	wl := s.Power.NewWakelock(100, hooks.Wakelock, "leak")
 	wl.Acquire()
@@ -90,7 +92,8 @@ func windowCost(window int) (steadyDetect time.Duration, burstyDeferrals int) {
 	}
 
 	// Bursty-but-legitimate app: deferral count (misjudgements).
-	b := sim.New(sim.Options{Policy: sim.LeaseOS, Lease: cfg})
+	b := borrowSim(sim.Options{Policy: sim.LeaseOS, Lease: cfg})
+	defer returnSim(b)
 	p := b.Apps.NewProcess(100, "bursty")
 	wl2 := b.Power.NewWakelock(100, hooks.Wakelock, "bursty")
 	wl2.Acquire()

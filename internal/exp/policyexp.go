@@ -30,13 +30,14 @@ func Figure9() Result {
 	holding := func(term, tau time.Duration) time.Duration {
 		var s *sim.Sim
 		if term == 0 {
-			s = sim.New(sim.Options{Policy: sim.Vanilla})
+			s = borrowSim(sim.Options{Policy: sim.Vanilla})
 		} else {
-			s = sim.New(sim.Options{Policy: sim.LeaseOS, Lease: lease.Config{
+			s = borrowSim(sim.Options{Policy: sim.LeaseOS, Lease: lease.Config{
 				Term: term, Tau: tau,
 				NoTauEscalation: true, NoAdaptiveTerms: true,
 			}})
 		}
+		defer returnSim(s)
 		app := apps.NewLongHolder(s, 100)
 		app.Start()
 		s.Run(runFor)
@@ -91,13 +92,14 @@ func Figure12(cases int) Result {
 	waste := func(seed int64, pol sim.Policy, tau time.Duration) float64 {
 		var s *sim.Sim
 		if pol == sim.LeaseOS {
-			s = sim.New(sim.Options{Policy: pol, Lease: lease.Config{
+			s = borrowSim(sim.Options{Policy: pol, Lease: lease.Config{
 				Term: term, Tau: tau,
 				NoTauEscalation: true, NoAdaptiveTerms: true,
 			}})
 		} else {
-			s = sim.New(sim.Options{Policy: pol})
+			s = borrowSim(sim.Options{Policy: pol})
 		}
+		defer returnSim(s)
 		app := apps.NewSliceApp(s, 100, apps.RandomSlices(seed, slicesPer, maxSlice))
 		app.Start()
 		total := time.Duration(0)

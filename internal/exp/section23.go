@@ -37,7 +37,8 @@ func Section23() Result {
 	r.addf("%-18s %14s %14s %12s", "app", "hold (s/30min)", "CPU (s)", "utilization")
 	type measured struct{ holdS, cpuS float64 }
 	ms := fanOut(rows, func(_ int, row row) measured {
-		s := sim.New(sim.Options{Policy: sim.Vanilla})
+		s := borrowSim(sim.Options{Policy: sim.Vanilla})
+		defer returnSim(s)
 		app := row.build(s)
 		app.Start()
 		s.Run(d)

@@ -51,7 +51,8 @@ func wallClockSamples(reps, iters int, fn func(i int)) []float64 {
 // rather than a single mean, which a loaded CI machine would skew.
 func Table4() Result {
 	r := Result{ID: "table-4", Title: "Latency of major lease operations"}
-	s := sim.New(sim.Options{Policy: sim.LeaseOS})
+	s := borrowSim(sim.Options{Policy: sim.LeaseOS})
+	defer returnSim(s)
 	proc := s.Apps.NewProcess(100, "bench")
 	_ = proc
 
@@ -100,7 +101,8 @@ func Table4() Result {
 // period: 30 minutes of active app use followed by 30 minutes untouched.
 func Figure11() Result {
 	r := Result{ID: "figure-11", Title: "Active leases during one hour of normal usage"}
-	s := sim.New(sim.Options{Policy: sim.LeaseOS})
+	s := borrowSim(sim.Options{Policy: sim.LeaseOS})
+	defer returnSim(s)
 	workload.NormalHour(s, 1)
 	var series []int
 	stop := s.Engine.Ticker(30*time.Second, func() {
@@ -142,7 +144,8 @@ func RunTable5RowOn(sp apps.Spec, prof device.Profile) map[sim.Policy]float64 {
 	const uid power.UID = 100
 	const d = 30 * time.Minute
 	mw := fanOut(table5Policies, func(_ int, pol sim.Policy) float64 {
-		s := sim.New(sim.Options{Policy: pol, Device: prof})
+		s := borrowSim(sim.Options{Policy: pol, Device: prof})
+		defer returnSim(s)
 		sp.Trigger(s.World)
 		app := sp.New(s, uid)
 		app.Start()
@@ -263,8 +266,9 @@ func Usability() Result {
 		disrupted bool
 	}
 	run := func(pol sim.Policy, build func(s *sim.Sim) (apps.App, func() int)) runResult {
-		s := sim.New(sim.Options{Policy: pol, ThrottleTerm: time.Minute,
+		s := borrowSim(sim.Options{Policy: pol, ThrottleTerm: time.Minute,
 			Lease: lease.Config{RecordTransitions: true}})
+		defer returnSim(s)
 		app, metric := build(s)
 		app.Start()
 		s.Run(d)
@@ -354,7 +358,8 @@ func Figure13(seeds int) Result {
 		if withLease {
 			pol = sim.LeaseOS
 		}
-		s := sim.New(sim.Options{Policy: pol})
+		s := borrowSim(sim.Options{Policy: pol})
+		defer returnSim(s)
 		if withLease {
 			s.Leases.Accounting = func(op string) {
 				s.Meter.AddEnergyJ(power.SystemUID, accountingCost(op))
@@ -412,7 +417,8 @@ func Figure14() Result {
 		if withLease {
 			pol = sim.LeaseOS
 		}
-		s := sim.New(sim.Options{Policy: pol})
+		s := borrowSim(sim.Options{Policy: pol})
+		defer returnSim(s)
 		s.World.SetUserPresent(true)
 		s.Power.SetUserScreen(true)
 		app := apps.NewInteractionApp(s, 100, kind)
@@ -451,7 +457,8 @@ func Figure14() Result {
 func BatteryLife() Result {
 	r := Result{ID: "battery-life", Title: "End-to-end battery life with one buggy GPS app"}
 	lifetime := func(pol sim.Policy) time.Duration {
-		s := sim.New(sim.Options{Policy: pol})
+		s := borrowSim(sim.Options{Policy: pol})
+		defer returnSim(s)
 		workload.BatteryDay(s)
 		batt := power.NewBattery(s.Meter, s.Profile.CapacityJ())
 		for s.Now() < 72*time.Hour && !batt.Empty() {

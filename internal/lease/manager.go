@@ -46,6 +46,11 @@ type Lease struct {
 
 	checkEvent   simclock.EventID
 	restoreEvent simclock.EventID
+	// checkFn/restoreFn are the end-of-term and deferral-restore callbacks,
+	// bound once per lease (bindEvents) so per-term scheduling never
+	// allocates a closure.
+	checkFn   func()
+	restoreFn func()
 	// checkAt / restoreAt remember the pending events' due instants so a
 	// state snapshot (CaptureState) can re-schedule them on restore. They
 	// are meaningful only while the matching EventID is non-zero.
@@ -154,6 +159,42 @@ func NewManager(clock runtime.Clock, apps AppStats, cfg Config) *Manager {
 // Config returns the manager's effective configuration.
 func (m *Manager) Config() Config { return m.cfg }
 
+// Reset returns the manager to its NewManager state — no leases, no
+// reputation history, counters zeroed — while keeping map buckets and the
+// dead-record slice capacity, so a recycled manager runs the next
+// simulation without reallocating its tables. The caller has already reset
+// the clock, so pending check/restore events need no cancellation.
+func (m *Manager) Reset() {
+	for k := range m.leases {
+		delete(m.leases, k)
+	}
+	for k := range m.byObj {
+		delete(m.byObj, k)
+	}
+	for k := range m.proxies {
+		delete(m.proxies, k)
+	}
+	for k := range m.counters {
+		delete(m.counters, k)
+	}
+	for k := range m.reputations {
+		delete(m.reputations, k)
+	}
+	for k := range m.eubTime {
+		delete(m.eubTime, k)
+	}
+	m.nextID = 0
+	m.Transitions = nil
+	m.Accounting = nil
+	m.createdTotal = 0
+	m.deadTotal = 0
+	m.deadRecords = m.deadRecords[:0]
+	m.TermChecks = 0
+	m.Deferrals = 0
+	m.Renewals = 0
+	m.TermAdaptations = 0
+}
+
 // --- paper Table 3 interface ---
 
 // Create makes a lease for the kernel object o and returns its descriptor.
@@ -176,6 +217,7 @@ func (m *Manager) Create(o hooks.Object) uint64 {
 		lastUI:    m.apps.UIUpdatesOf(o.UID),
 		lastInter: m.apps.InteractionsOf(o.UID),
 	}
+	l.bindEvents(m)
 	m.leases[l.id] = l
 	m.byObj[key] = l.id
 	m.createdTotal++
@@ -183,6 +225,19 @@ func (m *Manager) Create(o hooks.Object) uint64 {
 	m.applyReputation(l)
 	m.scheduleCheck(l)
 	return l.id
+}
+
+// bindEvents creates the lease's two event callbacks, paid once at creation
+// so that every term check and deferral schedules allocation-free.
+func (l *Lease) bindEvents(m *Manager) {
+	l.checkFn = func() {
+		l.checkEvent = 0
+		m.endOfTerm(l)
+	}
+	l.restoreFn = func() {
+		l.restoreEvent = 0
+		m.restore(l)
+	}
 }
 
 // Check reports whether the lease is active (Table 3's check): within a
@@ -350,10 +405,7 @@ func (m *Manager) scheduleCheck(l *Lease) {
 		m.clock.Cancel(l.checkEvent)
 	}
 	l.checkAt = m.clock.Now() + l.term
-	l.checkEvent = m.clock.Schedule(l.term, func() {
-		l.checkEvent = 0
-		m.endOfTerm(l)
-	})
+	l.checkEvent = m.clock.Schedule(l.term, l.checkFn)
 }
 
 // endOfTerm is the heart of the mechanism: collect the term's stats,
@@ -455,6 +507,24 @@ func (m *Manager) record(l *Lease, rec TermRecord) {
 	}
 }
 
+// deferReason maps a behaviour to its constant transition-reason string;
+// concatenating one per deferral was the last allocation on the LeaseOS
+// steady-state path.
+func deferReason(b Behavior) string {
+	switch b {
+	case FAB:
+		return "term classified FAB"
+	case LHB:
+		return "term classified LHB"
+	case LUB:
+		return "term classified LUB"
+	case EUB:
+		return "term classified EUB"
+	default:
+		return "term classified " + b.String()
+	}
+}
+
 // defer_ moves the lease to the deferred state: the resource is temporarily
 // revoked for τ and restored afterwards (paper §3.2, §4.6).
 func (m *Manager) defer_(l *Lease, rec TermRecord) {
@@ -473,14 +543,11 @@ func (m *Manager) defer_(l *Lease, rec TermRecord) {
 	l.term = m.cfg.Term // revert any adaptive growth
 	m.Deferrals++
 
-	m.transition(l, Deferred, "term classified "+rec.Behavior.String())
+	m.transition(l, Deferred, deferReason(rec.Behavior))
 	l.obj.Control.Suppress(l.obj.ID)
 
 	l.restoreAt = m.clock.Now() + tau
-	l.restoreEvent = m.clock.Schedule(tau, func() {
-		l.restoreEvent = 0
-		m.restore(l)
-	})
+	l.restoreEvent = m.clock.Schedule(tau, l.restoreFn)
 }
 
 // restore ends a deferral: the capability and resource are restored and the

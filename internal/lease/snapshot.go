@@ -205,6 +205,7 @@ func (m *Manager) RestoreState(st ManagerState, resolve func(LeaseState) (hooks.
 			deadAt: ls.DeadAt, lastIdle: ls.LastIdle, idleTotal: ls.IdleTotal,
 			activeSince: ls.ActiveSince, activeTotal: ls.ActiveTotal,
 		}
+		l.bindEvents(m)
 		m.leases[l.id] = l
 		m.byObj[objKey{obj.Control.ServiceName(), obj.ID}] = l.id
 
@@ -214,10 +215,7 @@ func (m *Manager) RestoreState(st ManagerState, resolve func(LeaseState) (hooks.
 				d = 0
 			}
 			l.checkAt = ls.CheckAt
-			l.checkEvent = m.clock.Schedule(d, func() {
-				l.checkEvent = 0
-				m.endOfTerm(l)
-			})
+			l.checkEvent = m.clock.Schedule(d, l.checkFn)
 		}
 		if ls.HasRestor {
 			d := ls.RestoreAt - now
@@ -225,10 +223,7 @@ func (m *Manager) RestoreState(st ManagerState, resolve func(LeaseState) (hooks.
 				d = 0
 			}
 			l.restoreAt = ls.RestoreAt
-			l.restoreEvent = m.clock.Schedule(d, func() {
-				l.restoreEvent = 0
-				m.restore(l)
-			})
+			l.restoreEvent = m.clock.Schedule(d, l.restoreFn)
 		}
 	}
 	return nil

@@ -55,6 +55,13 @@ type ddObject struct {
 	activeTotal  time.Duration
 	dutyCycling  bool
 	acquireTimes []simclock.Time
+
+	// Bound timer callbacks, created once per tracked object (in track) so
+	// the arm/duty-cycle/penalty scheduling paths never allocate a closure.
+	holdFn    func() // hold-limit or listener-grace expiry, chosen by kind
+	dutyEndFn func() // DutyOff expiry: lift suppression, start DutyOn
+	dutyOnFn  func() // DutyOn expiry: back to dutyOff
+	penaltyFn func() // rate-limit penalty expiry
 }
 
 // DefDroid applies fine-grained, threshold-based throttling per resource:
@@ -99,6 +106,16 @@ func NewDefDroid(engine *simclock.Engine, cfg DefDroidConfig) *DefDroid {
 	return &DefDroid{engine: engine, cfg: cfg, objects: make(map[objKey]*ddObject)}
 }
 
+// Reset drops all tracked objects and zeroes the revocation counter,
+// returning the governor to its NewDefDroid state. The caller has already
+// reset the engine, so pending timers need no cancellation.
+func (d *DefDroid) Reset() {
+	for k := range d.objects {
+		delete(d.objects, k)
+	}
+	d.Revocations = 0
+}
+
 func isListener(k hooks.Kind) bool {
 	return k == hooks.GPSListener || k == hooks.SensorListener
 }
@@ -108,6 +125,47 @@ func (d *DefDroid) track(o hooks.Object) *ddObject {
 	obj, ok := d.objects[key]
 	if !ok {
 		obj = &ddObject{obj: o}
+		if isListener(o.Kind) {
+			obj.holdFn = func() {
+				obj.holdTimer = 0
+				if obj.held {
+					obj.dutyCycling = true
+					d.dutyOff(obj)
+				}
+			}
+		} else {
+			obj.holdFn = func() {
+				obj.holdTimer = 0
+				if obj.held && !obj.suppressed {
+					// Continuous hold exceeded the limit: revoke until
+					// re-acquire.
+					obj.suppressed = true
+					d.Revocations++
+					obj.obj.Control.Suppress(obj.obj.ID)
+				}
+			}
+		}
+		obj.dutyEndFn = func() {
+			obj.dutyTimer = 0
+			if !obj.held {
+				obj.dutyCycling = false
+				return
+			}
+			obj.suppressed = false
+			obj.obj.Control.Unsuppress(obj.obj.ID)
+			obj.dutyTimer = d.engine.Schedule(d.cfg.DutyOn, obj.dutyOnFn)
+		}
+		obj.dutyOnFn = func() {
+			obj.dutyTimer = 0
+			d.dutyOff(obj)
+		}
+		obj.penaltyFn = func() {
+			if obj.suppressed && obj.held {
+				obj.suppressed = false
+				obj.obj.Control.Unsuppress(obj.obj.ID)
+				d.arm(obj)
+			}
+		}
 		d.objects[key] = obj
 	}
 	return obj
@@ -155,24 +213,10 @@ func (d *DefDroid) arm(obj *ddObject) {
 		if remaining < 0 {
 			remaining = 0
 		}
-		obj.holdTimer = d.engine.Schedule(remaining, func() {
-			obj.holdTimer = 0
-			if obj.held {
-				obj.dutyCycling = true
-				d.dutyOff(obj)
-			}
-		})
+		obj.holdTimer = d.engine.Schedule(remaining, obj.holdFn)
 		return
 	}
-	obj.holdTimer = d.engine.Schedule(d.cfg.HoldLimit, func() {
-		obj.holdTimer = 0
-		if obj.held && !obj.suppressed {
-			// Continuous hold exceeded the limit: revoke until re-acquire.
-			obj.suppressed = true
-			d.Revocations++
-			obj.obj.Control.Suppress(obj.obj.ID)
-		}
-	})
+	obj.holdTimer = d.engine.Schedule(d.cfg.HoldLimit, obj.holdFn)
 }
 
 // dutyOff begins the off phase of a duty cycle.
@@ -184,19 +228,7 @@ func (d *DefDroid) dutyOff(obj *ddObject) {
 	obj.suppressed = true
 	d.Revocations++
 	obj.obj.Control.Suppress(obj.obj.ID)
-	obj.dutyTimer = d.engine.Schedule(d.cfg.DutyOff, func() {
-		obj.dutyTimer = 0
-		if !obj.held {
-			obj.dutyCycling = false
-			return
-		}
-		obj.suppressed = false
-		obj.obj.Control.Unsuppress(obj.obj.ID)
-		obj.dutyTimer = d.engine.Schedule(d.cfg.DutyOn, func() {
-			obj.dutyTimer = 0
-			d.dutyOff(obj)
-		})
-	})
+	obj.dutyTimer = d.engine.Schedule(d.cfg.DutyOff, obj.dutyEndFn)
 }
 
 // suppressFor applies a temporary rate-limit penalty.
@@ -206,13 +238,7 @@ func (d *DefDroid) suppressFor(obj *ddObject, penalty time.Duration) {
 		d.Revocations++
 		obj.obj.Control.Suppress(obj.obj.ID)
 	}
-	d.engine.Schedule(penalty, func() {
-		if obj.suppressed && obj.held {
-			obj.suppressed = false
-			obj.obj.Control.Unsuppress(obj.obj.ID)
-			d.arm(obj)
-		}
-	})
+	d.engine.Schedule(penalty, obj.penaltyFn)
 }
 
 // --- hooks.Governor implementation ---

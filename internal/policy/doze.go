@@ -58,6 +58,11 @@ type Doze struct {
 	reevaluate func()
 
 	objects map[objKey]hooks.Object
+	// order holds the tracked keys in creation order: suppression sweeps
+	// must visit objects in a fixed order (maps iterate randomly) so meter
+	// updates, and with them float accumulation, are run-to-run
+	// deterministic.
+	order []objKey
 
 	dozing        bool
 	inMaintenance bool
@@ -67,6 +72,11 @@ type Doze struct {
 
 	// DozeEnterCount counts how many times doze engaged (observability).
 	DozeEnterCount int
+	// Suppressions counts individual resource deferrals — each Suppress
+	// issued against an app's object. It is the per-app intervention
+	// metric the fleet sweep reports, comparable to the other governors'
+	// Revocations counters.
+	Suppressions int
 }
 
 type objKey struct {
@@ -110,6 +120,30 @@ func NewDoze(engine *simclock.Engine, world *env.Environment, cfg DozeConfig,
 
 // Dozing reports whether doze is currently engaged.
 func (d *Doze) Dozing() bool { return d.dozing }
+
+// Reset returns the governor to its just-constructed state and re-arms the
+// initial enter event (Forced) or idle timer, exactly as NewDoze does. It
+// must run after every other component's Reset: NewDoze schedules before any
+// app activity exists, so re-arming last reproduces the fresh engine's event
+// sequence numbers and keeps a reused world byte-identical to a new one.
+func (d *Doze) Reset() {
+	for k := range d.objects {
+		delete(d.objects, k)
+	}
+	d.order = d.order[:0]
+	d.dozing = false
+	d.inMaintenance = false
+	d.idleSince = 0
+	d.idleTimer = 0
+	d.maintTimer = 0
+	d.DozeEnterCount = 0
+	d.Suppressions = 0
+	if d.cfg.Forced {
+		d.engine.Schedule(0, d.enter)
+	} else {
+		d.armIdleTimer()
+	}
+}
 
 // deferrable reports whether doze may suppress this resource kind: the
 // screen is exempt, and audio is exempt (active media playback keeps a
@@ -216,16 +250,17 @@ func (d *Doze) scheduleMaintenance() {
 }
 
 func (d *Doze) applySuppression() {
-	for _, o := range d.objects {
-		if deferrable(o.Kind) && !d.foreground(o.UID) {
+	for _, k := range d.order {
+		if o, ok := d.objects[k]; ok && deferrable(o.Kind) && !d.foreground(o.UID) {
+			d.Suppressions++
 			o.Control.Suppress(o.ID)
 		}
 	}
 }
 
 func (d *Doze) liftSuppression() {
-	for _, o := range d.objects {
-		if deferrable(o.Kind) {
+	for _, k := range d.order {
+		if o, ok := d.objects[k]; ok && deferrable(o.Kind) {
 			o.Control.Unsuppress(o.ID)
 		}
 	}
@@ -235,8 +270,13 @@ func (d *Doze) liftSuppression() {
 
 // ObjectCreated implements hooks.Governor.
 func (d *Doze) ObjectCreated(o hooks.Object) {
-	d.objects[objKey{o.Control.ServiceName(), o.ID}] = o
+	key := objKey{o.Control.ServiceName(), o.ID}
+	if _, ok := d.objects[key]; !ok {
+		d.order = append(d.order, key)
+	}
+	d.objects[key] = o
 	if d.dozing && !d.inMaintenance && deferrable(o.Kind) && !d.foreground(o.UID) {
+		d.Suppressions++
 		o.Control.Suppress(o.ID)
 	}
 }
@@ -248,13 +288,23 @@ func (d *Doze) ObjectReleased(hooks.Object) {}
 // stays deferred (unlike LeaseOS, Doze is not per-object adaptive).
 func (d *Doze) ObjectReacquired(o hooks.Object) {
 	if d.dozing && !d.inMaintenance && deferrable(o.Kind) && !d.foreground(o.UID) {
+		d.Suppressions++
 		o.Control.Suppress(o.ID)
 	}
 }
 
 // ObjectDestroyed implements hooks.Governor.
 func (d *Doze) ObjectDestroyed(o hooks.Object) {
-	delete(d.objects, objKey{o.Control.ServiceName(), o.ID})
+	key := objKey{o.Control.ServiceName(), o.ID}
+	if _, ok := d.objects[key]; ok {
+		delete(d.objects, key)
+		for i, k := range d.order {
+			if k == key {
+				d.order = append(d.order[:i], d.order[i+1:]...)
+				break
+			}
+		}
+	}
 }
 
 // AllowBackgroundWork implements hooks.Governor: background work is gated

@@ -32,6 +32,9 @@ type thrObject struct {
 	held       bool
 	suppressed bool
 	timer      simclock.EventID
+	// timerFn is the revocation callback, bound once per tracked object so
+	// every (re-)acquire schedules allocation-free.
+	timerFn func()
 }
 
 // NewThrottle creates the single-term throttler. A non-positive term
@@ -43,11 +46,29 @@ func NewThrottle(engine *simclock.Engine, term time.Duration) *Throttle {
 	return &Throttle{engine: engine, term: term, objects: make(map[objKey]*thrObject)}
 }
 
+// Reset drops all tracked objects and zeroes the revocation counter,
+// returning the governor to its NewThrottle state. The caller has already
+// reset the engine, so pending timers need no cancellation.
+func (t *Throttle) Reset() {
+	for k := range t.objects {
+		delete(t.objects, k)
+	}
+	t.Revocations = 0
+}
+
 func (t *Throttle) onAcquire(o hooks.Object) {
 	key := objKey{o.Control.ServiceName(), o.ID}
 	obj, ok := t.objects[key]
 	if !ok {
 		obj = &thrObject{obj: o}
+		obj.timerFn = func() {
+			obj.timer = 0
+			if obj.held && !obj.suppressed {
+				obj.suppressed = true
+				t.Revocations++
+				obj.obj.Control.Suppress(obj.obj.ID)
+			}
+		}
 		t.objects[key] = obj
 	}
 	obj.held = true
@@ -59,14 +80,7 @@ func (t *Throttle) onAcquire(o hooks.Object) {
 	if obj.timer != 0 {
 		t.engine.Cancel(obj.timer)
 	}
-	obj.timer = t.engine.Schedule(t.term, func() {
-		obj.timer = 0
-		if obj.held && !obj.suppressed {
-			obj.suppressed = true
-			t.Revocations++
-			obj.obj.Control.Suppress(obj.obj.ID)
-		}
-	})
+	obj.timer = t.engine.Schedule(t.term, obj.timerFn)
 }
 
 // ObjectCreated implements hooks.Governor.

@@ -164,6 +164,28 @@ func NewMeter(engine *simclock.Engine) *Meter {
 	return &Meter{engine: engine}
 }
 
+// Reset clears all draws, energy, and handles while keeping the dense owner
+// table and every per-owner slot slice at capacity, so a recycled meter
+// re-registers draws without reallocating. Owner accumulators are zeroed in
+// place rather than truncated: a zero-watt accumulator integrates nothing,
+// so a retained owner entry is behaviorally identical to one materialised
+// fresh on first use. Slot generations restart at zero, matching a fresh
+// meter exactly; DrawHandles resolved before the reset must be dropped.
+func (m *Meter) Reset() {
+	for i := range m.owners {
+		o := &m.owners[i]
+		o.accum = accum{}
+		for j := range o.slots {
+			o.slots[j] = drawSlot{}
+		}
+		o.slots = o.slots[:0]
+		o.free = o.free[:0]
+		o.nLive = 0
+	}
+	m.comps = [numComponents]accum{}
+	m.total = accum{}
+}
+
 // owner returns the state for uid, growing the dense table on demand.
 func (m *Meter) owner(uid UID) *ownerState {
 	if uid < 0 {
@@ -411,6 +433,25 @@ func (m *Meter) EnergyByComponentJ() map[Component]float64 {
 		}
 	}
 	return out
+}
+
+// BumpCount increments the dense per-UID count for uid, recording first
+// sightings in uids, and returns the (possibly grown) slices. It is the
+// building block of the allocation-free draw recomputes in the system
+// services: per-uid counts live in dense uid-indexed slices and the uid
+// lists double-buffer across recomputes, so the steady state never touches
+// a map.
+func BumpCount(cnt []int32, uids []UID, uid UID) ([]int32, []UID) {
+	if int(uid) >= len(cnt) {
+		grown := make([]int32, int(uid)+1)
+		copy(grown, cnt)
+		cnt = grown
+	}
+	if cnt[uid] == 0 {
+		uids = append(uids, uid)
+	}
+	cnt[uid]++
+	return cnt, uids
 }
 
 // AvgPowerMW converts an energy delta over a duration into milliwatts.

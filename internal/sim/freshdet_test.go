@@ -1,0 +1,23 @@
+package sim_test
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestFreshDeterminism(t *testing.T) {
+	for _, pol := range sim.Policies() {
+		t.Run(pol.String(), func(t *testing.T) {
+			a := runScenario(sim.New(sim.Options{Policy: pol}))
+			for rep := 0; rep < 5; rep++ {
+				b := runScenario(sim.New(sim.Options{Policy: pol}))
+				for i := range a {
+					if a[i] != b[i] {
+						t.Fatalf("two fresh runs diverged at sample %d:\n%s\n%s", i, a[i], b[i])
+					}
+				}
+			}
+		})
+	}
+}

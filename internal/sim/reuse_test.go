@@ -1,0 +1,122 @@
+package sim_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// fingerprint drives an already-scripted world for 4 simulated hours and
+// samples every observable counter every 10 minutes, formatting floats in
+// hex so even a one-ulp divergence between a fresh and a reused world fails
+// the comparison.
+func fingerprint(s *sim.Sim) []string {
+	var out []string
+	for i := 0; i < 24; i++ {
+		s.Run(10 * time.Minute)
+		line := fmt.Sprintf("t=%d e=%x ipc=%d awake=%d",
+			s.Now(), s.Meter.EnergyJ(), s.Registry.IPCCount, s.Power.TotalAwakeTime())
+		switch {
+		case s.Leases != nil:
+			line += fmt.Sprintf(" checks=%d defer=%d renew=%d adapt=%d created=%d",
+				s.Leases.TermChecks, s.Leases.Deferrals, s.Leases.Renewals,
+				s.Leases.TermAdaptations, s.Leases.CreatedTotal())
+		case s.Doze != nil:
+			line += fmt.Sprintf(" doze=%d", s.Doze.DozeEnterCount)
+		case s.DefDroidGov != nil:
+			line += fmt.Sprintf(" rev=%d", s.DefDroidGov.Revocations)
+		case s.ThrottleGov != nil:
+			line += fmt.Sprintf(" rev=%d", s.ThrottleGov.Revocations)
+		}
+		out = append(out, line)
+	}
+	return out
+}
+
+func runScenario(s *sim.Sim) []string {
+	workload.BatteryDay(s)
+	return fingerprint(s)
+}
+
+// TestReuseMatchesFresh checks the Reset contract end to end: a world that
+// already ran a partial, messy scenario — pending timers, in-flight work
+// items, and (under LeaseOS) deferrals awaiting restoration — must, after
+// Reuse, reproduce a fresh world's behaviour bit for bit under every policy.
+func TestReuseMatchesFresh(t *testing.T) {
+	for _, pol := range sim.Policies() {
+		t.Run(pol.String(), func(t *testing.T) {
+			opts := sim.Options{Policy: pol}
+			fresh := runScenario(sim.New(opts))
+
+			// Dirty a second world with a partial run cut off mid-flight.
+			dirty := sim.New(opts)
+			workload.BatteryDay(dirty)
+			dirty.Run(37 * time.Minute)
+			if pol == sim.LeaseOS && dirty.Leases.Deferrals == 0 {
+				t.Fatal("scenario produced no deferrals; reset-with-deferrals-in-flight is untested")
+			}
+
+			reused := sim.Reuse(dirty, opts)
+			if reused != dirty {
+				t.Fatal("Reuse built a new world for identical options")
+			}
+			got := runScenario(reused)
+			for i := range fresh {
+				if got[i] != fresh[i] {
+					t.Fatalf("sample %d diverged after reuse:\nfresh:  %s\nreused: %s", i, fresh[i], got[i])
+				}
+			}
+		})
+	}
+}
+
+// TestReuseRebuildsOnOptionChange checks the fallback path: differing
+// options must build a fresh world, and equivalent normalized options (zero
+// Device vs explicit default) must not.
+func TestReuseRebuildsOnOptionChange(t *testing.T) {
+	s := sim.New(sim.Options{Policy: sim.Vanilla})
+	if got := sim.Reuse(s, sim.Options{Policy: sim.LeaseOS}); got == s {
+		t.Fatal("Reuse recycled a vanilla world for a LeaseOS run")
+	}
+	if got := sim.Reuse(s, sim.Options{Policy: sim.Vanilla, Device: s.Profile}); got != s {
+		t.Fatal("Reuse rebuilt although normalized options are identical")
+	}
+	if got := sim.Reuse(nil, sim.Options{}); got == nil {
+		t.Fatal("Reuse(nil) must build a world")
+	}
+}
+
+// TestPoolRecycles checks that Pool hands back reset worlds for matching
+// options and that pooled runs reproduce fresh runs exactly.
+func TestPoolRecycles(t *testing.T) {
+	p := sim.NewPool()
+	opts := sim.Options{Policy: sim.LeaseOS}
+	fresh := runScenario(sim.New(opts))
+
+	first := p.Get(opts)
+	firstRun := runScenario(first)
+	p.Put(first)
+	second := p.Get(opts)
+	if second != first {
+		t.Fatal("Pool.Get did not recycle the returned world")
+	}
+	secondRun := runScenario(second)
+
+	for i := range fresh {
+		if firstRun[i] != fresh[i] {
+			t.Fatalf("first pooled run diverged at sample %d:\n%s\n%s", i, fresh[i], firstRun[i])
+		}
+		if secondRun[i] != fresh[i] {
+			t.Fatalf("recycled run diverged at sample %d:\n%s\n%s", i, fresh[i], secondRun[i])
+		}
+	}
+
+	// A different configuration must never receive the pooled world.
+	p.Put(second)
+	if other := p.Get(sim.Options{Policy: sim.Vanilla}); other == second {
+		t.Fatal("Pool.Get handed a LeaseOS world to a vanilla run")
+	}
+}

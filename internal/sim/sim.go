@@ -115,14 +115,28 @@ type Sim struct {
 
 	// Gov is the governor in effect (hooks.Nop for Vanilla).
 	Gov hooks.Governor
+
+	// opts is the normalized Options the world was built from; Reuse
+	// compares against it to decide whether a reset suffices.
+	opts Options
+}
+
+// normalize canonicalises opts so that two option sets describing the same
+// world compare equal (Reuse relies on this).
+func normalize(opts Options) Options {
+	if opts.Device.Name == "" {
+		opts.Device = device.PixelXL
+	}
+	if opts.Policy == DozeAggressive {
+		opts.Doze.Forced = true
+	}
+	return opts
 }
 
 // New builds a simulation.
 func New(opts Options) *Sim {
+	opts = normalize(opts)
 	prof := opts.Device
-	if prof.Name == "" {
-		prof = device.PixelXL
-	}
 
 	engine := simclock.NewEngine()
 	meter := power.NewMeter(engine)
@@ -131,7 +145,7 @@ func New(opts Options) *Sim {
 
 	s := &Sim{
 		Engine: engine, Meter: meter, Registry: registry, World: world,
-		Profile: prof, Policy: opts.Policy,
+		Profile: prof, Policy: opts.Policy, opts: opts,
 	}
 
 	// Build services and framework with the no-op governor first, then
@@ -173,6 +187,48 @@ func New(opts Options) *Sim {
 	s.Wifi.SetGovernor(gov)
 	s.Audio.SetGovernor(gov)
 	s.Apps.SetGovernor(gov)
+	return s
+}
+
+// Reuse recycles a previously-built world for a fresh run of the same
+// configuration: when opts (after normalization) matches the options prev
+// was built with, every component is Reset in dependency order and prev is
+// returned; otherwise a new world is built with New. A nil prev always
+// builds fresh. The reset path skips the whole ~60k-allocation world
+// assembly, which is what makes fleet-scale sweeps (one world per worker,
+// thousands of devices each) affordable.
+//
+// Reset order matters twice over: the engine must go first (everything
+// else's pending events die with it) and the meter before the services
+// (their draw slots die with it); the Doze governor must go last so its
+// re-armed initial event receives the same sequence number it gets in a
+// fresh world, keeping reused runs byte-identical to from-scratch runs.
+func Reuse(prev *Sim, opts Options) *Sim {
+	opts = normalize(opts)
+	if prev == nil || opts != prev.opts {
+		return New(opts)
+	}
+	s := prev
+	s.Engine.Reset()
+	s.Meter.Reset()
+	s.Registry.Reset()
+	s.World.Reset()
+	s.Power.Reset()
+	s.Location.Reset()
+	s.Sensors.Reset()
+	s.Wifi.Reset()
+	s.Audio.Reset()
+	s.Apps.Reset()
+	switch {
+	case s.Leases != nil:
+		s.Leases.Reset()
+	case s.DefDroidGov != nil:
+		s.DefDroidGov.Reset()
+	case s.ThrottleGov != nil:
+		s.ThrottleGov.Reset()
+	case s.Doze != nil:
+		s.Doze.Reset()
+	}
 	return s
 }
 

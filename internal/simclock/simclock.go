@@ -98,6 +98,27 @@ func NewEngine() *Engine {
 // Now reports the current virtual time.
 func (e *Engine) Now() Time { return e.now }
 
+// Reset returns the engine to its initial state — virtual time zero, empty
+// queue, sequence counter restarted — while keeping the heap, slot, and
+// free-list capacity so a recycled engine schedules without reallocating.
+// Slot generations restart at zero too: a reset engine is indistinguishable
+// from a fresh NewEngine() apart from retained capacity, which is what makes
+// fresh-vs-reused simulation runs byte-identical. EventIDs issued before the
+// reset must not be used afterwards.
+func (e *Engine) Reset() {
+	if e.running {
+		panic("simclock: Reset called from inside RunUntil")
+	}
+	for i := range e.slots {
+		e.slots[i] = slot{heapIndex: -1}
+	}
+	e.heap = e.heap[:0]
+	e.slots = e.slots[:0]
+	e.free = e.free[:0]
+	e.now = 0
+	e.nextSeq = 0
+}
+
 // Next reports the timestamp of the earliest pending event, or false when
 // the queue is empty. Wall-clock drivers use it to know how long to sleep.
 func (e *Engine) Next() (Time, bool) {

@@ -10,9 +10,10 @@
 #   E2E_BENCHTIME  iterations per e2e bench     (default 5x)
 set -euo pipefail
 
-OUT="${1:-BENCH_7.json}"
+OUT="${1:-BENCH_8.json}"
 BENCHTIME="${BENCHTIME:-1000x}"
 E2E_BENCHTIME="${E2E_BENCHTIME:-5x}"
+FLEET_BENCHTIME="${FLEET_BENCHTIME:-2000x}"
 
 cd "$(dirname "$0")/.."
 
@@ -36,6 +37,12 @@ go test -run '^$' -bench '^(BenchmarkShardedApply|BenchmarkBatchApply)$' -benchm
 go test -run '^$' -bench '^(BenchmarkBatteryLife|BenchmarkFigure12|BenchmarkTable5)$' \
 	-benchmem -benchtime "$E2E_BENCHTIME" . | tee -a "$tmp"
 
+# Fleet throughput: ns/op is the marginal simulated device; the devices/sec
+# extra metric is the headline single-box sweep rate. benchtime is the
+# population size (one fleet of N devices per run).
+go test -run '^$' -bench '^BenchmarkFleetDevice$' \
+	-benchmem -benchtime "$FLEET_BENCHTIME" . | tee -a "$tmp"
+
 # A `go test -benchmem` row reads
 #   BenchmarkName-8   N   123.4 ns/op  [extra unit pairs]  0 B/op  0 allocs/op
 # so scan value/unit pairs rather than fixed columns.
@@ -43,14 +50,17 @@ awk '
 /^Benchmark/ {
 	name = $1
 	sub(/-[0-9]+$/, "", name)
-	ns = ""; allocs = "0"
+	ns = ""; allocs = "0"; dps = ""
 	for (i = 2; i < NF; i++) {
 		if ($(i + 1) == "ns/op") ns = $i
 		if ($(i + 1) == "allocs/op") allocs = $i
+		if ($(i + 1) == "devices/sec") dps = $i
 	}
 	if (ns == "") next
 	if (n++) printf ",\n"
-	printf "  {\"name\": \"%s\", \"ns_op\": %s, \"allocs_op\": %s}", name, ns, allocs
+	printf "  {\"name\": \"%s\", \"ns_op\": %s, \"allocs_op\": %s", name, ns, allocs
+	if (dps != "") printf ", \"devices_sec\": %s", dps
+	printf "}"
 }
 BEGIN { print "[" }
 END { print "\n]" }

@@ -67,6 +67,18 @@ for name, rec in new.items():
     if re.search(r"^Benchmark(ShardedApply|BatchApply)", name) and rec["allocs_op"] != 0:
         failures.append(f"{name}: allocs/op = {rec['allocs_op']}, pinned at 0")
 
+# PR 8 acceptance pins: the world-reuse work dropped BatteryLife from ~64k
+# allocs/op to a few hundred — hold the line at the PR's ceiling so closure
+# or pooling regressions surface immediately. FleetDevice must exist (the
+# sweep stays benchmarked) and stay within the same alloc ceiling per device.
+CEILINGS = {"BenchmarkBatteryLife": 6400, "BenchmarkFleetDevice": 6400}
+for name, ceiling in CEILINGS.items():
+    rec = new.get(name)
+    if rec is None:
+        failures.append(f"{name}: missing from {new_path}, pinned benchmark")
+    elif rec["allocs_op"] > ceiling:
+        failures.append(f"{name}: allocs/op = {rec['allocs_op']}, pinned at <= {ceiling}")
+
 if failures:
     print("bench_gate: FAIL", file=sys.stderr)
     for f in failures:
