@@ -18,7 +18,16 @@
 //   - with -require-replayed, the restart actually replayed journal records
 //     (proof the crash path, not a clean boot, was exercised);
 //   - with -require-zero-replay, the restart replayed nothing (proof a
-//     graceful shutdown's final checkpoint captured everything).
+//     graceful shutdown's final checkpoint captured everything);
+//   - with -require-role R, the post snapshot's cluster role is R (the
+//     failover actually promoted the node being interrogated);
+//   - with -require-epoch-bump, the post snapshot's cluster_epoch exceeds
+//     the pre snapshot's (a fenced leadership change happened in between).
+//
+// The pre and post snapshots need not come from the same node: in the
+// cluster chaos loop pre is the doomed primary and post is the promoted
+// follower, and the checks then prove replication+failover preserved the
+// daemon's judgment exactly as restart-recovery must.
 //
 // Exit status: 0 when all checks pass, 1 on usage/IO errors, 2 on a failed
 // verification.
@@ -53,6 +62,8 @@ func main() {
 		shards      = flag.Int("shards", 0, "expected shard count in both snapshots (0 = don't check)")
 		reqReplay   = flag.Bool("require-replayed", false, "fail unless the restart replayed journal records")
 		reqNoReplay = flag.Bool("require-zero-replay", false, "fail unless the restart replayed nothing")
+		reqRole     = flag.String("require-role", "", "fail unless the post snapshot's cluster role matches (e.g. primary)")
+		reqEpoch    = flag.Bool("require-epoch-bump", false, "fail unless the post snapshot's cluster_epoch exceeds the pre snapshot's (a failover happened)")
 	)
 	flag.Parse()
 	log.SetPrefix("chaosverify: ")
@@ -147,6 +158,26 @@ func main() {
 		if *reqNoReplay && post.Recovery.Replayed != 0 {
 			failf("graceful restart replayed %d records, want 0 (final checkpoint missed state)",
 				post.Recovery.Replayed)
+		}
+	}
+
+	if *reqRole != "" {
+		if post.Cluster == nil {
+			failf("post snapshot has no cluster section, want role %q", *reqRole)
+		} else if post.Cluster.Role != *reqRole {
+			failf("post snapshot role is %q, want %q", post.Cluster.Role, *reqRole)
+		}
+	}
+	if *reqEpoch {
+		var preEpoch uint64
+		if pre.Cluster != nil {
+			preEpoch = pre.Cluster.ClusterEpoch
+		}
+		if post.Cluster == nil {
+			failf("post snapshot has no cluster section; cannot verify the epoch bump")
+		} else if post.Cluster.ClusterEpoch <= preEpoch {
+			failf("cluster_epoch did not advance: %d → %d (no fenced failover happened)",
+				preEpoch, post.Cluster.ClusterEpoch)
 		}
 	}
 

@@ -33,7 +33,9 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -63,10 +65,30 @@ func main() {
 		fsync       = flag.Bool("fsync", false, "fsync the journal on every append")
 		faultSpec   = flag.String("faults", "", "fault-injection spec, e.g. http.drop=0.05,wall.delay=0.01:20ms")
 		faultSeed   = flag.Int64("fault-seed", 1, "seed for the fault injector")
+
+		role      = flag.String("role", "", `cluster role: "primary" or "follower" (empty = standalone, no replication)`)
+		replAddr  = flag.String("repl-addr", "", "replication listen address for follower connections (primaries)")
+		primary   = flag.String("primary", "", "the current primary's replication address to follow (followers)")
+		advertise = flag.String("advertise", "", "this node's client-facing base URL, handed to followers as the Leader hint")
+		promote   = flag.String("promote", "", "admin verb: POST /v1/promote to the daemon at this base URL, print the result, exit")
 	)
 	flag.Parse()
 	log.SetPrefix("leased: ")
 	log.SetFlags(log.LstdFlags | log.Lmicroseconds)
+
+	if *promote != "" {
+		resp, err := http.Post(*promote+"/v1/promote", "application/json", nil)
+		if err != nil {
+			log.Fatalf("promote %s: %v", *promote, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		fmt.Printf("%s", body)
+		if resp.StatusCode != http.StatusOK {
+			log.Fatalf("promote %s: status %d", *promote, resp.StatusCode)
+		}
+		return
+	}
 
 	var inj *faults.Injector
 	if *faultSpec != "" {
@@ -92,6 +114,20 @@ func main() {
 		Fsync:          *fsync,
 		Faults:         inj,
 	}
+	if *role != "" {
+		if *role != "primary" && *role != "follower" {
+			log.Fatalf("-role must be primary or follower, got %q", *role)
+		}
+		if *role == "follower" && *primary == "" {
+			log.Fatal("-role follower requires -primary host:port")
+		}
+		opts.Cluster = &leased.ClusterConfig{
+			Role:        *role,
+			PrimaryAddr: *primary,
+			Advertise:   *advertise,
+			Logf:        log.Printf,
+		}
+	}
 	var srv *leased.Server
 	if *dataDir != "" {
 		var info leased.RecoveryInfo
@@ -108,6 +144,24 @@ func main() {
 			info.SnapshotLoaded, info.Replayed, info.TruncatedBytes, info.StaleRecords)
 	} else {
 		srv = leased.NewServer(opts)
+	}
+
+	if *role != "" {
+		if *replAddr != "" {
+			ln, err := net.Listen("tcp", *replAddr)
+			if err != nil {
+				log.Fatalf("replication listen %s: %v", *replAddr, err)
+			}
+			srv.ServeReplication(ln)
+			log.Printf("replication listening on %s", *replAddr)
+		}
+		if *role == "follower" {
+			if err := srv.StartFollowing(); err != nil {
+				log.Fatalf("follow %s: %v", *primary, err)
+			}
+			log.Printf("following primary at %s", *primary)
+		}
+		log.Printf("cluster role=%s epoch=%d", srv.Role(), srv.ClusterEpoch())
 	}
 
 	hs := &http.Server{

@@ -36,6 +36,7 @@ func main() {
 		timeout    = flag.Duration("timeout", 2*time.Second, "per-request timeout")
 		retries    = flag.Int("retries", 4, "attempts per idempotent mutation before it counts as a failure")
 		seed       = flag.Int64("seed", 1, "seed for retry jitter and client-side fault injection")
+		prefix     = flag.String("prefix", "", "client-name prefix; gives successive runs against the same daemon state distinct client populations")
 		faultSpec  = flag.String("faults", "", "client-side fault spec, e.g. client.drop=0.05,client.delay=0.02:50ms")
 		minOps     = flag.Int64("min-ops", 0, "fail (exit 3) when fewer ops complete")
 		requireDet = flag.Bool("require-defaulters", false,
@@ -66,6 +67,7 @@ func main() {
 		Timeout:  *timeout,
 		Retries:  *retries,
 		Seed:     *seed,
+		Prefix:   *prefix,
 		Faults:   inj,
 	})
 	if err != nil {

@@ -1,0 +1,114 @@
+// Package cluster is the replication layer between leased daemons: a primary
+// streams its journal frames (and a snapshot on connect, for catch-up) over
+// TCP to N followers, each of which replays them onto an unstarted wall —
+// the PR 5 recovery path running continuously instead of once at boot.
+//
+// The package deliberately knows nothing about leases. It moves opaque
+// record bytes between a Source (the primary daemon) and an Applier (a
+// follower daemon), using the journal's own frame discipline on the wire
+// (durable.AppendFrame / durable.StreamReader), and tracks per-shard
+// replication offsets so lag is observable on both ends.
+//
+// Topology: one TCP connection per (follower, shard). The handshake is a
+// Hello/Welcome JSON exchange that pins protocol version, shard layout,
+// policy signature, and — critically — the cluster epoch, the leadership
+// generation number. Epoch fencing is bidirectional: a primary that hears a
+// Hello from a higher generation knows it has been deposed and fences
+// itself; a follower offered a Welcome from a lower generation refuses it.
+//
+// Stream contract (per connection, after the handshake):
+//
+//	primary → follower:  'S' snapshot, then any number of 'R' record /
+//	                     'B' batch / 'P' ping frames
+//	follower → primary:  'A' ack frames carrying the applied record offset
+//
+// The snapshot is captured atomically with the subscriber attach (under the
+// shard's clock mutex), so the record stream that follows is exactly the
+// suffix of the log after the snapshot — no gaps, no overlaps, and batches
+// arrive as single frames so their atomicity survives replication.
+// Reconnects re-run the handshake and get a fresh snapshot; there is no
+// historical log read path, which keeps the primary's journal free to
+// checkpoint on its own cadence.
+package cluster
+
+// Proto is the wire protocol version pinned in the Hello/Welcome handshake.
+const Proto = 1
+
+// Frame tags multiplexed over a replication connection. They ride in the
+// first payload byte of a durable stream frame.
+const (
+	frameHello    = 'H' // follower → primary: Hello JSON
+	frameWelcome  = 'W' // primary → follower: Welcome JSON
+	frameError    = 'E' // primary → follower: ErrMsg JSON, then close
+	frameSnapshot = 'S' // primary → follower: full shard state (persisted-state JSON)
+	frameRecord   = 'R' // primary → follower: one journal record
+	frameBatch    = 'B' // primary → follower: one atomic batch (durable.PackBatch payload)
+	framePing     = 'P' // primary → follower: u64 LE stream sequence (heartbeat)
+	frameAck      = 'A' // follower → primary: u64 LE applied sequence
+)
+
+// Hello is the follower's opening frame.
+type Hello struct {
+	Proto  int    `json:"proto"`
+	Shard  int    `json:"shard"`
+	Shards int    `json:"shards"`
+	Epoch  uint64 `json:"cluster_epoch"`
+	Config string `json:"config"`
+}
+
+// Welcome is the primary's accepting reply.
+type Welcome struct {
+	Epoch  uint64 `json:"cluster_epoch"`
+	Shards int    `json:"shards"`
+	Leader string `json:"leader"`
+	// SnapSeq is the stream sequence at the snapshot capture instant: the
+	// first record frame on this connection is record SnapSeq+1.
+	SnapSeq int64 `json:"snap_seq"`
+}
+
+// ErrMsg is the primary's refusing reply. Leader, when set, points the
+// follower (and through it, redirected clients) at the node the refuser
+// believes leads the cluster.
+type ErrMsg struct {
+	Error  string `json:"error"`
+	Leader string `json:"leader,omitempty"`
+}
+
+// Meta is the Source's self-description, consulted per handshake so role
+// and epoch changes (promotion, fencing) take effect immediately.
+type Meta struct {
+	Primary bool   // serving as primary right now
+	Shards  int    // shard count — must match the follower's exactly
+	Epoch   uint64 // cluster epoch (leadership generation)
+	Leader  string // client-facing URL for Leader hints
+	Config  string // policy signature — replicas must agree on semantics
+}
+
+// Source is the primary daemon as the replication layer sees it.
+type Source interface {
+	Meta() Meta
+	// SnapshotShard captures the shard's full persisted state and attaches
+	// sub to the shard's stream atomically at the capture instant, returning
+	// the stream sequence as of the capture. Everything published after
+	// flows to sub; nothing before does — the snapshot covers it.
+	SnapshotShard(shard int, sub *Subscriber) (payload []byte, seq int64, err error)
+	// ObserveEpoch reports proof that cluster epoch e exists somewhere. A
+	// primary at a lower epoch has been deposed and must fence itself.
+	ObserveEpoch(e uint64)
+}
+
+// Applier is the follower daemon as the replication layer sees it. Calls
+// for one shard arrive sequentially (one goroutine per shard stream).
+type Applier interface {
+	// AdoptWelcome validates the primary's handshake and adopts its epoch.
+	// An error aborts the session before any state is touched.
+	AdoptWelcome(w Welcome) error
+	// Redirect records a refusing peer's leader hint.
+	Redirect(leader string)
+	// ApplySnapshot replaces the shard's state wholesale.
+	ApplySnapshot(shard int, payload []byte) error
+	// ApplyRecord replays one journal record onto the shard.
+	ApplyRecord(shard int, payload []byte) error
+	// ApplyBatch replays an atomic batch group onto the shard.
+	ApplyBatch(shard int, payloads [][]byte) error
+}

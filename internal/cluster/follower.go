@@ -1,0 +1,287 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/durable"
+)
+
+const (
+	// ackEvery bounds how many applied records may pass between acks; pings
+	// force an ack regardless, so an idle stream converges to zero lag.
+	ackEvery = 32
+
+	dialTimeout   = 2 * time.Second
+	redialMin     = 100 * time.Millisecond
+	redialMax     = time.Second
+	redialBackoff = 2
+)
+
+// ReplicaStats aggregates a follower's replication progress across shards,
+// for /metrics and /healthz.
+type ReplicaStats struct {
+	Connected  int   // shard streams currently connected
+	AppliedSeq int64 // records applied, summed over shards
+	SourceSeq  int64 // primary's sequence as last heard, summed
+	Snapshots  int64 // snapshots adopted (>= shards; reconnects re-snapshot)
+	Records    int64 // records applied since boot
+}
+
+// Lag is the records-behind reading: source minus applied.
+func (r ReplicaStats) Lag() int64 {
+	if d := r.SourceSeq - r.AppliedSeq; d > 0 {
+		return d
+	}
+	return 0
+}
+
+type shardReplica struct {
+	connected atomic.Bool
+	applied   atomic.Int64
+	source    atomic.Int64
+	snapshots atomic.Int64
+	records   atomic.Int64
+}
+
+// Follower maintains one replication session per shard against a primary's
+// replication address, reconnecting with backoff and re-adopting a fresh
+// snapshot on every (re)connect.
+type Follower struct {
+	app    Applier
+	addr   string
+	hello  func(shard int) Hello
+	per    []shardReplica
+	stop   chan struct{}
+	wg     sync.WaitGroup
+	logf   func(format string, args ...any)
+	closed sync.Once
+}
+
+// NewFollower prepares (but does not start) a follower of the primary at
+// addr. hello builds each shard's handshake — the owner fills in its
+// current cluster epoch and config signature at dial time, so fencing
+// reflects promotions that happen mid-session. logf may be nil.
+func NewFollower(app Applier, addr string, shards int, hello func(shard int) Hello, logf func(string, ...any)) *Follower {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	return &Follower{
+		app:   app,
+		addr:  addr,
+		hello: hello,
+		per:   make([]shardReplica, shards),
+		stop:  make(chan struct{}),
+		logf:  logf,
+	}
+}
+
+// Start launches the per-shard session loops.
+func (f *Follower) Start() {
+	for i := range f.per {
+		f.wg.Add(1)
+		go f.run(i)
+	}
+}
+
+// Stop ends every session and waits for the loops to exit. A stopped
+// follower's shards are quiescent — the promotion path relies on that.
+func (f *Follower) Stop() {
+	f.closed.Do(func() { close(f.stop) })
+	f.wg.Wait()
+}
+
+// Stats aggregates progress across shards.
+func (f *Follower) Stats() ReplicaStats {
+	var out ReplicaStats
+	for i := range f.per {
+		rep := &f.per[i]
+		if rep.connected.Load() {
+			out.Connected++
+		}
+		out.AppliedSeq += rep.applied.Load()
+		out.SourceSeq += rep.source.Load()
+		out.Snapshots += rep.snapshots.Load()
+		out.Records += rep.records.Load()
+	}
+	return out
+}
+
+func (f *Follower) run(shard int) {
+	defer f.wg.Done()
+	delay := redialMin
+	for {
+		select {
+		case <-f.stop:
+			return
+		default:
+		}
+		err := f.session(shard)
+		select {
+		case <-f.stop:
+			return
+		default:
+		}
+		if err != nil {
+			f.logf("cluster: shard %d session: %v (redial in %v)", shard, err, delay)
+		}
+		select {
+		case <-f.stop:
+			return
+		case <-time.After(delay):
+		}
+		if delay *= redialBackoff; delay > redialMax {
+			delay = redialMax
+		}
+	}
+}
+
+// session runs one connect → handshake → snapshot → apply-loop cycle.
+func (f *Follower) session(shard int) error {
+	d := net.Dialer{Timeout: dialTimeout}
+	conn, err := d.Dial("tcp", f.addr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	// Unblock the read loop when Stop fires.
+	watchDone := make(chan struct{})
+	defer close(watchDone)
+	go func() {
+		select {
+		case <-f.stop:
+			conn.Close()
+		case <-watchDone:
+		}
+	}()
+
+	hb, err := json.Marshal(f.hello(shard))
+	if err != nil {
+		return err
+	}
+	if _, err := conn.Write(durable.AppendFrame(nil, frameHello, hb)); err != nil {
+		return err
+	}
+	sr := durable.NewStreamReader(conn)
+	tag, payload, err := sr.ReadFrame()
+	if err != nil {
+		return err
+	}
+	if tag == frameError {
+		var e ErrMsg
+		if json.Unmarshal(payload, &e) == nil {
+			if e.Leader != "" {
+				f.app.Redirect(e.Leader)
+			}
+			return errors.New("refused: " + e.Error)
+		}
+		return errors.New("refused")
+	}
+	if tag != frameWelcome {
+		return fmt.Errorf("unexpected frame %q before welcome", tag)
+	}
+	var w Welcome
+	if err := json.Unmarshal(payload, &w); err != nil {
+		return err
+	}
+	if err := f.app.AdoptWelcome(w); err != nil {
+		return err
+	}
+	tag, payload, err = sr.ReadFrame()
+	if err != nil {
+		return err
+	}
+	if tag != frameSnapshot {
+		return fmt.Errorf("unexpected frame %q before snapshot", tag)
+	}
+	if err := f.app.ApplySnapshot(shard, payload); err != nil {
+		return err
+	}
+
+	rep := &f.per[shard]
+	rep.snapshots.Add(1)
+	rep.applied.Store(w.SnapSeq)
+	rep.source.Store(w.SnapSeq)
+	rep.connected.Store(true)
+	defer rep.connected.Store(false)
+
+	applied := w.SnapSeq
+	acked := int64(-1)
+	var ackBuf []byte
+	var seqb [8]byte
+	ack := func() error {
+		if applied == acked {
+			return nil
+		}
+		binary.LittleEndian.PutUint64(seqb[:], uint64(applied))
+		ackBuf = durable.AppendFrame(ackBuf[:0], frameAck, seqb[:])
+		if _, err := conn.Write(ackBuf); err != nil {
+			return err
+		}
+		acked = applied
+		return nil
+	}
+
+	for {
+		tag, payload, err := sr.ReadFrame()
+		if err != nil {
+			return err
+		}
+		switch tag {
+		case frameRecord:
+			if err := f.app.ApplyRecord(shard, payload); err != nil {
+				return err
+			}
+			applied++
+			rep.records.Add(1)
+			rep.applied.Store(applied)
+			if applied-acked >= ackEvery {
+				if err := ack(); err != nil {
+					return err
+				}
+			}
+		case frameBatch:
+			recs, ok := durable.SplitBatch(payload)
+			if !ok {
+				return errors.New("malformed batch frame")
+			}
+			if err := f.app.ApplyBatch(shard, recs); err != nil {
+				return err
+			}
+			applied += int64(len(recs))
+			rep.records.Add(int64(len(recs)))
+			rep.applied.Store(applied)
+			if applied-acked >= ackEvery {
+				if err := ack(); err != nil {
+					return err
+				}
+			}
+		case framePing:
+			if len(payload) == 8 {
+				if src := int64(binary.LittleEndian.Uint64(payload)); src > rep.source.Load() {
+					rep.source.Store(src)
+				}
+			}
+			if err := ack(); err != nil {
+				return err
+			}
+		case frameError:
+			var e ErrMsg
+			if json.Unmarshal(payload, &e) == nil {
+				return errors.New("refused mid-stream: " + e.Error)
+			}
+			return errors.New("refused mid-stream")
+		default:
+			return fmt.Errorf("unexpected frame %q", tag)
+		}
+		if applied > rep.source.Load() {
+			rep.source.Store(applied)
+		}
+	}
+}

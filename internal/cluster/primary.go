@@ -1,0 +1,441 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/durable"
+)
+
+const (
+	// subBufInit pre-sizes a subscriber's double buffers so steady-state
+	// publishing never grows them: the zero-alloc serving path publishes
+	// into these buffers under the shard clock, and a pre-grown buffer
+	// absorbs hundreds of records between sender drains without a realloc.
+	subBufInit = 64 << 10
+	// subBufMax bounds how far a stalled follower can fall behind in the
+	// primary's memory before its connection is dropped. Reconnecting gets
+	// it a fresh snapshot, which is cheaper than unbounded buffering.
+	subBufMax = 8 << 20
+	// pingEvery is the idle heartbeat cadence: it keeps follower lag
+	// readings fresh and acks flowing when no writes are happening.
+	pingEvery = 250 * time.Millisecond
+	// helloTimeout bounds how long an accepted connection may dawdle
+	// before its Hello arrives.
+	helloTimeout = 5 * time.Second
+)
+
+// ShardStream is one shard's replication fan-out point. The daemon calls
+// Publish/PublishBatch under the shard's clock mutex — the same ordering
+// the journal gets, so stream order is log order. Sequence numbers count
+// records (a batch of k advances the sequence by k) and persist for the
+// process lifetime; they are connection-scoped in meaning only through
+// Welcome.SnapSeq.
+type ShardStream struct {
+	shard int
+
+	mu      sync.Mutex
+	seq     int64
+	scratch []byte // batch-payload packing buffer, reused
+	subs    []*Subscriber
+}
+
+// Seq reports the number of records published so far.
+func (st *ShardStream) Seq() int64 {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.seq
+}
+
+// Publish streams one record to every attached subscriber. Zero-alloc in
+// steady state: frames append into each subscriber's reused pending buffer.
+func (st *ShardStream) Publish(rec []byte) {
+	st.mu.Lock()
+	st.seq++
+	seq := st.seq
+	live := st.subs[:0]
+	for _, sub := range st.subs {
+		if sub.closed.Load() {
+			continue
+		}
+		sub.enqueue(frameRecord, rec, seq)
+		live = append(live, sub)
+	}
+	clearTail(st.subs, len(live))
+	st.subs = live
+	st.mu.Unlock()
+}
+
+// PublishBatch streams a group of records as one atomic batch frame,
+// preserving end-to-end the atomicity AppendBatch gave them on disk.
+func (st *ShardStream) PublishBatch(recs [][]byte) {
+	if len(recs) == 0 {
+		return
+	}
+	if len(recs) == 1 {
+		st.Publish(recs[0])
+		return
+	}
+	st.mu.Lock()
+	st.seq += int64(len(recs))
+	seq := st.seq
+	st.scratch = durable.PackBatch(st.scratch[:0], recs)
+	live := st.subs[:0]
+	for _, sub := range st.subs {
+		if sub.closed.Load() {
+			continue
+		}
+		sub.enqueue(frameBatch, st.scratch, seq)
+		live = append(live, sub)
+	}
+	clearTail(st.subs, len(live))
+	st.subs = live
+	st.mu.Unlock()
+}
+
+// Attach registers sub at the current sequence and returns it. The caller
+// must pair this with a state capture made atomically under the same shard
+// clock section, or the subscriber will miss (or double-see) records.
+func (st *ShardStream) Attach(sub *Subscriber) int64 {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.subs = append(st.subs, sub)
+	sub.sent.Store(st.seq)
+	sub.acked.Store(st.seq)
+	return st.seq
+}
+
+// Detach unregisters sub (idempotent; Publish also reaps closed subs).
+func (st *ShardStream) Detach(sub *Subscriber) {
+	sub.closed.Store(true)
+	st.mu.Lock()
+	live := st.subs[:0]
+	for _, s := range st.subs {
+		if s != sub {
+			live = append(live, s)
+		}
+	}
+	clearTail(st.subs, len(live))
+	st.subs = live
+	st.mu.Unlock()
+}
+
+func clearTail(subs []*Subscriber, from int) {
+	for i := from; i < len(subs); i++ {
+		subs[i] = nil
+	}
+}
+
+// Subscriber is one follower connection's outbound state: a double-buffered
+// frame queue the publisher appends into and the sender drains. Two buffers
+// so the publisher never appends into memory the sender is writing to the
+// socket.
+type Subscriber struct {
+	shard int
+	addr  string
+
+	mu       sync.Mutex
+	pending  []byte
+	idle     []byte // the buffer not currently owned by the sender
+	overflow bool
+	kick     chan struct{}
+
+	sent   atomic.Int64
+	acked  atomic.Int64
+	closed atomic.Bool
+}
+
+// NewSubscriber returns a subscriber for one shard stream; addr is
+// diagnostic (the follower's remote address).
+func NewSubscriber(shard int, addr string) *Subscriber {
+	return &Subscriber{
+		shard:   shard,
+		addr:    addr,
+		pending: make([]byte, 0, subBufInit),
+		idle:    make([]byte, 0, subBufInit),
+		kick:    make(chan struct{}, 1),
+	}
+}
+
+// enqueue appends one frame to the pending buffer. Called with the stream
+// mutex held (lock order: stream, then subscriber).
+func (sub *Subscriber) enqueue(tag byte, payload []byte, seq int64) {
+	sub.mu.Lock()
+	if len(sub.pending) > subBufMax {
+		sub.overflow = true
+	} else {
+		sub.pending = durable.AppendFrame(sub.pending, tag, payload)
+	}
+	sub.mu.Unlock()
+	if s := sub.sent.Load(); seq > s {
+		sub.sent.Store(seq)
+	}
+	select {
+	case sub.kick <- struct{}{}:
+	default:
+	}
+}
+
+// swap takes the pending buffer for writing, leaving the idle one in its
+// place. give returns the written buffer once the socket write finished.
+func (sub *Subscriber) swap() (buf []byte, overflow bool) {
+	sub.mu.Lock()
+	buf = sub.pending
+	sub.pending = sub.idle[:0]
+	sub.idle = nil
+	overflow = sub.overflow
+	sub.mu.Unlock()
+	return buf, overflow
+}
+
+func (sub *Subscriber) give(buf []byte) {
+	sub.mu.Lock()
+	sub.idle = buf
+	sub.mu.Unlock()
+}
+
+// FollowerStat is one attached subscriber's replication offsets, for
+// /metrics on the primary side.
+type FollowerStat struct {
+	Addr     string `json:"addr"`
+	Shard    int    `json:"shard"`
+	SentSeq  int64  `json:"sent_seq"`
+	AckedSeq int64  `json:"acked_seq"`
+	Lag      int64  `json:"lag_records"`
+}
+
+// Primary owns the replication listener and the per-shard streams. It is
+// constructed at daemon boot whenever clustering is configured — even on
+// followers, whose listener refuses handshakes with a leader hint until
+// promotion flips the Source's Meta.
+type Primary struct {
+	src     Source
+	streams []*ShardStream
+
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewPrimary builds the streams for shards and returns the (not yet
+// serving) primary endpoint.
+func NewPrimary(src Source, shards int) *Primary {
+	p := &Primary{src: src, conns: make(map[net.Conn]struct{})}
+	p.streams = make([]*ShardStream, shards)
+	for i := range p.streams {
+		p.streams[i] = &ShardStream{shard: i}
+	}
+	return p
+}
+
+// Stream returns shard i's fan-out point for the daemon's publish taps.
+func (p *Primary) Stream(i int) *ShardStream { return p.streams[i] }
+
+// Serve accepts replication connections until the listener closes. Run it
+// on its own goroutine.
+func (p *Primary) Serve(ln net.Listener) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		ln.Close()
+		return
+	}
+	p.ln = ln
+	p.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			conn.Close()
+			return
+		}
+		p.conns[conn] = struct{}{}
+		p.wg.Add(1)
+		p.mu.Unlock()
+		go p.handle(conn)
+	}
+}
+
+// Close stops the listener, drops every follower connection, and waits for
+// the handlers to exit.
+func (p *Primary) Close() {
+	p.mu.Lock()
+	p.closed = true
+	ln := p.ln
+	for c := range p.conns {
+		c.Close()
+	}
+	p.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	p.wg.Wait()
+}
+
+// Followers reports every attached subscriber's offsets, ordered by shard
+// then address so /metrics output is deterministic.
+func (p *Primary) Followers() []FollowerStat {
+	var out []FollowerStat
+	for _, st := range p.streams {
+		st.mu.Lock()
+		for _, sub := range st.subs {
+			if sub.closed.Load() {
+				continue
+			}
+			sent, acked := sub.sent.Load(), sub.acked.Load()
+			out = append(out, FollowerStat{
+				Addr:     sub.addr,
+				Shard:    sub.shard,
+				SentSeq:  sent,
+				AckedSeq: acked,
+				Lag:      sent - acked,
+			})
+		}
+		st.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Shard != out[j].Shard {
+			return out[i].Shard < out[j].Shard
+		}
+		return out[i].Addr < out[j].Addr
+	})
+	return out
+}
+
+func (p *Primary) drop(conn net.Conn) {
+	conn.Close()
+	p.mu.Lock()
+	delete(p.conns, conn)
+	p.mu.Unlock()
+}
+
+// refuse sends an error frame with a leader hint and closes.
+func (p *Primary) refuse(conn net.Conn, msg, leader string) {
+	b, _ := json.Marshal(ErrMsg{Error: msg, Leader: leader})
+	conn.SetWriteDeadline(time.Now().Add(helloTimeout))
+	conn.Write(durable.AppendFrame(nil, frameError, b))
+}
+
+// handle runs one follower connection: handshake, snapshot, then the
+// sender/ack pair until either side drops.
+func (p *Primary) handle(conn net.Conn) {
+	defer p.wg.Done()
+	defer p.drop(conn)
+
+	conn.SetReadDeadline(time.Now().Add(helloTimeout))
+	sr := durable.NewStreamReader(conn)
+	tag, payload, err := sr.ReadFrame()
+	if err != nil || tag != frameHello {
+		return
+	}
+	var h Hello
+	if err := json.Unmarshal(payload, &h); err != nil {
+		return
+	}
+	meta := p.src.Meta()
+	switch {
+	case h.Epoch > meta.Epoch:
+		// The peer has seen a later leadership generation than ours: we are
+		// (or are about to be) deposed. Fence before refusing.
+		p.src.ObserveEpoch(h.Epoch)
+		p.refuse(conn, fmt.Sprintf("peer at cluster epoch %d, this node at %d", h.Epoch, meta.Epoch), meta.Leader)
+		return
+	case !meta.Primary:
+		p.refuse(conn, "not the leader", meta.Leader)
+		return
+	case h.Proto != Proto:
+		p.refuse(conn, fmt.Sprintf("protocol %d, want %d", h.Proto, Proto), meta.Leader)
+		return
+	case h.Shards != meta.Shards:
+		p.refuse(conn, fmt.Sprintf("follower has %d shards, primary %d", h.Shards, meta.Shards), meta.Leader)
+		return
+	case h.Shard < 0 || h.Shard >= meta.Shards:
+		p.refuse(conn, fmt.Sprintf("no shard %d", h.Shard), meta.Leader)
+		return
+	case h.Config != meta.Config:
+		p.refuse(conn, "policy config mismatch: "+h.Config+" vs "+meta.Config, meta.Leader)
+		return
+	}
+	conn.SetReadDeadline(time.Time{})
+
+	sub := NewSubscriber(h.Shard, conn.RemoteAddr().String())
+	snap, seq, err := p.src.SnapshotShard(h.Shard, sub)
+	if err != nil {
+		p.refuse(conn, "snapshot: "+err.Error(), meta.Leader)
+		return
+	}
+	st := p.streams[h.Shard]
+	defer st.Detach(sub)
+
+	// Welcome + snapshot are written before the sender goroutine exists, so
+	// concurrent publishes pile up in sub.pending and drain strictly after
+	// the snapshot — the order the capture guaranteed.
+	wb, _ := json.Marshal(Welcome{Epoch: meta.Epoch, Shards: meta.Shards, Leader: meta.Leader, SnapSeq: seq})
+	out := durable.AppendFrame(nil, frameWelcome, wb)
+	out = durable.AppendFrame(out, frameSnapshot, snap)
+	if _, err := conn.Write(out); err != nil {
+		return
+	}
+
+	done := make(chan struct{})
+	go p.send(conn, sub, st, done)
+	defer func() { sub.closed.Store(true); conn.Close(); <-done }()
+
+	// Ack loop on this goroutine: read follower acks until the conn dies.
+	for {
+		tag, payload, err := sr.ReadFrame()
+		if err != nil {
+			return
+		}
+		if tag == frameAck && len(payload) == 8 {
+			if ack := int64(binary.LittleEndian.Uint64(payload)); ack > sub.acked.Load() {
+				sub.acked.Store(ack)
+			}
+		}
+	}
+}
+
+// send drains the subscriber's pending buffer to the socket and heartbeats
+// when idle.
+func (p *Primary) send(conn net.Conn, sub *Subscriber, st *ShardStream, done chan struct{}) {
+	defer close(done)
+	ticker := time.NewTicker(pingEvery)
+	defer ticker.Stop()
+	var seqb [8]byte
+	for !sub.closed.Load() {
+		select {
+		case <-sub.kick:
+		case <-ticker.C:
+			binary.LittleEndian.PutUint64(seqb[:], uint64(st.Seq()))
+			sub.enqueue(framePing, seqb[:], -1)
+		}
+		buf, overflow := sub.swap()
+		if overflow {
+			// The follower fell further behind than we are willing to
+			// buffer; drop it so it reconnects into a fresh snapshot.
+			conn.Close()
+			sub.give(buf)
+			return
+		}
+		if len(buf) > 0 {
+			if _, err := conn.Write(buf); err != nil {
+				conn.Close()
+				sub.give(buf)
+				return
+			}
+		}
+		sub.give(buf)
+	}
+}

@@ -32,6 +32,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"syscall"
 )
 
 const (
@@ -61,6 +62,17 @@ const (
 	flagBatch = 1 << 31
 )
 
+// EpochBand partitions the epoch space into leadership generations for the
+// replication layer: a store serving cluster epoch g checkpoints at epochs in
+// [g*EpochBand, (g+1)*EpochBand), so every epoch a newly promoted primary
+// writes exceeds every epoch any fenced predecessor could have written (a
+// generation would need 2^20 checkpoints to overflow its band — weeks of
+// uptime at any sane cadence). That makes the existing stale-epoch discard in
+// Open double as cluster fencing: a stale ex-primary's journal records carry
+// a lower-band epoch and are dropped the moment it adopts a newer snapshot.
+// Standalone stores run in band 0 and never notice.
+const EpochBand = 1 << 20
+
 // Store is an open data directory. It is not safe for concurrent use; the
 // daemon serializes all access under its clock mutex, which is exactly the
 // ordering the journal wants (log order = clock order).
@@ -75,16 +87,26 @@ type Store struct {
 	appended  int64
 	snapshots int64
 
+	stale       int   // stale-epoch records discarded at Open
+	truncated   int64 // torn-tail bytes cut at Open
+	dirSyncErrs int64 // failed directory fsyncs after snapshot rename
+
 	scratch [8]byte
 	batch   []byte // reused frame-assembly buffer for AppendBatch
 }
 
-// Stats is a point-in-time view of the store's activity, for /metrics.
+// Stats is a point-in-time view of the store's activity, for /metrics. The
+// recovery anomalies (stale records, truncated bytes) are recorded once at
+// Open and carried forward so scrapers that attach after boot still see
+// them; dir-sync errors accumulate over the store's lifetime.
 type Stats struct {
 	Epoch          uint64 `json:"epoch"`
 	AppendedTotal  int64  `json:"appended_total"`
 	SinceSnapshot  int    `json:"since_snapshot"`
 	SnapshotsTotal int64  `json:"snapshots_total"`
+	StaleRecords   int    `json:"stale_records"`
+	TruncatedBytes int64  `json:"truncated_bytes"`
+	DirSyncErrors  int64  `json:"dir_sync_errors"`
 }
 
 // OpenResult is what recovery has to work with: the latest snapshot (nil if
@@ -161,6 +183,8 @@ func Open(dir string, fsync bool) (*Store, OpenResult, error) {
 			return nil, res, fmt.Errorf("durable: %w", err)
 		}
 	}
+	s.stale = res.StaleRecords
+	s.truncated = res.TruncatedBytes
 	return s, res, nil
 }
 
@@ -372,8 +396,15 @@ func (s *Store) Stats() Stats {
 		AppendedTotal:  s.appended,
 		SinceSnapshot:  s.since,
 		SnapshotsTotal: s.snapshots,
+		StaleRecords:   s.stale,
+		TruncatedBytes: s.truncated,
+		DirSyncErrors:  s.dirSyncErrs,
 	}
 }
+
+// Epoch reports the current checkpoint epoch — the one stamped into the
+// journal header and the next snapshot's predecessor.
+func (s *Store) Epoch() uint64 { return s.epoch }
 
 // Checkpoint atomically replaces the snapshot with payload and resets the
 // journal. Order matters: the snapshot (carrying epoch+1) is durable before
@@ -381,11 +412,33 @@ func (s *Store) Stats() Stats {
 // state (snapshot N + its journal) or the new one (snapshot N+1 + an empty
 // or stale-and-discardable journal).
 func (s *Store) Checkpoint(payload []byte) error {
-	next := s.epoch + 1
-	if err := writeSnapshot(filepath.Join(s.dir, snapshotName), next, payload); err != nil {
+	return s.CheckpointAt(payload, s.epoch+1)
+}
+
+// CheckpointAt is Checkpoint with an explicit target epoch. The replication
+// layer uses it to jump a promoted follower's store into its leadership
+// generation's EpochBand, fencing any journal a stale ex-primary left behind
+// (see EpochBand). The target must move the epoch forward; going backwards
+// would un-fence already-discarded records.
+func (s *Store) CheckpointAt(payload []byte, epoch uint64) error {
+	if epoch <= s.epoch {
+		return fmt.Errorf("durable: checkpoint epoch %d does not advance current epoch %d", epoch, s.epoch)
+	}
+	if err := writeSnapshot(filepath.Join(s.dir, snapshotName), epoch, payload); err != nil {
 		return err
 	}
-	s.epoch = next
+	// The rename is on disk but its directory entry may not be: fsync the
+	// directory, counting — and for unsupported filesystems tolerating —
+	// failure. Returning before the journal reset is crash-consistent
+	// either way: new snapshot + old journal is exactly the stale-epoch
+	// shape Open discards.
+	if err := syncDir(s.dir); err != nil {
+		s.dirSyncErrs++
+		if !unsupportedSync(err) {
+			return fmt.Errorf("durable: dir fsync after snapshot rename: %w", err)
+		}
+	}
+	s.epoch = epoch
 	if err := s.resetJournal(); err != nil {
 		return err
 	}
@@ -425,7 +478,6 @@ func writeSnapshot(path string, epoch uint64, payload []byte) error {
 	if err := os.Rename(tmp, path); err != nil {
 		return fmt.Errorf("durable: %w", err)
 	}
-	syncDir(filepath.Dir(path))
 	return nil
 }
 
@@ -453,13 +505,31 @@ func (s *Store) resetJournal() error {
 	return nil
 }
 
-// syncDir fsyncs a directory so a rename is durable; best-effort because
-// some filesystems reject directory fsync.
-func syncDir(dir string) {
-	if d, err := os.Open(dir); err == nil {
-		d.Sync()
-		d.Close()
+// syncDir fsyncs a directory so a rename is durable. Errors propagate to the
+// caller — a checkpoint whose directory entry never hit the platter is not
+// durable, and pretending otherwise is how state evaporates on power loss.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
 	}
+	serr := d.Sync()
+	cerr := d.Close()
+	if serr != nil {
+		return serr
+	}
+	return cerr
+}
+
+// unsupportedSync reports whether a directory fsync failed because the
+// filesystem doesn't support the operation (tmpfs and some network mounts
+// return EINVAL or ENOTSUP) rather than because the write was lost. Those
+// are tolerated — counted in Stats, not fatal — since the filesystem offers
+// nothing stronger.
+func unsupportedSync(err error) bool {
+	return errors.Is(err, syscall.EINVAL) ||
+		errors.Is(err, syscall.ENOTSUP) ||
+		errors.Is(err, errors.ErrUnsupported)
 }
 
 // Close syncs and closes the journal.

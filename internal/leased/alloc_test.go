@@ -57,8 +57,9 @@ func (w *nullWriter) WriteHeader(code int)        { w.status = code }
 // mounted) with the policy clock stretched so no term boundary — and none
 // of the adaptation work that rides on it — can fire mid-measurement, and
 // checkpoints pushed out of reach. What remains is exactly the per-request
-// path.
-func allocServer(t *testing.T) *Server {
+// path. Mutators adjust the options before Open (e.g. to attach a cluster
+// configuration).
+func allocServer(t *testing.T, mut ...func(*Options)) *Server {
 	t.Helper()
 	dir := t.TempDir()
 	if fi, err := os.Stat("/dev/shm"); err == nil && fi.IsDir() {
@@ -67,7 +68,7 @@ func allocServer(t *testing.T) *Server {
 			dir = d
 		}
 	}
-	s, _, err := Open(dir, Options{
+	opts := Options{
 		Lease: lease.Config{
 			Term:              time.Hour,
 			Tau:               2 * time.Hour,
@@ -75,7 +76,11 @@ func allocServer(t *testing.T) *Server {
 			MisbehaviorWindow: 4,
 		},
 		SnapshotEvery: 1 << 30,
-	})
+	}
+	for _, m := range mut {
+		m(&opts)
+	}
+	s, _, err := Open(dir, opts)
 	if err != nil {
 		t.Fatal(err)
 	}

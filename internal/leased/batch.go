@@ -263,7 +263,7 @@ func (sh *shard) applyBatchGroup(env *batchEnv, group []int32) {
 				continue
 			}
 			op.resp = resp
-			if sh.store != nil {
+			if sh.store != nil || sh.repl != nil {
 				start := len(env.jbuf)
 				env.jbuf = appendOpRecord(env.jbuf, rec)
 				env.spans = append(env.spans, [2]int{start, len(env.jbuf)})
@@ -275,15 +275,23 @@ func (sh *shard) applyBatchGroup(env *batchEnv, group []int32) {
 				sh.dedup.put(rec.ReqID, appendLeaseResponse(nil, &resp))
 			}
 		}
-		if sh.store != nil && len(env.spans) > 0 {
+		if (sh.store != nil || sh.repl != nil) && len(env.spans) > 0 {
 			env.frames = env.frames[:0]
 			for _, sp := range env.spans {
 				env.frames = append(env.frames, env.jbuf[sp[0]:sp[1]])
 			}
-			if err := sh.store.AppendBatch(env.frames); err != nil {
-				sh.metrics.journalErrors.Add(1)
-			} else if sh.store.SinceCheckpoint() >= sh.opts.SnapshotEvery {
-				sh.checkpointLocked()
+			if sh.repl != nil {
+				// One atomic frame on the wire, mirroring the one batch
+				// frame on disk: followers replay the whole group at one
+				// instant or not at all.
+				sh.repl.PublishBatch(env.frames)
+			}
+			if sh.store != nil {
+				if err := sh.store.AppendBatch(env.frames); err != nil {
+					sh.metrics.journalErrors.Add(1)
+				} else if sh.store.SinceCheckpoint() >= sh.opts.SnapshotEvery {
+					sh.checkpointLocked()
+				}
 			}
 		}
 	})

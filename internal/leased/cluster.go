@@ -1,0 +1,446 @@
+package leased
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strconv"
+
+	"repro/internal/cluster"
+	"repro/internal/durable"
+	"repro/internal/lease"
+	"repro/internal/power"
+)
+
+// Replication glue: the Server plays both sides of the internal/cluster
+// protocol. As a cluster.Source (primary side) it snapshots shards and owns
+// the per-shard publish streams the journal path feeds; as a cluster.Applier
+// (follower side) it replays replicated frames onto its unstarted walls via
+// the exact recovery machinery Open uses — restoreState for snapshots,
+// RunVirtual + replayRecord for records — so a follower is a continuously
+// recovering daemon, and promotion is just "finish recovering, bind the
+// clocks to real time, start a new leadership generation".
+//
+// Fencing is layered:
+//
+//   - Protocol: the cluster epoch rides in every handshake. A primary that
+//     hears a higher epoch fences itself (writes 421 until promoted); a
+//     follower offered a lower epoch refuses it.
+//   - Durable: every checkpoint's durable epoch is floored at
+//     clusterEpoch * durable.EpochBand, so when a stale ex-primary rejoins
+//     and adopts the new leader's snapshot, its leftover journal records sit
+//     in a lower epoch band and the existing stale-epoch discard drops them.
+
+// Server roles. Fenced is a primary that has proof a later leadership
+// generation exists: it refuses writes like a follower but replicates to
+// no one; an operator (or the promote verb) decides what it becomes.
+const (
+	rolePrimary int32 = iota
+	roleFollower
+	roleFenced
+)
+
+var roleNames = [...]string{"primary", "follower", "fenced"}
+
+// Role reports the node's current cluster role ("primary" for standalone
+// daemons, which are primaries of a cluster of one).
+func (s *Server) Role() string { return roleNames[s.role.Load()] }
+
+// ClusterEpoch reports the current leadership generation.
+func (s *Server) ClusterEpoch() uint64 { return s.cepoch.Load() }
+
+// LeaderHint is the base URL of the node this one believes leads the
+// cluster: its own Advertise while primary, the welcome's leader while
+// following, empty when unknown.
+func (s *Server) LeaderHint() string {
+	l, _ := s.leader.Load().(string)
+	return l
+}
+
+// initCluster wires the replication plumbing at construction time, before
+// any traffic: role, leader hint, the Primary endpoint (built on followers
+// too — its listener answers with a leader hint until promotion) and each
+// shard's publish stream.
+func (s *Server) initCluster() {
+	cc := s.opts.Cluster
+	if cc == nil {
+		return
+	}
+	if cc.Role == "follower" {
+		s.role.Store(roleFollower)
+	} else if cc.Advertise != "" {
+		s.leader.Store(cc.Advertise)
+	}
+	s.prim = cluster.NewPrimary(s, len(s.shards))
+	for i, sh := range s.shards {
+		sh.repl = s.prim.Stream(i)
+	}
+}
+
+// configSig is the policy signature pinned in the replication handshake:
+// replicas replay the same deterministic history only if they run the same
+// lease policy and shard routing.
+func (s *Server) configSig() string {
+	return fmt.Sprintf("%+v/shards=%d", s.shards[0].mgr.Config(), len(s.shards))
+}
+
+// ServeReplication starts accepting follower connections on ln (the
+// daemon's -repl-addr listener). The accept loop runs until Close.
+func (s *Server) ServeReplication(ln net.Listener) {
+	if s.prim == nil {
+		panic("leased: ServeReplication without Options.Cluster")
+	}
+	go s.prim.Serve(ln)
+}
+
+// StartFollowing dials the configured primary and begins replicating. The
+// server must have been built with Cluster.Role "follower".
+func (s *Server) StartFollowing() error {
+	cc := s.opts.Cluster
+	if cc == nil || cc.PrimaryAddr == "" {
+		return fmt.Errorf("leased: no primary address configured")
+	}
+	if s.role.Load() != roleFollower {
+		return fmt.Errorf("leased: %s node cannot follow", s.Role())
+	}
+	s.fol = cluster.NewFollower(s, cc.PrimaryAddr, len(s.shards), func(shard int) cluster.Hello {
+		return cluster.Hello{
+			Proto:  cluster.Proto,
+			Shard:  shard,
+			Shards: len(s.shards),
+			Epoch:  s.cepoch.Load(),
+			Config: s.configSig(),
+		}
+	}, cc.Logf)
+	s.fol.Start()
+	return nil
+}
+
+// Promote makes this node the primary of a new leadership generation:
+// replication sessions stop, the cluster epoch moves past every epoch this
+// node has ever heard of, every shard checkpoints into the new epoch band
+// (bumping the durable epoch, so any stale ex-primary journal is fenced by
+// the stale-epoch discard when it rejoins), the walls bind to real time,
+// and writes open. Idempotent: promoting a primary reports its epoch with
+// promoted=false. Promoting a fenced ex-primary un-fences it into a fresh
+// generation.
+func (s *Server) Promote() (epoch uint64, promoted bool) {
+	s.promoteMu.Lock()
+	defer s.promoteMu.Unlock()
+	if s.role.Load() == rolePrimary {
+		return s.cepoch.Load(), false
+	}
+	if s.fol != nil {
+		s.fol.Stop()
+	}
+	next := s.cepoch.Load()
+	if seen := s.seenEpoch.Load(); seen > next {
+		next = seen
+	}
+	next++
+	s.cepoch.Store(next)
+	for _, sh := range s.shards {
+		sh.do(func() { sh.checkpointLocked() })
+	}
+	for _, sh := range s.shards {
+		if !sh.clock.Started() {
+			sh.clock.Start()
+		}
+	}
+	if cc := s.opts.Cluster; cc != nil && cc.Advertise != "" {
+		s.leader.Store(cc.Advertise)
+	}
+	s.role.Store(rolePrimary)
+	return next, true
+}
+
+// --- cluster.Source (primary side) ---
+
+// Meta implements cluster.Source.
+func (s *Server) Meta() cluster.Meta {
+	return cluster.Meta{
+		Primary: s.role.Load() == rolePrimary,
+		Shards:  len(s.shards),
+		Epoch:   s.cepoch.Load(),
+		Leader:  s.LeaderHint(),
+		Config:  s.configSig(),
+	}
+}
+
+// SnapshotShard implements cluster.Source: capture + attach under one
+// frozen clock instant, so the record stream is exactly the log suffix
+// after the captured state.
+func (s *Server) SnapshotShard(shard int, sub *cluster.Subscriber) (payload []byte, seq int64, err error) {
+	if shard < 0 || shard >= len(s.shards) {
+		return nil, 0, fmt.Errorf("leased: no shard %d", shard)
+	}
+	sh := s.shards[shard]
+	sh.do(func() {
+		payload, err = json.Marshal(sh.captureState())
+		if err == nil {
+			seq = sh.repl.Attach(sub)
+		}
+	})
+	return payload, seq, err
+}
+
+// ObserveEpoch implements cluster.Source: proof of a later generation
+// fences a serving primary.
+func (s *Server) ObserveEpoch(e uint64) {
+	for {
+		cur := s.seenEpoch.Load()
+		if e <= cur || s.seenEpoch.CompareAndSwap(cur, e) {
+			break
+		}
+	}
+	if e > s.cepoch.Load() {
+		s.role.CompareAndSwap(rolePrimary, roleFenced)
+	}
+}
+
+// --- cluster.Applier (follower side) ---
+
+// AdoptWelcome implements cluster.Applier.
+func (s *Server) AdoptWelcome(w cluster.Welcome) error {
+	if w.Shards != len(s.shards) {
+		return fmt.Errorf("leased: primary has %d shards, this node %d", w.Shards, len(s.shards))
+	}
+	cur := s.cepoch.Load()
+	if w.Epoch < cur {
+		return fmt.Errorf("leased: refusing stale primary at epoch %d (ours %d)", w.Epoch, cur)
+	}
+	if w.Epoch > cur {
+		s.cepoch.CompareAndSwap(cur, w.Epoch)
+	}
+	if w.Leader != "" {
+		s.leader.Store(w.Leader)
+	}
+	return nil
+}
+
+// Redirect implements cluster.Applier.
+func (s *Server) Redirect(leader string) {
+	if leader != "" {
+		s.leader.Store(leader)
+	}
+}
+
+// ApplySnapshot implements cluster.Applier: replace the shard's state
+// wholesale — the catch-up path on every (re)connect. The engine reset and
+// virtual advance happen outside the clock mutex's critical section only in
+// the sense that reads interleaving with them may briefly see the old state
+// at the new instant; every actual state swap runs under sh.do, so the race
+// detector stays quiet and readers never see torn structures.
+func (s *Server) ApplySnapshot(shard int, payload []byte) error {
+	if shard < 0 || shard >= len(s.shards) {
+		return fmt.Errorf("leased: no shard %d", shard)
+	}
+	sh := s.shards[shard]
+	var st persistedState
+	if err := json.Unmarshal(payload, &st); err != nil {
+		return fmt.Errorf("leased: corrupt replicated snapshot: %w", err)
+	}
+	if st.Config != sh.mgr.Config() {
+		return fmt.Errorf("leased: replicated snapshot carries a different lease policy")
+	}
+	if st.Shards != len(s.shards) || st.Shard != shard {
+		return fmt.Errorf("leased: replicated snapshot is shard %d of %d, want %d of %d", st.Shard, st.Shards, shard, len(s.shards))
+	}
+	// Discard the divergent timeline: empty event queue, clock back to
+	// zero, then forward to the snapshot instant (no events exist to fire).
+	sh.clock.ResetVirtual()
+	sh.clock.RunVirtual(st.Now)
+	var err error
+	sh.do(func() {
+		sh.reinitLocked()
+		if err = sh.restoreStateLocked(st); err != nil {
+			return
+		}
+		// Persist the adopted state so this follower can crash and come
+		// back without a primary, and so its leftover pre-adoption journal
+		// is retired under the stale-epoch rule.
+		sh.checkpointLocked()
+	})
+	return err
+}
+
+// ApplyRecord implements cluster.Applier: one record, replayed exactly as
+// recovery would — clock to the record's instant (firing due term checks),
+// then the mutation — and journaled locally in the primary's own bytes.
+func (s *Server) ApplyRecord(shard int, payload []byte) error {
+	if shard < 0 || shard >= len(s.shards) {
+		return fmt.Errorf("leased: no shard %d", shard)
+	}
+	sh := s.shards[shard]
+	var rec opRecord
+	if err := json.Unmarshal(payload, &rec); err != nil {
+		return fmt.Errorf("leased: corrupt replicated record: %w", err)
+	}
+	sh.clock.RunVirtual(rec.At)
+	sh.do(func() {
+		sh.replayRecord(rec)
+		sh.journalRawLocked(payload)
+	})
+	return nil
+}
+
+// ApplyBatch implements cluster.Applier: an atomic group shares one virtual
+// instant (the primary stamps the whole group inside one Do section), so it
+// replays under one clock section and journals as one batch frame — the
+// same atomicity it had on the primary's disk.
+func (s *Server) ApplyBatch(shard int, payloads [][]byte) error {
+	if shard < 0 || shard >= len(s.shards) {
+		return fmt.Errorf("leased: no shard %d", shard)
+	}
+	sh := s.shards[shard]
+	recs := make([]opRecord, len(payloads))
+	for i, p := range payloads {
+		if err := json.Unmarshal(p, &recs[i]); err != nil {
+			return fmt.Errorf("leased: corrupt replicated batch member %d: %w", i, err)
+		}
+		if recs[i].At != recs[0].At {
+			return fmt.Errorf("leased: replicated batch members disagree on their instant")
+		}
+	}
+	if len(recs) == 0 {
+		return nil
+	}
+	sh.clock.RunVirtual(recs[0].At)
+	sh.do(func() {
+		for i := range recs {
+			sh.replayRecord(recs[i])
+		}
+		if sh.store == nil {
+			return
+		}
+		if err := sh.store.AppendBatch(payloads); err != nil {
+			sh.metrics.journalErrors.Add(1)
+			return
+		}
+		if sh.store.SinceCheckpoint() >= sh.opts.SnapshotEvery {
+			sh.checkpointLocked()
+		}
+	})
+	return nil
+}
+
+// journalRawLocked persists already-encoded record bytes (a replicated
+// frame) to the local store. Callers hold the shard clock.
+func (sh *shard) journalRawLocked(raw []byte) {
+	if sh.store == nil {
+		return
+	}
+	if err := sh.store.Append(raw); err != nil {
+		sh.metrics.journalErrors.Add(1)
+		return
+	}
+	if sh.store.SinceCheckpoint() >= sh.opts.SnapshotEvery {
+		sh.checkpointLocked()
+	}
+}
+
+// reinitLocked resets the shard's in-memory containers for a wholesale
+// state replacement, on the same (just-reset) clock. Callers hold the shard
+// clock; the store, metrics, recovery info and replication stream survive.
+func (sh *shard) reinitLocked() {
+	sh.apps = newAppStats()
+	sh.clients = make(map[string]power.UID)
+	sh.clientName = make(map[power.UID]string)
+	sh.nextUID = 1
+	sh.byKey = make(map[clientKey]*robj)
+	sh.byLease = make(map[uint64]*robj)
+	sh.res = &resources{clock: sh.clock, objs: make(map[uint64]*robj)}
+	sh.mgr = lease.NewManager(sh.clock, sh.apps, sh.opts.Lease)
+	sh.dedup = newDedupCache(sh.opts.DedupWindow)
+}
+
+// replicaStats reports follower-side replication progress, when following.
+func (s *Server) replicaStats() (cluster.ReplicaStats, bool) {
+	if s.fol == nil {
+		return cluster.ReplicaStats{}, false
+	}
+	return s.fol.Stats(), true
+}
+
+// checkpointEpochTarget is the durable epoch the next checkpoint should
+// carry: the next local epoch, floored into the current cluster generation's
+// band. Callers hold the shard clock.
+func (sh *shard) checkpointEpochTarget() uint64 {
+	target := sh.store.Epoch() + 1
+	if sh.cepoch != nil {
+		if floor := sh.cepoch.Load() * durable.EpochBand; target < floor {
+			target = floor
+		}
+	}
+	return target
+}
+
+// --- HTTP surface ---
+
+// gate fronts the mutation routes with the role check: anything but a
+// serving primary answers 421 with the Leader hint, and well-behaved
+// clients (cmd/leaseload) re-aim at the leader and retry. Standalone
+// daemons compile the check away — gate returns the handler unchanged, so
+// the hot path keeps its zero-overhead shape. Clustered daemons pay one
+// atomic load.
+func (s *Server) gate(h http.HandlerFunc) http.HandlerFunc {
+	if s.opts.Cluster == nil {
+		return h
+	}
+	return func(w http.ResponseWriter, r *http.Request) {
+		if s.role.Load() != rolePrimary {
+			if l := s.LeaderHint(); l != "" {
+				setHeader(w.Header(), "Leader", l)
+			}
+			writeError(w, http.StatusMisdirectedRequest, "not the primary; retry at the leader")
+			return
+		}
+		h(w, r)
+	}
+}
+
+// handlePromote is POST /v1/promote: the explicit failover verb. It always
+// answers with the node's (possibly new) primary standing.
+func (s *Server) handlePromote(w http.ResponseWriter, r *http.Request) {
+	epoch, promoted := s.Promote()
+	w.Header().Set("Content-Type", "application/json")
+	b := make([]byte, 0, 64)
+	b = append(b, `{"role":"primary","cluster_epoch":`...)
+	b = strconv.AppendUint(b, epoch, 10)
+	b = append(b, `,"promoted":`...)
+	b = strconv.AppendBool(b, promoted)
+	b = append(b, '}', '\n')
+	w.Write(b)
+}
+
+// handleHealthz reports liveness plus cluster standing. Standalone daemons
+// keep the original shape with the role added; cluster members add the
+// epoch, and followers their replication connectivity and lag, so scripts
+// can wait for "synced" by polling connected == shards && lag_records == 0.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if s.opts.Cluster == nil {
+		io.WriteString(w, `{"ok":true,"role":"primary"}`+"\n")
+		return
+	}
+	b := make([]byte, 0, 128)
+	b = append(b, `{"ok":true,"role":"`...)
+	b = append(b, s.Role()...)
+	b = append(b, `","cluster_epoch":`...)
+	b = strconv.AppendUint(b, s.ClusterEpoch(), 10)
+	if rs, ok := s.replicaStats(); ok {
+		b = append(b, `,"connected":`...)
+		b = strconv.AppendInt(b, int64(rs.Connected), 10)
+		b = append(b, `,"shards":`...)
+		b = strconv.AppendInt(b, int64(len(s.shards)), 10)
+		b = append(b, `,"lag_records":`...)
+		b = strconv.AppendInt(b, rs.Lag(), 10)
+	}
+	b = append(b, '}', '\n')
+	w.Write(b)
+}
+
+var _ cluster.Source = (*Server)(nil)
+var _ cluster.Applier = (*Server)(nil)

@@ -1,0 +1,507 @@
+package leased
+
+// Replication tests: a primary and a follower in one process, wired over
+// real TCP. The invariant under test is the same one the crash-recovery
+// suite pins — replayed state is byte-equal to the source state at a mark
+// instant — extended across the wire, plus the failover machinery around
+// it: role gating, epoch fencing, and promotion.
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/durable"
+)
+
+// clusterRig is a 2-node cluster: a durable primary serving replication on
+// ln, and a durable follower replicating from it. Both expose their HTTP
+// surface through httptest servers (prim.ts / fol.ts).
+type clusterRig struct {
+	t    *testing.T
+	prim *durableRig
+	ln   net.Listener // primary's replication listener
+	fol  *durableRig
+	fln  net.Listener // follower's replication listener (used after promotion)
+}
+
+func newClusterRig(t *testing.T, shards int) *clusterRig {
+	t.Helper()
+	popts := testOptions()
+	popts.Shards = shards
+	popts.Cluster = &ClusterConfig{Role: "primary", Advertise: "http://primary.invalid"}
+	prim := newDurableRig(t, t.TempDir(), popts)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prim.s.ServeReplication(ln)
+
+	fopts := testOptions()
+	fopts.Shards = shards
+	fopts.Cluster = &ClusterConfig{Role: "follower", PrimaryAddr: ln.Addr().String(), Advertise: "http://follower.invalid"}
+	fol := newDurableRig(t, t.TempDir(), fopts)
+	fln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fol.s.ServeReplication(fln)
+	if err := fol.s.StartFollowing(); err != nil {
+		t.Fatal(err)
+	}
+	return &clusterRig{t: t, prim: prim, ln: ln, fol: fol, fln: fln}
+}
+
+// waitSynced blocks until every shard stream is connected and the follower
+// has applied everything the primary has published. Call it only while the
+// primary is quiesced (no concurrent writers), or the target moves.
+func (c *clusterRig) waitSynced() {
+	c.t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		st, ok := c.fol.s.replicaStats()
+		var src int64
+		for i := range c.prim.s.shards {
+			src += c.prim.s.prim.Stream(i).Seq()
+		}
+		if ok && st.Connected == len(c.prim.s.shards) && st.AppliedSeq >= src && st.Lag() == 0 {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	st, _ := c.fol.s.replicaStats()
+	c.t.Fatalf("follower never caught up: %+v", st)
+}
+
+// captureShards captures every shard's state at its current (frozen)
+// instant, without journaling anything — the follower-side twin of
+// markAndCapture, whose mark record the follower has already applied.
+func captureShards(s *Server) []persistedState {
+	out := make([]persistedState, len(s.shards))
+	for i, sh := range s.shards {
+		i, sh := i, sh
+		sh.do(func() { out[i] = sh.captureState() })
+	}
+	return out
+}
+
+// TestFollowerMirrorsPrimary drives mixed traffic — acquires and renews
+// across shards, an atomic batch, a deduped retry — through the primary and
+// checks the follower's replayed state is DeepEqual to the primary's at the
+// mark instant, shard by shard.
+func TestFollowerMirrorsPrimary(t *testing.T) {
+	c := newClusterRig(t, 2)
+	defer c.fol.s.Close()
+
+	// Enough clients to hit both shards.
+	leases := make(map[string]uint64)
+	hit := map[int]bool{}
+	for i := 0; i < 6; i++ {
+		name := fmt.Sprintf("mirror-%d", i)
+		leases[name] = c.prim.acquire(name, "wakelock").LeaseID
+		hit[shardIndex(name, 2)] = true
+	}
+	if len(hit) != 2 {
+		t.Fatalf("client names cover %d of 2 shards; rename them", len(hit))
+	}
+	for name, id := range leases {
+		c.prim.renew(id, usageReport{CPUMS: 2, UIUpdates: 1})
+		_ = name
+	}
+
+	// An atomic batch: three renews of one client land on one shard as a
+	// single group, so the stream carries a real batch frame.
+	var batchOut struct {
+		Results []json.RawMessage `json:"results"`
+	}
+	ops := []map[string]any{}
+	for i := 0; i < 3; i++ {
+		ops = append(ops, map[string]any{"op": "renew", "lease_id": leases["mirror-0"], "report": map[string]any{"cpu_ms": 1}})
+	}
+	ops = append(ops, map[string]any{"op": "renew", "lease_id": leases["mirror-1"], "report": map[string]any{"cpu_ms": 1}})
+	if code := c.prim.call("POST", "/v1/batch", map[string]any{"ops": ops}, &batchOut); code != 200 || len(batchOut.Results) != 4 {
+		t.Fatalf("batch: code %d results %d", code, len(batchOut.Results))
+	}
+
+	// A deduped retry, so the follower must rebuild the dedup cache too.
+	for i := 0; i < 2; i++ {
+		req, _ := newJSONRequest("POST", c.prim.ts.URL+"/v1/leases", acquireRequest{Client: "mirror-0", Kind: "wakelock"})
+		req.Header.Set("X-Request-ID", "mirror-dedup-1")
+		resp, err := c.prim.cli.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+
+	pre := markAndCapture(c.prim.s)
+	c.waitSynced()
+	post := captureShards(c.fol.s)
+	if !reflect.DeepEqual(pre, post) {
+		t.Fatalf("follower state differs from primary at the mark:\n pre: %+v\npost: %+v", pre, post)
+	}
+
+	// Both sides report the replication in /metrics.
+	psnap := c.prim.s.snapshot()
+	if psnap.Cluster == nil || psnap.Cluster.Role != "primary" {
+		t.Fatalf("primary metrics cluster section: %+v", psnap.Cluster)
+	}
+	if len(psnap.Cluster.Followers) != 2 {
+		t.Fatalf("primary reports %d follower streams, want 2 (one per shard)", len(psnap.Cluster.Followers))
+	}
+	fsnap := c.fol.s.snapshot()
+	if fsnap.Cluster == nil || fsnap.Cluster.Role != "follower" || fsnap.Cluster.Replication == nil {
+		t.Fatalf("follower metrics cluster section: %+v", fsnap.Cluster)
+	}
+	if r := fsnap.Cluster.Replication; r.Connected != 2 || r.LagRecords != 0 || r.RecordsApplied == 0 {
+		t.Fatalf("follower replication status: %+v", r)
+	}
+}
+
+// TestFollowerRejectsWrites pins the role gate: mutations on a follower
+// answer 421 with the Leader hint, reads stay open, and /healthz reports
+// the follower's sync state.
+func TestFollowerRejectsWrites(t *testing.T) {
+	c := newClusterRig(t, 1)
+	defer c.fol.s.Close()
+
+	id := c.prim.acquire("gate-client", "wakelock").LeaseID
+	c.waitSynced()
+
+	req, _ := newJSONRequest("POST", c.fol.ts.URL+"/v1/leases", acquireRequest{Client: "gate-client", Kind: "gps"})
+	resp, err := c.fol.cli.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMisdirectedRequest {
+		t.Fatalf("acquire on follower: status %d, want 421", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Leader"); got != "http://primary.invalid" {
+		t.Fatalf("Leader hint %q, want the primary's advertise URL", got)
+	}
+	if code := c.fol.call("POST", fmt.Sprintf("/v1/leases/%d/renew", id), usageReport{CPUMS: 1}, nil); code != http.StatusMisdirectedRequest {
+		t.Fatalf("renew on follower: status %d, want 421", code)
+	}
+	if code := c.fol.call("DELETE", fmt.Sprintf("/v1/leases/%d", id), nil, nil); code != http.StatusMisdirectedRequest {
+		t.Fatalf("release on follower: status %d, want 421", code)
+	}
+
+	// Reads are open: the follower answers lease state and metrics.
+	var lr leaseResponse
+	if code := c.fol.call("GET", fmt.Sprintf("/v1/leases/%d", id), nil, &lr); code != 200 {
+		t.Fatalf("read on follower: status %d, want 200", code)
+	}
+
+	var hz map[string]any
+	if code := c.fol.call("GET", "/healthz", nil, &hz); code != 200 {
+		t.Fatalf("healthz on follower: status %d", code)
+	}
+	if hz["ok"] != true || hz["role"] != "follower" {
+		t.Fatalf("follower healthz: %v", hz)
+	}
+	if hz["connected"] != float64(1) || hz["shards"] != float64(1) || hz["lag_records"] != float64(0) {
+		t.Fatalf("follower healthz sync fields: %v", hz)
+	}
+	hz = nil
+	if code := c.prim.call("GET", "/healthz", nil, &hz); code != 200 {
+		t.Fatalf("healthz on primary: status %d", code)
+	}
+	if hz["role"] != "primary" || hz["cluster_epoch"] != float64(0) {
+		t.Fatalf("primary healthz: %v", hz)
+	}
+	if _, has := hz["connected"]; has {
+		t.Fatalf("primary healthz reports follower sync fields: %v", hz)
+	}
+}
+
+// TestClusterFailoverPreservesState is the crash-equality check: kill the
+// primary mid-stream (no final checkpoint), verify the follower holds the
+// exact pre-kill state, then promote it and verify the new generation —
+// epoch bumped, durable epochs jumped into the new band, writes open, the
+// defaulter verdicts intact.
+func TestClusterFailoverPreservesState(t *testing.T) {
+	c := newClusterRig(t, 2)
+	defer c.fol.s.Close()
+
+	driveDefaulter(c.prim)
+	req, _ := newJSONRequest("POST", c.prim.ts.URL+"/v1/leases", acquireRequest{Client: "worker", Kind: "gps"})
+	req.Header.Set("X-Request-ID", "failover-dedup-1")
+	if resp, err := c.prim.cli.Do(req); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+	}
+
+	pre := markAndCapture(c.prim.s)
+	c.waitSynced()
+	c.prim.crash() // SIGKILL equivalent: no final checkpoint, conns die
+
+	// Capture BEFORE promoting: promotion binds the walls to real time and
+	// pending term checks then fire nondeterministically. At this instant the
+	// follower is a frozen replica of the primary at the mark.
+	post := captureShards(c.fol.s)
+	if !reflect.DeepEqual(pre, post) {
+		t.Fatalf("follower state differs from dead primary's last mark:\n pre: %+v\npost: %+v", pre, post)
+	}
+
+	epoch, promoted := c.fol.s.Promote()
+	if !promoted || epoch != 1 {
+		t.Fatalf("Promote = (%d, %v), want (1, true)", epoch, promoted)
+	}
+	if e2, p2 := c.fol.s.Promote(); p2 || e2 != 1 {
+		t.Fatalf("second Promote = (%d, %v), want idempotent (1, false)", e2, p2)
+	}
+	if c.fol.s.Role() != "primary" || c.fol.s.ClusterEpoch() != 1 {
+		t.Fatalf("promoted node: role %s epoch %d", c.fol.s.Role(), c.fol.s.ClusterEpoch())
+	}
+
+	// The promotion's checkpoints jumped into the new epoch band, so any
+	// stale ex-primary journal (bands below) is fenced on its next recovery.
+	for i, sh := range c.fol.s.shards {
+		sh := sh
+		var depoch uint64
+		sh.do(func() { depoch = sh.store.Epoch() })
+		if depoch < durable.EpochBand {
+			t.Fatalf("shard %d durable epoch %d below band floor %d after promote", i, depoch, uint64(durable.EpochBand))
+		}
+	}
+
+	// Writes open on the new primary, and the old generation's judgment
+	// survived: torch is still a defaulter with its deferrals on record.
+	if lr := c.fol.acquire("post-failover", "wakelock"); lr.LeaseID == 0 {
+		t.Fatal("acquire on promoted primary returned lease 0")
+	}
+	snap := c.fol.s.snapshot()
+	var torch *Defaulter
+	for i := range snap.Defaulters {
+		if snap.Defaulters[i].Client == "torch" {
+			torch = &snap.Defaulters[i]
+		}
+	}
+	if torch == nil || torch.Deferrals == 0 {
+		t.Fatalf("torch's defaulter record lost across failover: %+v", snap.Defaulters)
+	}
+
+	var hz map[string]any
+	if code := c.fol.call("GET", "/healthz", nil, &hz); code != 200 || hz["role"] != "primary" || hz["cluster_epoch"] != float64(1) {
+		t.Fatalf("promoted healthz: code %d body %v", code, hz)
+	}
+}
+
+// TestStalePrimaryFencedByHandshake: a primary that hears a Hello from a
+// later leadership generation must fence itself — refuse the connection
+// with a leader hint, answer writes with 421, and promote past the epoch it
+// was deposed by.
+func TestStalePrimaryFencedByHandshake(t *testing.T) {
+	popts := testOptions()
+	popts.Cluster = &ClusterConfig{Role: "primary", Advertise: "http://primary.invalid"}
+	d := newDurableRig(t, t.TempDir(), popts)
+	defer d.s.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.s.ServeReplication(ln)
+	d.acquire("pre-fence", "wakelock")
+
+	// Hand-rolled handshake claiming cluster epoch 99 — what a follower of a
+	// newer generation sends when a stale ex-primary reappears.
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	hb, err := json.Marshal(cluster.Hello{Proto: cluster.Proto, Shard: 0, Shards: 1, Epoch: 99, Config: d.s.configSig()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write(durable.AppendFrame(nil, 'H', hb)); err != nil {
+		t.Fatal(err)
+	}
+	sr := durable.NewStreamReader(conn)
+	tag, payload, err := sr.ReadFrame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tag != 'E' {
+		t.Fatalf("deposed primary answered frame %q, want an error frame", tag)
+	}
+	var em cluster.ErrMsg
+	if err := json.Unmarshal(payload, &em); err != nil {
+		t.Fatal(err)
+	}
+	if em.Leader != "http://primary.invalid" {
+		t.Fatalf("refusal leader hint %q", em.Leader)
+	}
+
+	// ObserveEpoch ran before the refusal was written, so by now the node is
+	// fenced: role flipped, writes 421.
+	if got := d.s.Role(); got != "fenced" {
+		t.Fatalf("role after higher-epoch hello: %s, want fenced", got)
+	}
+	req, _ := newJSONRequest("POST", d.ts.URL+"/v1/leases", acquireRequest{Client: "fenced-client", Kind: "gps"})
+	resp, err := d.cli.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMisdirectedRequest {
+		t.Fatalf("write on fenced node: status %d, want 421", resp.StatusCode)
+	}
+
+	// Promotion un-fences into a generation past everything it has heard of.
+	epoch, promoted := d.s.Promote()
+	if !promoted || epoch != 100 {
+		t.Fatalf("Promote on fenced node = (%d, %v), want (100, true)", epoch, promoted)
+	}
+	if d.s.Role() != "primary" {
+		t.Fatalf("role after promote: %s", d.s.Role())
+	}
+	d.acquire("post-fence", "wakelock")
+}
+
+// TestServePathDoesNotAllocateWithReplication re-runs the renew zero-alloc
+// pin with clustering enabled: the role gate in front of the handler and a
+// live subscriber attached to the shard's stream, so every renew publishes
+// its journal bytes. The publish must ride the subscriber's pre-grown
+// double buffer — zero allocations per request, same as standalone.
+func TestServePathDoesNotAllocateWithReplication(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool bypasses itself under the race detector; allocation pins hold only in normal builds")
+	}
+	s := allocServer(t, func(o *Options) {
+		o.Cluster = &ClusterConfig{Role: "primary", Advertise: "http://primary.invalid"}
+	})
+	lr := httpAcquire(t, s, "alloc-repl-client")
+	sub := cluster.NewSubscriber(0, "alloc-test")
+	s.shards[0].repl.Attach(sub)
+	defer s.shards[0].repl.Detach(sub)
+
+	handler := s.record(routeRenew, s.admit(s.gate(s.handleRenew)))
+	req, rb := newReplayRequest("POST", fmt.Sprintf("/v1/leases/%d/renew", lr), []byte(`{"cpu_ms":1.5,"ui_updates":1}`))
+	req.SetPathValue("id", fmt.Sprintf("%d", lr))
+	w := &nullWriter{h: http.Header{"Content-Type": {""}}}
+
+	run := func() {
+		rb.off = 0
+		w.status = 0
+		handler(w, req)
+		if w.status != http.StatusOK {
+			t.Fatalf("renew: status %d", w.status)
+		}
+	}
+	before := s.shards[0].repl.Seq()
+	if avg := measureAllocs(t, 200, run); avg > 0 {
+		t.Errorf("replicated renew serve path allocates %.2f times per request, want 0", avg)
+	}
+	if got := s.shards[0].repl.Seq() - before; got < 200 {
+		t.Fatalf("stream advanced %d records during the measurement; replication was not exercised", got)
+	}
+}
+
+// BenchmarkReplicatedApply is the bench_gate twin of the test above: the
+// renew apply path with a live subscriber attached, pinned at zero
+// allocations per op. With no sender draining it, the subscriber buffers
+// until subBufMax and then marks itself overflowed (a real sender would
+// drop the conn); either way the publish stays allocation-free apart from
+// the handful of amortized buffer growths.
+func BenchmarkReplicatedApply(b *testing.B) {
+	opts := benchOptions(1)
+	opts.Cluster = &ClusterConfig{Role: "primary", Advertise: "http://primary.invalid"}
+	s := NewServer(opts)
+	defer s.Close()
+	sub := cluster.NewSubscriber(0, "bench")
+	s.prim.Stream(0).Attach(sub)
+	defer s.prim.Stream(0).Detach(sub)
+
+	sh, local := benchAcquire(b, s, "repl-apply-bench")
+	rep := usageReport{CPUMS: 1, UIUpdates: 1}
+	env := getOpEnv()
+	defer putOpEnv(env)
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		env.rec = opRecord{Op: "renew", LeaseID: local, Report: &rep}
+		sh.applyOp(env, "")
+	}
+}
+
+// BenchmarkReplicationStream measures end-to-end replicated throughput: a
+// primary publishing renews over real TCP to an in-process follower that
+// applies every record. The timed region covers publish plus the follower's
+// drain to zero lag, so frames/s (and the bytes/s figure SetBytes derives)
+// reflect what a follower can actually sustain; lag_records is the backlog
+// at the instant the primary stopped publishing — how far a follower
+// trails a full-speed primary.
+func BenchmarkReplicationStream(b *testing.B) {
+	popts := benchOptions(1)
+	popts.Cluster = &ClusterConfig{Role: "primary", Advertise: "http://primary.invalid"}
+	p := NewServer(popts)
+	defer p.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	p.ServeReplication(ln)
+
+	fopts := benchOptions(1)
+	fopts.Cluster = &ClusterConfig{Role: "follower", PrimaryAddr: ln.Addr().String()}
+	f := NewServer(fopts)
+	defer f.Close()
+	if err := f.StartFollowing(); err != nil {
+		b.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if st, ok := f.replicaStats(); ok && st.Connected == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			b.Fatal("follower never connected")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	sh, local := benchAcquire(b, p, "stream-bench")
+	rep := usageReport{CPUMS: 1, UIUpdates: 1}
+	env := getOpEnv()
+	defer putOpEnv(env)
+	env.rec = opRecord{Op: "renew", LeaseID: local, Report: &rep}
+	sh.applyOp(env, "")
+	b.SetBytes(int64(len(appendOpRecord(nil, &env.rec))))
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		env.rec = opRecord{Op: "renew", LeaseID: local, Report: &rep}
+		sh.applyOp(env, "")
+	}
+	target := p.prim.Stream(0).Seq()
+	st, _ := f.replicaStats()
+	backlog := target - st.AppliedSeq
+	if backlog < 0 {
+		backlog = 0
+	}
+	drainDeadline := time.Now().Add(60 * time.Second)
+	for {
+		if st, _ := f.replicaStats(); st.AppliedSeq >= target {
+			break
+		}
+		if time.Now().After(drainDeadline) {
+			st, _ := f.replicaStats()
+			b.Fatalf("follower never drained: applied %d of %d", st.AppliedSeq, target)
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+	b.StopTimer()
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(b.N)/secs, "frames/s")
+	}
+	b.ReportMetric(float64(backlog), "lag_records")
+}

@@ -118,6 +118,10 @@ func appendSnapshotIndent(b []byte, snap *Snapshot) []byte {
 		e.key(&first, "recovery")
 		e.recoveryInfo(snap.Recovery)
 	}
+	if snap.Cluster != nil {
+		e.key(&first, "cluster")
+		e.clusterStatus(snap.Cluster)
+	}
 	if len(snap.Faults) > 0 {
 		e.key(&first, "faults")
 		e.faultMap(snap.Faults)
@@ -233,6 +237,9 @@ func (e *ienc) durability(d *DurabilityStats) {
 	e.intKey(&first, "appended_total", d.AppendedTotal)
 	e.intKey(&first, "since_snapshot", int64(d.SinceSnapshot))
 	e.intKey(&first, "snapshots_total", d.SnapshotsTotal)
+	e.intKey(&first, "stale_records", int64(d.StaleRecords))
+	e.intKey(&first, "truncated_bytes", d.TruncatedBytes)
+	e.intKey(&first, "dir_sync_errors", d.DirSyncErrors)
 	e.intKey(&first, "snapshot_every", int64(d.SnapshotEvery))
 	e.boolKey(&first, "fsync", d.Fsync)
 	e.intKey(&first, "journal_errors", d.JournalErrors)
@@ -249,6 +256,56 @@ func (e *ienc) recoveryInfo(r *RecoveryInfo) {
 	e.intKey(&first, "replayed", int64(r.Replayed))
 	e.intKey(&first, "truncated_bytes", r.TruncatedBytes)
 	e.intKey(&first, "stale_records", int64(r.StaleRecords))
+	e.close('}', first)
+}
+
+func (e *ienc) clusterStatus(c *ClusterStatus) {
+	first := true
+	e.open('{')
+	e.strKey(&first, "role", c.Role)
+	e.uintKey(&first, "cluster_epoch", c.ClusterEpoch)
+	if c.Leader != "" {
+		e.strKey(&first, "leader", c.Leader)
+	}
+	if len(c.Followers) > 0 {
+		e.key(&first, "followers")
+		afirst := true
+		e.open('[')
+		for i := range c.Followers {
+			e.elem(&afirst)
+			e.followerReplica(&c.Followers[i])
+		}
+		e.close(']', afirst)
+	}
+	if c.Replication != nil {
+		e.key(&first, "replication")
+		e.replicationStatus(c.Replication)
+	}
+	e.close('}', first)
+}
+
+func (e *ienc) followerReplica(f *FollowerReplica) {
+	first := true
+	e.open('{')
+	e.strKey(&first, "addr", f.Addr)
+	e.intKey(&first, "shard", int64(f.Shard))
+	e.intKey(&first, "sent_seq", f.SentSeq)
+	e.intKey(&first, "acked_seq", f.AckedSeq)
+	e.intKey(&first, "lag_records", f.LagRecords)
+	e.close('}', first)
+}
+
+func (e *ienc) replicationStatus(r *ReplicationStatus) {
+	first := true
+	e.open('{')
+	e.strKey(&first, "primary", r.Primary)
+	e.intKey(&first, "connected", int64(r.Connected))
+	e.intKey(&first, "shards", int64(r.Shards))
+	e.intKey(&first, "applied_seq", r.AppliedSeq)
+	e.intKey(&first, "source_seq", r.SourceSeq)
+	e.intKey(&first, "lag_records", r.LagRecords)
+	e.intKey(&first, "snapshots_applied", r.SnapshotsApplied)
+	e.intKey(&first, "records_applied", r.RecordsApplied)
 	e.close('}', first)
 }
 

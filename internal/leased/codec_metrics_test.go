@@ -32,6 +32,8 @@ func TestMetricsEncoderMatchesStdlib(t *testing.T) {
 	checkSnapshotEncoding(t, "allocated-empty", &Snapshot{
 		Defaulters: []Defaulter{},
 		Requests:   map[string]RouteStats{},
+		// Bare cluster section: all omitempty branches off.
+		Cluster: &ClusterStatus{Role: "follower", Followers: []FollowerReplica{}},
 	})
 
 	// Fully populated, including both faults shapes (with and without the
@@ -57,10 +59,23 @@ func TestMetricsEncoderMatchesStdlib(t *testing.T) {
 		MaxInflight:        256,
 		Deduped:            42,
 		Durability: &DurabilityStats{
-			Stats:         durable.Stats{Epoch: 3, AppendedTotal: 5000, SinceSnapshot: 17, SnapshotsTotal: 4},
+			Stats: durable.Stats{Epoch: 3, AppendedTotal: 5000, SinceSnapshot: 17, SnapshotsTotal: 4,
+				StaleRecords: 2, TruncatedBytes: 64, DirSyncErrors: 1},
 			SnapshotEvery: 1024, Fsync: true, JournalErrors: 1, Checkpoints: 4, DedupEntries: 99,
 		},
 		Recovery: &RecoveryInfo{SnapshotLoaded: true, SnapshotNow: 777, Replayed: 17, TruncatedBytes: 12, StaleRecords: 3},
+		Cluster: &ClusterStatus{
+			Role: "primary", ClusterEpoch: 2, Leader: "http://127.0.0.1:7070",
+			Followers: []FollowerReplica{
+				{Addr: "10.0.0.2:41234", Shard: 0, SentSeq: 100, AckedSeq: 96, LagRecords: 4},
+				{Addr: "10.0.0.2:41234", Shard: 1, SentSeq: 80, AckedSeq: 80},
+			},
+			Replication: &ReplicationStatus{
+				Primary: "10.0.0.1:7171", Connected: 2, Shards: 2,
+				AppliedSeq: 180, SourceSeq: 184, LagRecords: 4,
+				SnapshotsApplied: 3, RecordsApplied: 177,
+			},
+		},
 		Faults: map[string]faults.SiteStats{
 			"http.drop":  {Prob: 0.25, Hits: 100, Fires: 25},
 			"http.delay": {Prob: 1, DelayMS: 5.5, Hits: 3, Fires: 3},

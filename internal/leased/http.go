@@ -112,18 +112,19 @@ func (sh *shard) leaseView(o *robj, withExplain bool) leaseResponse {
 // injection (when configured), and the global request timeout.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/leases", s.chaos(s.record(routeAcquire, s.admit(s.handleAcquire))))
-	mux.HandleFunc("POST /v1/leases/{id}/renew", s.chaos(s.record(routeRenew, s.admit(s.handleRenew))))
-	mux.HandleFunc("DELETE /v1/leases/{id}", s.chaos(s.record(routeRelease, s.admit(s.handleRelease))))
+	// Mutations additionally pass the cluster role gate: followers and
+	// fenced ex-primaries answer 421 + Leader instead of applying.
+	mux.HandleFunc("POST /v1/leases", s.chaos(s.record(routeAcquire, s.admit(s.gate(s.handleAcquire)))))
+	mux.HandleFunc("POST /v1/leases/{id}/renew", s.chaos(s.record(routeRenew, s.admit(s.gate(s.handleRenew)))))
+	mux.HandleFunc("DELETE /v1/leases/{id}", s.chaos(s.record(routeRelease, s.admit(s.gate(s.handleRelease)))))
 	mux.HandleFunc("GET /v1/leases/{id}", s.chaos(s.record(routeGet, s.admit(s.handleGet))))
-	mux.HandleFunc("POST /v1/batch", s.chaos(s.record(routeBatch, s.admit(s.handleBatch))))
-	// Observability stays reachable under overload and chaos: no admission
-	// gate, no fault injection.
+	mux.HandleFunc("POST /v1/batch", s.chaos(s.record(routeBatch, s.admit(s.gate(s.handleBatch)))))
+	// Observability and admin stay reachable under overload and chaos: no
+	// admission gate, no fault injection, no role gate (promote must work
+	// on a follower — that is its whole point).
 	mux.HandleFunc("GET /metrics", s.record(routeMetrics, s.handleMetrics))
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		io.WriteString(w, `{"ok":true}`+"\n")
-	})
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("POST /v1/promote", s.handlePromote)
 	return http.TimeoutHandler(mux, s.opts.RequestTimeout, `{"error":"request timed out"}`)
 }
 

@@ -34,9 +34,12 @@ package leased
 import (
 	"fmt"
 	"net/http"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/android/hooks"
+	"repro/internal/cluster"
 	"repro/internal/durable"
 	"repro/internal/faults"
 	"repro/internal/lease"
@@ -79,6 +82,29 @@ type Options struct {
 	// http.error, http.delay, http.drop and wall.delay (see package
 	// faults). Nil means no injection and zero overhead on hot paths.
 	Faults *faults.Injector
+
+	// Cluster, when set, makes this daemon a replication cluster member:
+	// primaries stream journal frames to followers, followers replay them
+	// onto unstarted walls and reject writes with 421 + a Leader hint. Nil
+	// means a standalone daemon with zero clustering overhead.
+	Cluster *ClusterConfig
+}
+
+// ClusterConfig configures a daemon's replication cluster membership.
+type ClusterConfig struct {
+	// Role is the node's starting role: "primary" (default) or "follower".
+	// A follower's shards stay on unstarted walls, mirroring the primary,
+	// until Promote binds them to real time.
+	Role string
+	// PrimaryAddr is the current primary's replication address (host:port).
+	// Required for followers; ignored for primaries.
+	PrimaryAddr string
+	// Advertise is this node's client-facing base URL. It is the Leader
+	// hint handed to followers (and through their 421s, to redirected
+	// clients) while this node leads.
+	Advertise string
+	// Logf, when set, receives replication session diagnostics.
+	Logf func(format string, args ...any)
 }
 
 func (o Options) withDefaults() Options {
@@ -160,6 +186,19 @@ type Server struct {
 	metrics  *serverMetrics
 	inflight chan struct{}
 	started  time.Time
+
+	// Replication state (zero-valued and inert for standalone daemons).
+	// cepoch is the cluster epoch — the leadership generation, persisted in
+	// every checkpoint and exchanged in every replication handshake. It is
+	// shared with the shards (they stamp it into captured state and use it
+	// as the durable epoch-band floor), hence the pointer.
+	cepoch    *atomic.Uint64
+	seenEpoch atomic.Uint64 // highest epoch proven to exist by any peer
+	role      atomic.Int32  // rolePrimary | roleFollower | roleFenced
+	leader    atomic.Value  // string: current Leader hint
+	prim      *cluster.Primary
+	fol       *cluster.Follower
+	promoteMu sync.Mutex
 }
 
 // shard is one fully independent partition of the daemon: a wall clock, an
@@ -187,6 +226,12 @@ type shard struct {
 	dedup    *dedupCache
 	recovery RecoveryInfo
 
+	// Replication (nil repl = standalone daemon). repl is this shard's
+	// stream fan-out; journalLocked and applyBatchGroup publish the exact
+	// journal bytes into it. cepoch aliases the server's cluster epoch.
+	repl   *cluster.ShardStream
+	cepoch *atomic.Uint64
+
 	// termMS caches mgr.Config().Term.Milliseconds(): the policy is fixed
 	// for the shard's lifetime and every lease response carries it, so the
 	// per-request Config() copy + conversion is hoisted here.
@@ -209,29 +254,40 @@ type clientKey struct {
 // daemon use Open.
 func NewServer(opts Options) *Server {
 	opts = opts.withDefaults()
-	s := newServerShell(opts)
+	ce := new(atomic.Uint64)
+	s := newServerShell(opts, ce)
+	follower := opts.Cluster != nil && opts.Cluster.Role == "follower"
 	for i := 0; i < opts.Shards; i++ {
-		s.shards = append(s.shards, newShard(i, opts, runtime.NewWall()))
+		clock := runtime.NewWall()
+		if follower {
+			// Followers live on unstarted walls — the recovery posture,
+			// held continuously while replicated records replay.
+			clock = runtime.NewWallUnstarted()
+		}
+		s.shards = append(s.shards, newShard(i, opts, clock, ce))
 	}
+	s.initCluster()
 	return s
 }
 
 // newServerShell builds the shard-independent part of a Server; callers
-// fill s.shards. opts must already carry defaults.
-func newServerShell(opts Options) *Server {
+// fill s.shards and share ce (the cluster epoch) with them. opts must
+// already carry defaults.
+func newServerShell(opts Options, ce *atomic.Uint64) *Server {
 	return &Server{
 		opts:     opts,
 		faults:   opts.Faults,
 		metrics:  &serverMetrics{},
 		inflight: make(chan struct{}, opts.MaxInflight),
 		started:  time.Now(),
+		cepoch:   ce,
 	}
 }
 
 // newShard assembles one shard around the given clock, which recovery
 // passes in unstarted so journal replay can run before real time begins.
 // opts must already carry defaults.
-func newShard(id int, opts Options, clock *runtime.Wall) *shard {
+func newShard(id int, opts Options, clock *runtime.Wall, ce *atomic.Uint64) *shard {
 	sh := &shard{
 		id:         id,
 		opts:       opts,
@@ -243,6 +299,7 @@ func newShard(id int, opts Options, clock *runtime.Wall) *shard {
 		byKey:      make(map[clientKey]*robj),
 		byLease:    make(map[uint64]*robj),
 		dedup:      newDedupCache(opts.DedupWindow),
+		cepoch:     ce,
 		metrics:    &shardMetrics{},
 	}
 	sh.res = &resources{clock: sh.clock, objs: make(map[uint64]*robj)}
@@ -275,9 +332,17 @@ func (s *Server) shardByWireID(wire uint64) (sh *shard, local uint64, ok bool) {
 	return s.shards[idx], local, true
 }
 
-// Close stops every shard's clock-timer loop and journal. In-flight Do
-// sections finish first; call after the HTTP server has shut down.
+// Close stops every shard's clock-timer loop and journal, after shutting
+// down replication (the follower loops apply records under the shard
+// clocks, so they stop first). In-flight Do sections finish first; call
+// after the HTTP server has shut down.
 func (s *Server) Close() {
+	if s.fol != nil {
+		s.fol.Stop()
+	}
+	if s.prim != nil {
+		s.prim.Close()
+	}
 	for _, sh := range s.shards {
 		sh.clock.Stop()
 		if sh.store != nil {

@@ -98,6 +98,14 @@ type Options struct {
 	// Seed makes the fleet's jitter and injected faults reproducible.
 	Seed int64
 
+	// Prefix is prepended to every client name ("p2-" → "p2-normal-0").
+	// Successive runs against the same daemon state need distinct client
+	// populations: names are otherwise deterministic, and a second run would
+	// inherit the first run's leases — their server-side acquire counts
+	// (tripping the double-apply cross-check) and any deferrals earned while
+	// the clients were away (tripping the false-positive check).
+	Prefix string
+
 	// Faults, when set, injects client-side chaos through the transport:
 	// site "client.drop" discards responses after the server has processed
 	// the request (the lost-ACK ambiguity), "client.delay" stalls requests.
@@ -148,6 +156,7 @@ type ClientReport struct {
 	Deduped        int64 `json:"deduped"`
 	DoubleAcquires int64 `json:"double_acquires"`
 	Reconnects     int64 `json:"reconnects"`
+	Redirects      int64 `json:"redirects"`
 }
 
 // Report aggregates a run.
@@ -182,6 +191,9 @@ type Report struct {
 	Deduped        int64 `json:"deduped"`
 	DoubleAcquires int64 `json:"double_acquires"`
 	Reconnects     int64 `json:"reconnects"`
+	// Redirects counts 421 not-the-leader responses followed to the node
+	// named in the Leader header — the cluster-failover client experience.
+	Redirects int64 `json:"redirects"`
 
 	// PerShard breaks client count and throughput down by the daemon shard
 	// the clients landed on — the fleet-side view of the routing spread.
@@ -221,6 +233,7 @@ type counters struct {
 	deduped    atomic.Int64
 	doubles    atomic.Int64
 	reconnects atomic.Int64
+	redirects  atomic.Int64
 }
 
 // Run generates load until opts.Duration elapses or ctx is cancelled, then
@@ -278,7 +291,7 @@ func Run(ctx context.Context, opts Options) (Report, error) {
 			rng := rand.New(rand.NewSource(opts.Seed + int64(idx)*7919 + 1))
 			idx++
 			c := &client{
-				name:    fmt.Sprintf("%s-%d", p, i),
+				name:    fmt.Sprintf("%s%s-%d", opts.Prefix, p, i),
 				prof:    p,
 				http:    cli,
 				base:    opts.BaseURL,
@@ -320,6 +333,7 @@ func Run(ctx context.Context, opts Options) (Report, error) {
 		Deduped:        cnt.deduped.Load(),
 		DoubleAcquires: cnt.doubles.Load(),
 		Reconnects:     cnt.reconnects.Load(),
+		Redirects:      cnt.redirects.Load(),
 		Clients:        reports,
 	}
 	if secs := elapsed.Seconds(); secs > 0 {
@@ -426,7 +440,7 @@ type client struct {
 	shard   int   // daemon shard from the acquire response; -1 until known
 
 	ops, errs, deferred int64
-	sheds, retried, lost, deduped, doubles, recon int64
+	sheds, retried, lost, deduped, doubles, recon, redirected int64
 }
 
 // send performs one idempotent request with the shared retry ladder. nops
@@ -485,6 +499,19 @@ func (c *client) send(ctx context.Context, verb *atomic.Int64, nops int64, metho
 			resp.Body.Close()
 			c.sheds++
 			c.cnt.sheds.Add(1)
+		case resp.StatusCode == http.StatusMisdirectedRequest:
+			// Not the leader. The Leader header names where writes go now;
+			// re-aim this client and resend the same request ID there — the
+			// new primary's replicated dedup cache still recognizes it. No
+			// hint means a failover is mid-flight: back off and retry here.
+			leader := resp.Header.Get("Leader")
+			resp.Body.Close()
+			if leader != "" && leader != c.base {
+				c.base = leader
+				c.redirected++
+				c.cnt.redirects.Add(1)
+				continue
+			}
 		case resp.StatusCode >= 500:
 			resp.Body.Close()
 		default:
@@ -754,5 +781,6 @@ func (c *client) report() ClientReport {
 		Deduped:        c.deduped,
 		DoubleAcquires: c.doubles,
 		Reconnects:     c.recon,
+		Redirects:      c.redirected,
 	}
 }

@@ -265,6 +265,11 @@ type Snapshot struct {
 	// shard loaded one); absent on in-memory daemons.
 	Recovery *RecoveryInfo `json:"recovery,omitempty"`
 
+	// Cluster reports replication standing — role, leadership generation,
+	// per-follower lag (on primaries), apply progress (on followers); absent
+	// on standalone daemons.
+	Cluster *ClusterStatus `json:"cluster,omitempty"`
+
 	// Faults reports the injection sites when chaos is configured.
 	Faults map[string]faults.SiteStats `json:"faults,omitempty"`
 
@@ -305,11 +310,50 @@ func (d *DurabilityStats) merge(o DurabilityStats) {
 	d.AppendedTotal += o.AppendedTotal
 	d.SinceSnapshot += o.SinceSnapshot
 	d.SnapshotsTotal += o.SnapshotsTotal
+	d.StaleRecords += o.StaleRecords
+	d.TruncatedBytes += o.TruncatedBytes
+	d.DirSyncErrors += o.DirSyncErrors
 	d.JournalErrors += o.JournalErrors
 	d.Checkpoints += o.Checkpoints
 	d.DedupEntries += o.DedupEntries
 	d.SnapshotEvery = o.SnapshotEvery
 	d.Fsync = o.Fsync
+}
+
+// ClusterStatus is the replication section of a metrics snapshot.
+type ClusterStatus struct {
+	Role         string `json:"role"`
+	ClusterEpoch uint64 `json:"cluster_epoch"`
+	// Leader is the base URL this node believes leads the cluster (its own
+	// Advertise while primary).
+	Leader string `json:"leader,omitempty"`
+	// Followers lists the primary's attached replication sessions, one per
+	// (follower conn, shard), with their ack-based lag.
+	Followers []FollowerReplica `json:"followers,omitempty"`
+	// Replication is the follower-side view: apply progress against the
+	// primary's stream.
+	Replication *ReplicationStatus `json:"replication,omitempty"`
+}
+
+// FollowerReplica is one attached follower stream, as the primary sees it.
+type FollowerReplica struct {
+	Addr       string `json:"addr"`
+	Shard      int    `json:"shard"`
+	SentSeq    int64  `json:"sent_seq"`
+	AckedSeq   int64  `json:"acked_seq"`
+	LagRecords int64  `json:"lag_records"`
+}
+
+// ReplicationStatus is a follower's apply progress, summed across shards.
+type ReplicationStatus struct {
+	Primary          string `json:"primary"`
+	Connected        int    `json:"connected"`
+	Shards           int    `json:"shards"`
+	AppliedSeq       int64  `json:"applied_seq"`
+	SourceSeq        int64  `json:"source_seq"`
+	LagRecords       int64  `json:"lag_records"`
+	SnapshotsApplied int64  `json:"snapshots_applied"`
+	RecordsApplied   int64  `json:"records_applied"`
 }
 
 // Defaulter is one detected misbehaving client.
@@ -392,6 +436,32 @@ func (s *Server) snapshot() Snapshot {
 	snap.MaxInflight = s.opts.MaxInflight
 	if s.faults != nil {
 		snap.Faults = s.faults.Stats()
+	}
+	if cc := s.opts.Cluster; cc != nil {
+		cs := &ClusterStatus{
+			Role:         s.Role(),
+			ClusterEpoch: s.ClusterEpoch(),
+			Leader:       s.LeaderHint(),
+		}
+		for _, f := range s.prim.Followers() {
+			cs.Followers = append(cs.Followers, FollowerReplica{
+				Addr: f.Addr, Shard: f.Shard,
+				SentSeq: f.SentSeq, AckedSeq: f.AckedSeq, LagRecords: f.Lag,
+			})
+		}
+		if rs, ok := s.replicaStats(); ok {
+			cs.Replication = &ReplicationStatus{
+				Primary:          cc.PrimaryAddr,
+				Connected:        rs.Connected,
+				Shards:           len(s.shards),
+				AppliedSeq:       rs.AppliedSeq,
+				SourceSeq:        rs.SourceSeq,
+				LagRecords:       rs.Lag(),
+				SnapshotsApplied: rs.Snapshots,
+				RecordsApplied:   rs.Records,
+			}
+		}
+		snap.Cluster = cs
 	}
 
 	var routeSnaps [numRoutes]histSnap

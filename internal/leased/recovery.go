@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/android/hooks"
@@ -76,6 +77,12 @@ type persistedState struct {
 	// Shard/Shards pin the routing this state was partitioned under.
 	Shard  int `json:"shard"`
 	Shards int `json:"shards"`
+
+	// ClusterEpoch is the leadership generation this state was written
+	// under; restoring it keeps epoch monotonicity across a crash, so a
+	// rebooted replica can never promote into a generation it has already
+	// seen. Zero (standalone daemons) is omitted.
+	ClusterEpoch uint64 `json:"cluster_epoch,omitempty"`
 
 	Clients []clientEntry `json:"clients,omitempty"`
 	NextUID int           `json:"next_uid"`
@@ -163,15 +170,22 @@ func Open(dir string, opts Options) (*Server, RecoveryInfo, error) {
 	if _, err := os.Stat(filepath.Join(dir, "journal.log")); err == nil {
 		return nil, RecoveryInfo{}, fmt.Errorf("leased: %s holds a pre-shard (flat) data layout; migrate it into %s or start from a fresh directory", dir, shardDir(0))
 	}
-	shards, infos, err := openShards(dir, opts)
+	ce := new(atomic.Uint64)
+	shards, infos, err := openShards(dir, opts, ce)
 	if err != nil {
 		return nil, RecoveryInfo{}, err
 	}
-	s := newServerShell(opts)
+	s := newServerShell(opts, ce)
 	s.shards = shards
+	// Followers keep their clocks unstarted: they remain in the recovery
+	// posture — continuously replaying the primary's stream — until
+	// promotion binds the replayed instants to real time.
+	follower := opts.Cluster != nil && opts.Cluster.Role == "follower"
 	var merged RecoveryInfo
 	for i, sh := range shards {
-		sh.clock.Start()
+		if !follower {
+			sh.clock.Start()
+		}
 		if !infos[i].SnapshotLoaded && infos[i].Replayed == 0 {
 			// First boot of this shard: write the initial checkpoint so the
 			// policy and shard count are pinned.
@@ -179,6 +193,7 @@ func Open(dir string, opts Options) (*Server, RecoveryInfo, error) {
 		}
 		merged.merge(infos[i])
 	}
+	s.initCluster()
 	return s, merged, nil
 }
 
@@ -197,7 +212,7 @@ func (s *Server) PerShardRecovery() []RecoveryInfo {
 // unstarted clock, in parallel — the shards' logs are disjoint, so their
 // replays share nothing. On any error all stores are closed and the first
 // error (lowest shard index) is returned.
-func openShards(dir string, opts Options) ([]*shard, []RecoveryInfo, error) {
+func openShards(dir string, opts Options, ce *atomic.Uint64) ([]*shard, []RecoveryInfo, error) {
 	n := opts.Shards
 	shards := make([]*shard, n)
 	infos := make([]RecoveryInfo, n)
@@ -212,7 +227,7 @@ func openShards(dir string, opts Options) ([]*shard, []RecoveryInfo, error) {
 				errs[i] = err
 				return
 			}
-			sh, info, err := recoverShard(i, store, res, opts)
+			sh, info, err := recoverShard(i, store, res, opts, ce)
 			if err != nil {
 				store.Close()
 				errs[i] = fmt.Errorf("%s: %w", shardDir(i), err)
@@ -239,8 +254,8 @@ func openShards(dir string, opts Options) ([]*shard, []RecoveryInfo, error) {
 // clock unstarted — frozen at the last journaled instant — so callers
 // (Open, and the crash-equality tests) can inspect or bind it to real time
 // themselves.
-func recoverShard(id int, store *durable.Store, res durable.OpenResult, opts Options) (*shard, RecoveryInfo, error) {
-	sh := newShard(id, opts, runtime.NewWallUnstarted())
+func recoverShard(id int, store *durable.Store, res durable.OpenResult, opts Options, ce *atomic.Uint64) (*shard, RecoveryInfo, error) {
+	sh := newShard(id, opts, runtime.NewWallUnstarted(), ce)
 	sh.store = store
 	info := RecoveryInfo{TruncatedBytes: res.TruncatedBytes, StaleRecords: res.StaleRecords}
 
@@ -278,7 +293,7 @@ func recoverShard(id int, store *durable.Store, res durable.OpenResult, opts Opt
 // order). Append failures degrade durability, not availability: the daemon
 // keeps serving and surfaces the error count in /metrics.
 func (sh *shard) journalLocked(rec *opRecord) {
-	if sh.store == nil {
+	if sh.store == nil && sh.repl == nil {
 		return
 	}
 	// Hand-rolled, byte-identical to json.Marshal (codec.go) — the journal
@@ -286,6 +301,15 @@ func (sh *shard) journalLocked(rec *opRecord) {
 	// reflection or garbage. The Append copies to the kernel before
 	// returning, so the shard-owned scratch is free to be reused.
 	sh.jbuf = appendOpRecord(sh.jbuf[:0], rec)
+	if sh.repl != nil {
+		// Publish the exact journal bytes to followers. Still inside the Do
+		// section, so stream order is clock order, same as the log. The
+		// subscriber copies into its own buffer; jbuf stays shard-owned.
+		sh.repl.Publish(sh.jbuf)
+	}
+	if sh.store == nil {
+		return
+	}
 	if err := sh.store.Append(sh.jbuf); err != nil {
 		sh.metrics.journalErrors.Add(1)
 		return
@@ -303,7 +327,10 @@ func (sh *shard) checkpointLocked() {
 	}
 	payload, err := json.Marshal(sh.captureState())
 	if err == nil {
-		err = sh.store.Checkpoint(payload)
+		// The durable epoch is floored into the current leadership
+		// generation's band, so a promotion's first checkpoints jump past
+		// every epoch a stale ex-primary could have written under.
+		err = sh.store.CheckpointAt(payload, sh.checkpointEpochTarget())
 	}
 	if err != nil {
 		sh.metrics.journalErrors.Add(1)
@@ -332,6 +359,9 @@ func (sh *shard) captureState() persistedState {
 		Shards:    sh.opts.Shards,
 		NextUID:   int(sh.nextUID),
 		NextObjID: sh.res.nextID,
+	}
+	if sh.cepoch != nil {
+		st.ClusterEpoch = sh.cepoch.Load()
 	}
 	for _, uid := range sortedUIDs(sh.clientName) {
 		st.Clients = append(st.Clients, clientEntry{Name: sh.clientName[uid], UID: int(uid)})
@@ -368,6 +398,24 @@ func (sh *shard) captureState() persistedState {
 // unstarted; the manager must be fresh.
 func (sh *shard) restoreState(st persistedState) error {
 	sh.clock.RunVirtual(st.Now)
+	return sh.restoreStateLocked(st)
+}
+
+// restoreStateLocked is restoreState minus the clock advance, for callers
+// already inside a Do section (the replication snapshot path, which resets
+// and advances the clock before entering the critical section).
+func (sh *shard) restoreStateLocked(st persistedState) error {
+	if sh.cepoch != nil {
+		// Adopt the persisted leadership generation, monotonically: the
+		// server-wide epoch is the max across shards (they are checkpointed
+		// at different instants, so bands can briefly differ on disk).
+		for {
+			cur := sh.cepoch.Load()
+			if st.ClusterEpoch <= cur || sh.cepoch.CompareAndSwap(cur, st.ClusterEpoch) {
+				break
+			}
+		}
+	}
 	sh.nextUID = power.UID(st.NextUID)
 	for _, c := range st.Clients {
 		sh.clients[c.Name] = power.UID(c.UID)

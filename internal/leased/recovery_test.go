@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"reflect"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -74,11 +75,12 @@ func markAndCapture(s *Server) []persistedState {
 func recoverCaptured(t *testing.T, dir string, opts Options) (*Server, RecoveryInfo, []persistedState) {
 	t.Helper()
 	opts = opts.withDefaults()
-	shards, infos, err := openShards(dir, opts)
+	ce := new(atomic.Uint64)
+	shards, infos, err := openShards(dir, opts, ce)
 	if err != nil {
 		t.Fatal(err)
 	}
-	s := newServerShell(opts)
+	s := newServerShell(opts, ce)
 	s.shards = shards
 	var merged RecoveryInfo
 	post := make([]persistedState, len(shards))

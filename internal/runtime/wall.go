@@ -81,6 +81,22 @@ func (w *Wall) RunVirtual(t simclock.Time) {
 	w.eng.RunUntil(t)
 }
 
+// ResetVirtual returns an unstarted wall's engine to virtual time zero with
+// an empty event queue (simclock.Engine.Reset), keeping allocated capacity.
+// It is the replication catch-up primitive: a follower that reconnects and
+// receives a fresh snapshot discards its divergent timeline wholesale and
+// replays the new state from zero, exactly as if the shard had just booted.
+// Like RunVirtual it is only legal before Start — once real time owns the
+// clock there is no instant at which the timeline can be swapped out.
+func (w *Wall) ResetVirtual() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.started {
+		panic("runtime: Wall.ResetVirtual after Start")
+	}
+	w.eng.Reset()
+}
+
 // Start binds the virtual timeline to real time — wall "now" becomes the
 // engine's current virtual instant, so a clock that replayed to t=41s
 // resumes at 41s, not zero — and launches the background firing loop.
@@ -95,6 +111,13 @@ func (w *Wall) Start() {
 	w.start = time.Now().Add(-time.Duration(w.eng.Now()))
 	w.mu.Unlock()
 	go w.loop()
+}
+
+// Started reports whether the virtual timeline has been bound to real time.
+func (w *Wall) Started() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.started
 }
 
 // SetLoopDelay installs the loop's pre-fire delay hook (nil uninstalls).

@@ -10,7 +10,7 @@
 #   E2E_BENCHTIME  iterations per e2e bench     (default 5x)
 set -euo pipefail
 
-OUT="${1:-BENCH_8.json}"
+OUT="${1:-BENCH_9.json}"
 BENCHTIME="${BENCHTIME:-1000x}"
 E2E_BENCHTIME="${E2E_BENCHTIME:-5x}"
 FLEET_BENCHTIME="${FLEET_BENCHTIME:-2000x}"
@@ -29,9 +29,12 @@ go test -run '^$' -bench . -benchmem -benchtime "$BENCHTIME" \
 # batch apply loop at several group sizes (its ns/op is per op, so the two
 # are directly comparable). Scaling only shows on a multi-core runner; the
 # sub-bench names carry the shard count so the trajectory is comparable
-# across PRs either way.
-go test -run '^$' -bench '^(BenchmarkShardedApply|BenchmarkBatchApply)$' -benchmem -benchtime "$BENCHTIME" \
-	./internal/leased | tee -a "$tmp"
+# across PRs either way. ReplicatedApply is the same apply loop with a
+# replication stream attached (the zero-alloc pin with the cluster layer in
+# the path); ReplicationStream pushes records through a real TCP follower
+# and reports frames/s plus the publish-end backlog as lag_records.
+go test -run '^$' -bench '^(BenchmarkShardedApply|BenchmarkBatchApply|BenchmarkReplicatedApply|BenchmarkReplicationStream)$' \
+	-benchmem -benchtime "$BENCHTIME" ./internal/leased | tee -a "$tmp"
 
 # End-to-end: the three experiment regenerations the perf work is judged on.
 go test -run '^$' -bench '^(BenchmarkBatteryLife|BenchmarkFigure12|BenchmarkTable5)$' \
@@ -50,16 +53,20 @@ awk '
 /^Benchmark/ {
 	name = $1
 	sub(/-[0-9]+$/, "", name)
-	ns = ""; allocs = "0"; dps = ""
+	ns = ""; allocs = "0"; dps = ""; fps = ""; lag = ""
 	for (i = 2; i < NF; i++) {
 		if ($(i + 1) == "ns/op") ns = $i
 		if ($(i + 1) == "allocs/op") allocs = $i
 		if ($(i + 1) == "devices/sec") dps = $i
+		if ($(i + 1) == "frames/s") fps = $i
+		if ($(i + 1) == "lag_records") lag = $i
 	}
 	if (ns == "") next
 	if (n++) printf ",\n"
 	printf "  {\"name\": \"%s\", \"ns_op\": %s, \"allocs_op\": %s", name, ns, allocs
 	if (dps != "") printf ", \"devices_sec\": %s", dps
+	if (fps != "") printf ", \"frames_sec\": %s", fps
+	if (lag != "") printf ", \"lag_records\": %s", lag
 	printf "}"
 }
 BEGIN { print "[" }

@@ -7,11 +7,12 @@
 #
 #   - allocs/op must not increase for ANY benchmark present in both files
 #     (allocation counts are deterministic; any increase is a real
-#     regression), and the zero-alloc pins (ShardedApply, BatchApply) must
-#     stay at exactly 0 regardless of what the old file says.
+#     regression), and the zero-alloc pins (ShardedApply, BatchApply,
+#     ReplicatedApply — the serve path with a replication stream attached)
+#     must stay at exactly 0 regardless of what the old file says.
 #   - ns/op on the PINNED set must not regress by more than THRESHOLD
 #     (default 10%). The default set is the daemon serving path
-#     (ShardedApply, BatchApply) — benches slow enough (hundreds of ns)
+#     (ShardedApply, BatchApply, ReplicatedApply) — benches slow enough
 #     that 10% means something; the ~100 ns kernel micros swing ±25%
 #     run-to-run on a shared box, so they are alloc-gated only. Widen via
 #     PINNED when running on a quiet machine.
@@ -28,7 +29,7 @@ set -euo pipefail
 OLD="$1"
 NEW="$2"
 THRESHOLD="${THRESHOLD:-0.10}"
-PINNED="${PINNED:-^Benchmark(ShardedApply|BatchApply)}"
+PINNED="${PINNED:-^Benchmark(ShardedApply|BatchApply|ReplicatedApply)}"
 
 [ -f "$OLD" ] || { echo "bench_gate: missing $OLD" >&2; exit 2; }
 [ -f "$NEW" ] || { echo "bench_gate: missing $NEW" >&2; exit 2; }
@@ -64,7 +65,7 @@ for name in shared:
 
 # The zero-alloc acceptance pins hold unconditionally.
 for name, rec in new.items():
-    if re.search(r"^Benchmark(ShardedApply|BatchApply)", name) and rec["allocs_op"] != 0:
+    if re.search(r"^Benchmark(ShardedApply|BatchApply|ReplicatedApply)", name) and rec["allocs_op"] != 0:
         failures.append(f"{name}: allocs/op = {rec['allocs_op']}, pinned at 0")
 
 # PR 8 acceptance pins: the world-reuse work dropped BatteryLife from ~64k

@@ -145,10 +145,13 @@ echo "chaos: $ops ops, $lost lost, $deduped deduped, 0 doubles"
 ### Phase 2b: the same chaos against batched traffic. Renews ride /v1/batch
 ### with per-op request IDs; a dropped batch response forces a whole-batch
 ### resend that must be answered op-by-op from the dedup cache, with zero
-### double-applied acquires.
+### double-applied acquires. -prefix gives this phase its own client
+### population: phase-2 leases live on in the daemon, and a name collision
+### would carry their server-side acquire counts into this run's
+### double-apply cross-check.
 echo "== phase 2b: fault injection over /v1/batch =="
 "$bin/leaseload" -addr "http://$ADDR" -duration "$DURATION" -beat 5ms \
-    -mix normal=4,crash=2 -batch 16 -retries 6 -seed 5 \
+    -mix normal=4,crash=2 -batch 16 -retries 6 -seed 5 -prefix b- \
     -faults "client.drop=0.05" -require-no-doubles \
     > "$ARTIFACTS/load_batch_chaos.json" 2> /dev/null
 
