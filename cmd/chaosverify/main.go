@@ -24,6 +24,19 @@
 //   - with -require-epoch-bump, the post snapshot's cluster_epoch exceeds
 //     the pre snapshot's (a fenced leadership change happened in between).
 //
+// Monitor mode (mutually exclusive with -pre/-post) watches a live cluster
+// while a partition scenario runs:
+//
+//	chaosverify -monitor "http://a:7070,http://b:7070,http://c:7070" \
+//	    -monitor-interval 100ms -monitor-out rounds.jsonl
+//
+// Every interval it polls each node's /v1/election document and verifies
+// that at most one node is a writable primary per round and that no node's
+// cluster_epoch moves backwards. Unreachable nodes are skipped — partitions
+// make nodes unreachable by design. With -monitor-duration 0 it runs until
+// SIGINT/SIGTERM, so a chaos script can start it in the background and
+// gate on its exit status after the scenario.
+//
 // The pre and post snapshots need not come from the same node: in the
 // cluster chaos loop pre is the doomed primary and post is the promoted
 // follower, and the checks then prove replication+failover preserved the
@@ -39,6 +52,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"time"
 
 	"repro/internal/leased"
 )
@@ -64,10 +78,21 @@ func main() {
 		reqNoReplay = flag.Bool("require-zero-replay", false, "fail unless the restart replayed nothing")
 		reqRole     = flag.String("require-role", "", "fail unless the post snapshot's cluster role matches (e.g. primary)")
 		reqEpoch    = flag.Bool("require-epoch-bump", false, "fail unless the post snapshot's cluster_epoch exceeds the pre snapshot's (a failover happened)")
+
+		monitorURLs = flag.String("monitor", "", "comma-separated node base URLs: sample /v1/election continuously instead of comparing snapshots")
+		monitorIvl  = flag.Duration("monitor-interval", 100*time.Millisecond, "sampling interval in monitor mode")
+		monitorDur  = flag.Duration("monitor-duration", 0, "how long to monitor (0 = until SIGINT/SIGTERM)")
+		monitorOut  = flag.String("monitor-out", "", "JSONL file receiving one line per sampling round")
 	)
 	flag.Parse()
 	log.SetPrefix("chaosverify: ")
 	log.SetFlags(0)
+	if *monitorURLs != "" {
+		if runMonitor(*monitorURLs, *monitorIvl, *monitorDur, *monitorOut) > 0 {
+			os.Exit(2)
+		}
+		return
+	}
 	if *prePath == "" || *postPath == "" {
 		log.Fatal("both -pre and -post are required")
 	}

@@ -1,0 +1,164 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+)
+
+// Monitor mode: instead of comparing two snapshots around one restart,
+// continuously sample every node's /v1/election document while a partition
+// scenario runs, and verify the two invariants a lease-based failover must
+// never break at ANY instant:
+//
+//   - at most one node is a writable primary per sampling round;
+//   - no node's cluster_epoch ever moves backwards.
+//
+// An unreachable node is not a violation — partitions make nodes
+// unreachable by design; the invariants are over what the reachable nodes
+// claim. Every round is appended to -monitor-out as one JSON line, so a
+// failing run leaves the full timeline for the post-mortem.
+
+// electionDoc mirrors the wire shape of GET /v1/election.
+type electionDoc struct {
+	NodeID       string `json:"node_id"`
+	Role         string `json:"role"`
+	ClusterEpoch uint64 `json:"cluster_epoch"`
+	Writable     bool   `json:"writable"`
+	Suspect      bool   `json:"suspect"`
+	AppliedSeq   int64  `json:"applied_seq"`
+	Leader       string `json:"leader,omitempty"`
+}
+
+// monitorNode is one node's slot in a round's JSONL record.
+type monitorNode struct {
+	URL      string `json:"url"`
+	OK       bool   `json:"ok"`
+	Node     string `json:"node,omitempty"`
+	Role     string `json:"role,omitempty"`
+	Epoch    uint64 `json:"epoch"`
+	Writable bool   `json:"writable"`
+	Suspect  bool   `json:"suspect"`
+}
+
+type monitorRound struct {
+	MS    int64         `json:"ms"`
+	Nodes []monitorNode `json:"nodes"`
+}
+
+// runMonitor samples until duration elapses (0 = until SIGINT/SIGTERM) and
+// returns the number of invariant violations observed.
+func runMonitor(urlList string, interval, duration time.Duration, outPath string) int {
+	urls := []string{}
+	for _, u := range strings.Split(urlList, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			urls = append(urls, strings.TrimRight(u, "/"))
+		}
+	}
+	if len(urls) == 0 {
+		fmt.Fprintln(os.Stderr, "chaosverify: -monitor needs at least one URL")
+		os.Exit(1)
+	}
+	var out *os.File
+	if outPath != "" {
+		f, err := os.Create(outPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "chaosverify: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		out = f
+	}
+
+	client := &http.Client{Timeout: maxDur(interval, 500*time.Millisecond)}
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	var deadline <-chan time.Time
+	if duration > 0 {
+		deadline = time.After(duration)
+	}
+
+	start := time.Now()
+	lastEpoch := map[string]uint64{}
+	rounds, violations := 0, 0
+	enc := json.NewEncoder(os.Stderr)
+	if out != nil {
+		enc = json.NewEncoder(out)
+	}
+	violate := func(format string, args ...any) {
+		violations++
+		fmt.Fprintf(os.Stderr, "chaosverify: VIOLATION: "+format+"\n", args...)
+	}
+
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		round := monitorRound{MS: time.Since(start).Milliseconds()}
+		writable := []string{}
+		for _, u := range urls {
+			mn := monitorNode{URL: u}
+			if doc, err := fetchElection(client, u); err == nil {
+				mn.OK = true
+				mn.Node, mn.Role = doc.NodeID, doc.Role
+				mn.Epoch, mn.Writable, mn.Suspect = doc.ClusterEpoch, doc.Writable, doc.Suspect
+				if doc.Writable && doc.Role == "primary" {
+					writable = append(writable, u)
+				}
+				if prev, seen := lastEpoch[u]; seen && doc.ClusterEpoch < prev {
+					violate("node %s (%s) epoch went backwards: %d -> %d", doc.NodeID, u, prev, doc.ClusterEpoch)
+				}
+				lastEpoch[u] = doc.ClusterEpoch
+			}
+			round.Nodes = append(round.Nodes, mn)
+		}
+		if len(writable) > 1 {
+			violate("%d writable primaries at once: %s", len(writable), strings.Join(writable, " "))
+		}
+		rounds++
+		if out != nil {
+			if err := enc.Encode(round); err != nil {
+				fmt.Fprintf(os.Stderr, "chaosverify: write %s: %v\n", outPath, err)
+				os.Exit(1)
+			}
+		}
+
+		select {
+		case sig := <-sigc:
+			fmt.Fprintf(os.Stderr, "chaosverify: monitor stopping on %v\n", sig)
+			return summary(rounds, violations)
+		case <-deadline:
+			return summary(rounds, violations)
+		case <-tick.C:
+		}
+	}
+}
+
+func summary(rounds, violations int) int {
+	fmt.Printf("chaosverify: monitor observed %d rounds, %d violation(s)\n", rounds, violations)
+	return violations
+}
+
+func fetchElection(client *http.Client, baseURL string) (electionDoc, error) {
+	var doc electionDoc
+	resp, err := client.Get(baseURL + "/v1/election")
+	if err != nil {
+		return doc, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return doc, fmt.Errorf("status %d", resp.StatusCode)
+	}
+	return doc, json.NewDecoder(resp.Body).Decode(&doc)
+}
+
+func maxDur(a, b time.Duration) time.Duration {
+	if a > b {
+		return a
+	}
+	return b
+}

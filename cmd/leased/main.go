@@ -40,6 +40,7 @@ import (
 	"net/http/httptest"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -71,6 +72,13 @@ func main() {
 		primary   = flag.String("primary", "", "the current primary's replication address to follow (followers)")
 		advertise = flag.String("advertise", "", "this node's client-facing base URL, handed to followers as the Leader hint")
 		promote   = flag.String("promote", "", "admin verb: POST /v1/promote to the daemon at this base URL, print the result, exit")
+
+		nodeID       = flag.String("node-id", "", "this node's stable identity within -peers (auto-failover)")
+		peersSpec    = flag.String("peers", "", `cluster membership "id,url,repladdr;id,url,repladdr;..." — every node lists all peers, itself included`)
+		autoFailover = flag.Bool("auto-failover", false, "run the autopilot: leadership lease on the primary, failure detection + fenced self-promotion on followers")
+		leaseTermF   = flag.Duration("lease-term", 0, "leadership lease: quorum-ack window the primary must renew within (0 = derived from ping cadence)")
+		pingEvery    = flag.Duration("ping-every", 0, "replication ping interval (0 = 250ms default)")
+		missedPings  = flag.Int("missed-pings", 0, "consecutive silent ping intervals before a follower suspects the primary (0 = 4 default)")
 	)
 	flag.Parse()
 	log.SetPrefix("leased: ")
@@ -121,11 +129,21 @@ func main() {
 		if *role == "follower" && *primary == "" {
 			log.Fatal("-role follower requires -primary host:port")
 		}
+		peers, err := parsePeers(*peersSpec)
+		if err != nil {
+			log.Fatal(err)
+		}
 		opts.Cluster = &leased.ClusterConfig{
-			Role:        *role,
-			PrimaryAddr: *primary,
-			Advertise:   *advertise,
-			Logf:        log.Printf,
+			Role:         *role,
+			PrimaryAddr:  *primary,
+			Advertise:    *advertise,
+			NodeID:       *nodeID,
+			Peers:        peers,
+			AutoFailover: *autoFailover,
+			LeaseTerm:    *leaseTermF,
+			PingEvery:    *pingEvery,
+			MissedPings:  *missedPings,
+			Logf:         log.Printf,
 		}
 	}
 	var srv *leased.Server
@@ -160,6 +178,13 @@ func main() {
 				log.Fatalf("follow %s: %v", *primary, err)
 			}
 			log.Printf("following primary at %s", *primary)
+		}
+		if *autoFailover {
+			if err := srv.StartAutoFailover(); err != nil {
+				log.Fatalf("auto-failover: %v", err)
+			}
+			log.Printf("auto-failover armed: node=%s peers=%d ping=%v missed=%d lease=%v",
+				*nodeID, strings.Count(*peersSpec, ";")+1, *pingEvery, *missedPings, *leaseTermF)
 		}
 		log.Printf("cluster role=%s epoch=%d", srv.Role(), srv.ClusterEpoch())
 	}
@@ -202,4 +227,29 @@ func main() {
 	srv.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
 	fmt.Fprintf(os.Stderr, "leased: final metrics:\n%s", rec.Body.String())
 	log.Printf("shutdown complete")
+}
+
+// parsePeers decodes the -peers membership list: semicolon-separated
+// "id,url,repladdr" triples.
+func parsePeers(spec string) ([]leased.Peer, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	var out []leased.Peer
+	for _, entry := range strings.Split(spec, ";") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		parts := strings.Split(entry, ",")
+		if len(parts) != 3 {
+			return nil, fmt.Errorf(`-peers entry %q: want "id,url,repladdr"`, entry)
+		}
+		out = append(out, leased.Peer{
+			ID:       strings.TrimSpace(parts[0]),
+			URL:      strings.TrimSpace(parts[1]),
+			ReplAddr: strings.TrimSpace(parts[2]),
+		})
+	}
+	return out, nil
 }

@@ -1,0 +1,153 @@
+// Command netchaos runs a set of named TCP impairment proxies under one
+// HTTP control plane — the network a partition-chaos script reshapes while
+// a cluster runs through it:
+//
+//	netchaos -ctl 127.0.0.1:7999 \
+//	    -link b_a_repl=127.0.0.1:8101>127.0.0.1:7171 \
+//	    -link c_a_repl=127.0.0.1:8102>127.0.0.1:7171
+//
+// Each -link NAME=LISTEN>TARGET starts one directed proxy: connections
+// accepted on LISTEN relay to TARGET under that link's current impairment
+// spec (see internal/netchaos for the grammar: blackhole, drop=c2s|s2c,
+// delay, flap). The control listener serves:
+//
+//	GET /set?link=NAME&spec=SPEC   replace one link's impairment ("" heals)
+//	GET /set?link=all&spec=SPEC    replace every link's impairment
+//	GET /links                     JSON: every link's name, addrs and spec
+//
+// Specs pass through URL query escaping, so "blackhole=1" arrives as
+// spec=blackhole%3D1 — curl --data-urlencode or the scripts' helper handle
+// that. SIGINT/SIGTERM shut everything down.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"sort"
+	"strings"
+	"sync"
+	"syscall"
+
+	"repro/internal/netchaos"
+)
+
+// linkFlag collects repeated -link NAME=LISTEN>TARGET values.
+type linkFlag []string
+
+func (l *linkFlag) String() string     { return strings.Join(*l, " ") }
+func (l *linkFlag) Set(v string) error { *l = append(*l, v); return nil }
+
+type link struct {
+	proxy *netchaos.Proxy
+
+	mu   sync.Mutex
+	spec string
+}
+
+func (ln *link) configure(spec string) error {
+	if err := ln.proxy.Configure(spec); err != nil {
+		return err
+	}
+	ln.mu.Lock()
+	ln.spec = spec
+	ln.mu.Unlock()
+	return nil
+}
+
+func main() {
+	var links linkFlag
+	ctl := flag.String("ctl", "127.0.0.1:7999", "control-plane listen address")
+	flag.Var(&links, "link", "NAME=LISTEN>TARGET directed proxy (repeatable)")
+	flag.Parse()
+	log.SetPrefix("netchaos: ")
+	log.SetFlags(log.LstdFlags | log.Lmicroseconds)
+	if len(links) == 0 {
+		log.Fatal("at least one -link NAME=LISTEN>TARGET is required")
+	}
+
+	all := map[string]*link{}
+	for _, spec := range links {
+		name, rest, ok := strings.Cut(spec, "=")
+		if !ok {
+			log.Fatalf("-link %q: want NAME=LISTEN>TARGET", spec)
+		}
+		listen, target, ok := strings.Cut(rest, ">")
+		if !ok {
+			log.Fatalf("-link %q: want NAME=LISTEN>TARGET", spec)
+		}
+		if _, dup := all[name]; dup {
+			log.Fatalf("-link %q: duplicate name", name)
+		}
+		p, err := netchaos.Listen(listen, target)
+		if err != nil {
+			log.Fatalf("-link %s: %v", name, err)
+		}
+		all[name] = &link{proxy: p}
+		log.Printf("link %s: %s > %s", name, p.Addr(), target)
+	}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /set", func(w http.ResponseWriter, r *http.Request) {
+		name := r.URL.Query().Get("link")
+		spec := r.URL.Query().Get("spec")
+		targets := []*link{}
+		if name == "all" {
+			for _, ln := range all {
+				targets = append(targets, ln)
+			}
+		} else if ln, ok := all[name]; ok {
+			targets = append(targets, ln)
+		} else {
+			http.Error(w, fmt.Sprintf("no link %q", name), http.StatusNotFound)
+			return
+		}
+		for _, ln := range targets {
+			if err := ln.configure(spec); err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+		}
+		log.Printf("set %s: %q", name, spec)
+		fmt.Fprintf(w, "ok: %s = %q\n", name, spec)
+	})
+	mux.HandleFunc("GET /links", func(w http.ResponseWriter, r *http.Request) {
+		type row struct {
+			Name   string `json:"name"`
+			Listen string `json:"listen"`
+			Target string `json:"target"`
+			Spec   string `json:"spec"`
+		}
+		rows := []row{}
+		for name, ln := range all {
+			ln.mu.Lock()
+			rows = append(rows, row{Name: name, Listen: ln.proxy.Addr(), Target: ln.proxy.Target(), Spec: ln.spec})
+			ln.mu.Unlock()
+		}
+		sort.Slice(rows, func(i, j int) bool { return rows[i].Name < rows[j].Name })
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(rows)
+	})
+
+	hs := &http.Server{Addr: *ctl, Handler: mux}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	log.Printf("control plane on %s (%d links)", *ctl, len(all))
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		log.Printf("received %v, shutting down", sig)
+	case err := <-errc:
+		log.Fatalf("control plane: %v", err)
+	}
+	hs.Close()
+	for _, ln := range all {
+		ln.proxy.Close()
+	}
+}

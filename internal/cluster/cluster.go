@@ -3,6 +3,16 @@
 // TCP to N followers, each of which replays them onto an unstarted wall —
 // the PR 5 recovery path running continuously instead of once at boot.
 //
+// The same stream doubles as the liveness channel. The primary pings every
+// Tuning.PingEvery even when idle; a follower that misses
+// Tuning.MissedPings consecutive ping intervals on every shard considers
+// the primary suspect (its read deadline kills the stalled session — a
+// blackholed primary looks exactly like a dead one). Symmetrically, the
+// acks followers send back are the primary's leadership lease renewals:
+// AckedNodes reports how many distinct followers acked recently, which the
+// daemon layer compares against its quorum to decide whether its lease is
+// still held.
+//
 // The package deliberately knows nothing about leases. It moves opaque
 // record bytes between a Source (the primary daemon) and an Applier (a
 // follower daemon), using the journal's own frame discipline on the wire
@@ -31,8 +41,49 @@
 // checkpoint on its own cadence.
 package cluster
 
+import "time"
+
 // Proto is the wire protocol version pinned in the Hello/Welcome handshake.
 const Proto = 1
+
+// Tuning sets the heartbeat cadence and failure-detection threshold shared
+// by both ends of a replication session. Zero fields take the defaults; the
+// two ends should agree on PingEvery (the follower's read deadline is
+// derived from it) but nothing breaks if they drift — a follower tuned
+// tighter than its primary pings just suspects it sooner.
+type Tuning struct {
+	// PingEvery is the primary's heartbeat interval per shard stream.
+	PingEvery time.Duration // default 250ms
+	// MissedPings is how many consecutive silent ping intervals a follower
+	// tolerates on a stream before killing the session; a node whose every
+	// shard has been silent that long is suspect.
+	MissedPings int // default 4
+	// HandshakeTimeout bounds the dial-to-snapshot portion of a session,
+	// which legitimately takes longer than a ping interval (the snapshot
+	// can be large).
+	HandshakeTimeout time.Duration // default 5s
+}
+
+// WithDefaults fills zero fields with the package defaults.
+func (t Tuning) WithDefaults() Tuning {
+	if t.PingEvery <= 0 {
+		t.PingEvery = pingEvery
+	}
+	if t.MissedPings <= 0 {
+		t.MissedPings = 4
+	}
+	if t.HandshakeTimeout <= 0 {
+		t.HandshakeTimeout = helloTimeout
+	}
+	return t
+}
+
+// DetectAfter is the silence threshold implied by the tuning: a stream (and
+// transitively a primary) silent this long is considered failed.
+func (t Tuning) DetectAfter() time.Duration {
+	t = t.WithDefaults()
+	return time.Duration(t.MissedPings) * t.PingEvery
+}
 
 // Frame tags multiplexed over a replication connection. They ride in the
 // first payload byte of a durable stream frame.
@@ -47,13 +98,22 @@ const (
 	frameAck      = 'A' // follower → primary: u64 LE applied sequence
 )
 
-// Hello is the follower's opening frame.
+// Hello is the follower's opening frame. Probe hellos are the failure
+// detector's epoch-exchange: the dialer wants the refusal (which carries the
+// target's epoch and leader hint), not a stream — the target answers and
+// closes without capturing a snapshot. Because the epoch check runs before
+// the probe check, a probe from a higher epoch still fences a stale primary,
+// which is how a healed minority leader learns it was deposed without
+// anybody re-following it.
 type Hello struct {
 	Proto  int    `json:"proto"`
 	Shard  int    `json:"shard"`
 	Shards int    `json:"shards"`
 	Epoch  uint64 `json:"cluster_epoch"`
 	Config string `json:"config"`
+	Node   string `json:"node,omitempty"`   // dialer's node ID, for lease accounting
+	Leader string `json:"leader,omitempty"` // dialer's best leader hint (probes)
+	Probe  bool   `json:"probe,omitempty"`  // epoch exchange only; expect a refusal
 }
 
 // Welcome is the primary's accepting reply.
@@ -72,6 +132,9 @@ type Welcome struct {
 type ErrMsg struct {
 	Error  string `json:"error"`
 	Leader string `json:"leader,omitempty"`
+	// Epoch is the refuser's cluster epoch, so a probing peer can tell
+	// whether it is the stale side of the disagreement.
+	Epoch uint64 `json:"cluster_epoch,omitempty"`
 }
 
 // Meta is the Source's self-description, consulted per handshake so role
@@ -92,9 +155,11 @@ type Source interface {
 	// the stream sequence as of the capture. Everything published after
 	// flows to sub; nothing before does — the snapshot covers it.
 	SnapshotShard(shard int, sub *Subscriber) (payload []byte, seq int64, err error)
-	// ObserveEpoch reports proof that cluster epoch e exists somewhere. A
-	// primary at a lower epoch has been deposed and must fence itself.
-	ObserveEpoch(e uint64)
+	// ObserveEpoch reports proof that cluster epoch e exists somewhere,
+	// together with the observer's best guess at who leads it (may be
+	// empty). A primary at a lower epoch has been deposed and must fence
+	// itself.
+	ObserveEpoch(e uint64, leader string)
 }
 
 // Applier is the follower daemon as the replication layer sees it. Calls

@@ -1,0 +1,50 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+func TestNextRedialDelayGrowsAndCaps(t *testing.T) {
+	want := []time.Duration{
+		200 * time.Millisecond, // 100ms * 2
+		400 * time.Millisecond,
+		800 * time.Millisecond,
+		redialMax, // 1.6s capped to 1s
+		redialMax, // stays pinned
+	}
+	d := redialMin
+	for i, w := range want {
+		d = nextRedialDelay(d)
+		if d != w {
+			t.Fatalf("step %d: delay = %v, want %v", i, d, w)
+		}
+	}
+}
+
+func TestJitterDelayBounds(t *testing.T) {
+	const floor = redialMin / 4
+	// At or below the floor the delay passes through untouched — tiny
+	// backoffs don't need spreading and must never round down to a spin.
+	for _, d := range []time.Duration{0, floor / 2, floor} {
+		if got := jitterDelay(d, func(n int64) int64 { return 0 }); got != d {
+			t.Fatalf("jitterDelay(%v) = %v, want unchanged", d, got)
+		}
+	}
+	// Above the floor, the result is uniform over (0, delay] but clamped to
+	// the floor: probe the extremes of the injected randomness.
+	for _, d := range []time.Duration{redialMin, redialMax} {
+		if got := jitterDelay(d, func(n int64) int64 { return 0 }); got != floor {
+			t.Fatalf("jitterDelay(%v) with rand=0 gives %v, want floor %v", d, got, floor)
+		}
+		if got := jitterDelay(d, func(n int64) int64 { return n - 1 }); got != d {
+			t.Fatalf("jitterDelay(%v) with rand=max gives %v, want %v", d, got, d)
+		}
+	}
+	// The generator is asked for exactly the delay's range.
+	var asked int64
+	jitterDelay(redialMax, func(n int64) int64 { asked = n; return 0 })
+	if asked != int64(redialMax) {
+		t.Fatalf("jitterDelay asked randn(%d), want %d", asked, int64(redialMax))
+	}
+}

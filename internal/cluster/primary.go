@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/durable"
+	"repro/internal/faults"
 )
 
 const (
@@ -139,6 +140,7 @@ func clearTail(subs []*Subscriber, from int) {
 type Subscriber struct {
 	shard int
 	addr  string
+	node  string // follower's self-declared node ID (Hello.Node); may be ""
 
 	mu       sync.Mutex
 	pending  []byte
@@ -146,9 +148,10 @@ type Subscriber struct {
 	overflow bool
 	kick     chan struct{}
 
-	sent   atomic.Int64
-	acked  atomic.Int64
-	closed atomic.Bool
+	sent    atomic.Int64
+	acked   atomic.Int64
+	lastAck atomic.Int64 // UnixNano of the last ack frame (attach counts)
+	closed  atomic.Bool
 }
 
 // NewSubscriber returns a subscriber for one shard stream; addr is
@@ -204,10 +207,14 @@ func (sub *Subscriber) give(buf []byte) {
 // /metrics on the primary side.
 type FollowerStat struct {
 	Addr     string `json:"addr"`
+	Node     string `json:"node,omitempty"`
 	Shard    int    `json:"shard"`
 	SentSeq  int64  `json:"sent_seq"`
 	AckedSeq int64  `json:"acked_seq"`
 	Lag      int64  `json:"lag_records"`
+	// LastAckMS is milliseconds since this subscriber last acked — the
+	// primary-side view of the lease renewal stream.
+	LastAckMS int64 `json:"last_ack_ms"`
 }
 
 // Primary owns the replication listener and the per-shard streams. It is
@@ -217,6 +224,13 @@ type FollowerStat struct {
 type Primary struct {
 	src     Source
 	streams []*ShardStream
+	tune    Tuning
+
+	// Fault-injection sites for flaky-replication tests: drop fires on the
+	// handshake (session dies right after Hello) and before sender writes
+	// (session dies mid-stream); delay stalls sender writes. Nil-safe.
+	dropSite  *faults.Site
+	delaySite *faults.Site
 
 	mu     sync.Mutex
 	ln     net.Listener
@@ -238,6 +252,45 @@ func NewPrimary(src Source, shards int) *Primary {
 
 // Stream returns shard i's fan-out point for the daemon's publish taps.
 func (p *Primary) Stream(i int) *ShardStream { return p.streams[i] }
+
+// SetTuning overrides the heartbeat cadence. Call before Serve.
+func (p *Primary) SetTuning(t Tuning) { p.tune = t.WithDefaults() }
+
+// SetFaults wires the replication fault-injection sites (repl.drop,
+// repl.delay). Call before Serve; either may be nil.
+func (p *Primary) SetFaults(drop, delay *faults.Site) {
+	p.dropSite, p.delaySite = drop, delay
+}
+
+func (p *Primary) tuning() Tuning { return p.tune.WithDefaults() }
+
+// AckedNodes counts the distinct follower nodes that acked within the last
+// window — the primary's lease-renewal evidence. Distinctness is by
+// Hello.Node when the follower declared one, falling back to remote host so
+// pre-lease followers still count as one node each. The caller adds itself
+// before comparing against its quorum.
+func (p *Primary) AckedNodes(window time.Duration) int {
+	cutoff := time.Now().Add(-window).UnixNano()
+	seen := make(map[string]struct{}, 4)
+	for _, st := range p.streams {
+		st.mu.Lock()
+		for _, sub := range st.subs {
+			if sub.closed.Load() || sub.lastAck.Load() < cutoff {
+				continue
+			}
+			id := sub.node
+			if id == "" {
+				id = sub.addr
+				if host, _, err := net.SplitHostPort(sub.addr); err == nil {
+					id = host
+				}
+			}
+			seen[id] = struct{}{}
+		}
+		st.mu.Unlock()
+	}
+	return len(seen)
+}
 
 // Serve accepts replication connections until the listener closes. Run it
 // on its own goroutine.
@@ -295,12 +348,21 @@ func (p *Primary) Followers() []FollowerStat {
 				continue
 			}
 			sent, acked := sub.sent.Load(), sub.acked.Load()
+			ackMS := int64(0)
+			if la := sub.lastAck.Load(); la > 0 {
+				ackMS = (time.Now().UnixNano() - la) / int64(time.Millisecond)
+				if ackMS < 0 {
+					ackMS = 0
+				}
+			}
 			out = append(out, FollowerStat{
-				Addr:     sub.addr,
-				Shard:    sub.shard,
-				SentSeq:  sent,
-				AckedSeq: acked,
-				Lag:      sent - acked,
+				Addr:      sub.addr,
+				Node:      sub.node,
+				Shard:     sub.shard,
+				SentSeq:   sent,
+				AckedSeq:  acked,
+				Lag:       sent - acked,
+				LastAckMS: ackMS,
 			})
 		}
 		st.mu.Unlock()
@@ -321,10 +383,11 @@ func (p *Primary) drop(conn net.Conn) {
 	p.mu.Unlock()
 }
 
-// refuse sends an error frame with a leader hint and closes.
-func (p *Primary) refuse(conn net.Conn, msg, leader string) {
-	b, _ := json.Marshal(ErrMsg{Error: msg, Leader: leader})
-	conn.SetWriteDeadline(time.Now().Add(helloTimeout))
+// refuse sends an error frame carrying a leader hint and our epoch, then
+// lets the caller close. The epoch lets probing peers compare generations.
+func (p *Primary) refuse(conn net.Conn, msg, leader string, epoch uint64) {
+	b, _ := json.Marshal(ErrMsg{Error: msg, Leader: leader, Epoch: epoch})
+	conn.SetWriteDeadline(time.Now().Add(p.tuning().HandshakeTimeout))
 	conn.Write(durable.AppendFrame(nil, frameError, b))
 }
 
@@ -334,7 +397,7 @@ func (p *Primary) handle(conn net.Conn) {
 	defer p.wg.Done()
 	defer p.drop(conn)
 
-	conn.SetReadDeadline(time.Now().Add(helloTimeout))
+	conn.SetReadDeadline(time.Now().Add(p.tuning().HandshakeTimeout))
 	sr := durable.NewStreamReader(conn)
 	tag, payload, err := sr.ReadFrame()
 	if err != nil || tag != frameHello {
@@ -348,32 +411,46 @@ func (p *Primary) handle(conn net.Conn) {
 	switch {
 	case h.Epoch > meta.Epoch:
 		// The peer has seen a later leadership generation than ours: we are
-		// (or are about to be) deposed. Fence before refusing.
-		p.src.ObserveEpoch(h.Epoch)
-		p.refuse(conn, fmt.Sprintf("peer at cluster epoch %d, this node at %d", h.Epoch, meta.Epoch), meta.Leader)
+		// (or are about to be) deposed. Fence before refusing, then refuse
+		// with the leader hint the observation may just have taught us.
+		p.src.ObserveEpoch(h.Epoch, h.Leader)
+		meta = p.src.Meta()
+		p.refuse(conn, fmt.Sprintf("peer at cluster epoch %d, this node at %d", h.Epoch, meta.Epoch), meta.Leader, meta.Epoch)
+		return
+	case h.Probe:
+		// Epoch exchange only: the prober wants our generation and leader
+		// hint, which the refusal carries.
+		p.refuse(conn, "probe", meta.Leader, meta.Epoch)
 		return
 	case !meta.Primary:
-		p.refuse(conn, "not the leader", meta.Leader)
+		p.refuse(conn, "not the leader", meta.Leader, meta.Epoch)
 		return
 	case h.Proto != Proto:
-		p.refuse(conn, fmt.Sprintf("protocol %d, want %d", h.Proto, Proto), meta.Leader)
+		p.refuse(conn, fmt.Sprintf("protocol %d, want %d", h.Proto, Proto), meta.Leader, meta.Epoch)
 		return
 	case h.Shards != meta.Shards:
-		p.refuse(conn, fmt.Sprintf("follower has %d shards, primary %d", h.Shards, meta.Shards), meta.Leader)
+		p.refuse(conn, fmt.Sprintf("follower has %d shards, primary %d", h.Shards, meta.Shards), meta.Leader, meta.Epoch)
 		return
 	case h.Shard < 0 || h.Shard >= meta.Shards:
-		p.refuse(conn, fmt.Sprintf("no shard %d", h.Shard), meta.Leader)
+		p.refuse(conn, fmt.Sprintf("no shard %d", h.Shard), meta.Leader, meta.Epoch)
 		return
 	case h.Config != meta.Config:
-		p.refuse(conn, "policy config mismatch: "+h.Config+" vs "+meta.Config, meta.Leader)
+		p.refuse(conn, "policy config mismatch: "+h.Config+" vs "+meta.Config, meta.Leader, meta.Epoch)
+		return
+	}
+	if p.dropSite.Fire() {
+		// Injected handshake failure: accept the Hello, then vanish — the
+		// follower sees a dead session and redials.
 		return
 	}
 	conn.SetReadDeadline(time.Time{})
 
 	sub := NewSubscriber(h.Shard, conn.RemoteAddr().String())
+	sub.node = h.Node
+	sub.lastAck.Store(time.Now().UnixNano())
 	snap, seq, err := p.src.SnapshotShard(h.Shard, sub)
 	if err != nil {
-		p.refuse(conn, "snapshot: "+err.Error(), meta.Leader)
+		p.refuse(conn, "snapshot: "+err.Error(), meta.Leader, meta.Epoch)
 		return
 	}
 	st := p.streams[h.Shard]
@@ -403,6 +480,7 @@ func (p *Primary) handle(conn net.Conn) {
 			if ack := int64(binary.LittleEndian.Uint64(payload)); ack > sub.acked.Load() {
 				sub.acked.Store(ack)
 			}
+			sub.lastAck.Store(time.Now().UnixNano())
 		}
 	}
 }
@@ -411,7 +489,7 @@ func (p *Primary) handle(conn net.Conn) {
 // when idle.
 func (p *Primary) send(conn net.Conn, sub *Subscriber, st *ShardStream, done chan struct{}) {
 	defer close(done)
-	ticker := time.NewTicker(pingEvery)
+	ticker := time.NewTicker(p.tuning().PingEvery)
 	defer ticker.Stop()
 	var seqb [8]byte
 	for !sub.closed.Load() {
@@ -430,6 +508,15 @@ func (p *Primary) send(conn net.Conn, sub *Subscriber, st *ShardStream, done cha
 			return
 		}
 		if len(buf) > 0 {
+			if p.delaySite.Fire() {
+				time.Sleep(p.delaySite.Delay())
+			}
+			if p.dropSite.Fire() {
+				// Injected mid-stream failure.
+				conn.Close()
+				sub.give(buf)
+				return
+			}
 			if _, err := conn.Write(buf); err != nil {
 				conn.Close()
 				sub.give(buf)

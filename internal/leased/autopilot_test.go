@@ -1,0 +1,31 @@
+package leased
+
+import "testing"
+
+// electWinner must rank identically on every node that evaluates it — the
+// whole election scheme leans on that determinism instead of a ballot round.
+func TestElectWinnerDeterministic(t *testing.T) {
+	cases := []struct {
+		name  string
+		cands []candidate
+		want  string
+	}{
+		{"single", []candidate{{"c", 10}}, "c"},
+		{"highest applied wins", []candidate{{"a", 5}, {"b", 9}, {"c", 7}}, "b"},
+		{"lowest id breaks ties", []candidate{{"c", 9}, {"b", 9}, {"a", 3}}, "b"},
+		{"zero offsets still ordered", []candidate{{"z", 0}, {"m", 0}, {"q", 0}}, "m"},
+	}
+	for _, tc := range cases {
+		if got := electWinner(tc.cands); got.id != tc.want {
+			t.Errorf("%s: winner %q, want %q", tc.name, got.id, tc.want)
+		}
+		// Order independence: reversing the slate cannot change the outcome.
+		rev := make([]candidate, len(tc.cands))
+		for i, c := range tc.cands {
+			rev[len(rev)-1-i] = c
+		}
+		if got := electWinner(rev); got.id != tc.want {
+			t.Errorf("%s (reversed): winner %q, want %q", tc.name, got.id, tc.want)
+		}
+	}
+}

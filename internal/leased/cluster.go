@@ -73,7 +73,16 @@ func (s *Server) initCluster() {
 	} else if cc.Advertise != "" {
 		s.leader.Store(cc.Advertise)
 	}
+	// Pinned once here: the policy is immutable for the server's lifetime
+	// (snapshot application rebuilds managers but rejects any other config),
+	// and reading it live would race a follower's snapshot reinit when this
+	// node's listener answers a probe mid-apply.
+	s.cfgSig = fmt.Sprintf("%+v/shards=%d", s.shards[0].mgr.Config(), len(s.shards))
 	s.prim = cluster.NewPrimary(s, len(s.shards))
+	s.prim.SetTuning(cc.tuning())
+	if s.opts.Faults != nil {
+		s.prim.SetFaults(s.opts.Faults.Site("repl.drop"), s.opts.Faults.Site("repl.delay"))
+	}
 	for i, sh := range s.shards {
 		sh.repl = s.prim.Stream(i)
 	}
@@ -82,9 +91,7 @@ func (s *Server) initCluster() {
 // configSig is the policy signature pinned in the replication handshake:
 // replicas replay the same deterministic history only if they run the same
 // lease policy and shard routing.
-func (s *Server) configSig() string {
-	return fmt.Sprintf("%+v/shards=%d", s.shards[0].mgr.Config(), len(s.shards))
-}
+func (s *Server) configSig() string { return s.cfgSig }
 
 // ServeReplication starts accepting follower connections on ln (the
 // daemon's -repl-addr listener). The accept loop runs until Close.
@@ -105,17 +112,28 @@ func (s *Server) StartFollowing() error {
 	if s.role.Load() != roleFollower {
 		return fmt.Errorf("leased: %s node cannot follow", s.Role())
 	}
-	s.fol = cluster.NewFollower(s, cc.PrimaryAddr, len(s.shards), func(shard int) cluster.Hello {
+	s.startFollower(cc.PrimaryAddr)
+	return nil
+}
+
+// startFollower builds and starts a follower aimed at addr, replacing
+// s.fol. The hello closure reads the live epoch and node identity at dial
+// time, so fencing and lease accounting survive re-aims and promotions.
+func (s *Server) startFollower(addr string) {
+	cc := s.opts.Cluster
+	fol := cluster.NewFollower(s, addr, len(s.shards), func(shard int) cluster.Hello {
 		return cluster.Hello{
 			Proto:  cluster.Proto,
 			Shard:  shard,
 			Shards: len(s.shards),
 			Epoch:  s.cepoch.Load(),
 			Config: s.configSig(),
+			Node:   cc.NodeID,
 		}
 	}, cc.Logf)
-	s.fol.Start()
-	return nil
+	fol.SetTuning(cc.tuning())
+	s.fol.Store(fol)
+	fol.Start()
 }
 
 // Promote makes this node the primary of a new leadership generation:
@@ -132,8 +150,8 @@ func (s *Server) Promote() (epoch uint64, promoted bool) {
 	if s.role.Load() == rolePrimary {
 		return s.cepoch.Load(), false
 	}
-	if s.fol != nil {
-		s.fol.Stop()
+	if f := s.fol.Load(); f != nil {
+		f.Stop()
 	}
 	next := s.cepoch.Load()
 	if seen := s.seenEpoch.Load(); seen > next {
@@ -152,6 +170,11 @@ func (s *Server) Promote() (epoch uint64, promoted bool) {
 	if cc := s.opts.Cluster; cc != nil && cc.Advertise != "" {
 		s.leader.Store(cc.Advertise)
 	}
+	// A new leadership stint starts with its lease disarmed: writes open
+	// immediately and stay open until the first quorum of follower acks is
+	// seen, after which the lease is enforced (autopilot.go).
+	s.leaseArmed.Store(false)
+	s.writable.Store(true)
 	s.role.Store(rolePrimary)
 	return next, true
 }
@@ -187,8 +210,10 @@ func (s *Server) SnapshotShard(shard int, sub *cluster.Subscriber) (payload []by
 }
 
 // ObserveEpoch implements cluster.Source: proof of a later generation
-// fences a serving primary.
-func (s *Server) ObserveEpoch(e uint64) {
+// fences a serving primary. The observer's leader hint (when it names
+// anyone) is adopted first, so the 421s a just-fenced primary starts
+// answering already point clients at the successor.
+func (s *Server) ObserveEpoch(e uint64, leader string) {
 	for {
 		cur := s.seenEpoch.Load()
 		if e <= cur || s.seenEpoch.CompareAndSwap(cur, e) {
@@ -196,6 +221,9 @@ func (s *Server) ObserveEpoch(e uint64) {
 		}
 	}
 	if e > s.cepoch.Load() {
+		if leader != "" {
+			s.leader.Store(leader)
+		}
 		s.role.CompareAndSwap(rolePrimary, roleFenced)
 	}
 }
@@ -358,10 +386,11 @@ func (sh *shard) reinitLocked() {
 
 // replicaStats reports follower-side replication progress, when following.
 func (s *Server) replicaStats() (cluster.ReplicaStats, bool) {
-	if s.fol == nil {
+	f := s.fol.Load()
+	if f == nil {
 		return cluster.ReplicaStats{}, false
 	}
-	return s.fol.Stats(), true
+	return f.Stats(), true
 }
 
 // checkpointEpochTarget is the durable epoch the next checkpoint should
@@ -379,22 +408,27 @@ func (sh *shard) checkpointEpochTarget() uint64 {
 
 // --- HTTP surface ---
 
-// gate fronts the mutation routes with the role check: anything but a
-// serving primary answers 421 with the Leader hint, and well-behaved
-// clients (cmd/leaseload) re-aim at the leader and retry. Standalone
-// daemons compile the check away — gate returns the handler unchanged, so
-// the hot path keeps its zero-overhead shape. Clustered daemons pay one
-// atomic load.
+// gate fronts the mutation routes with the role and leader-lease checks:
+// anything but a serving primary — including a primary whose leadership
+// lease has expired (a minority-side leader during a partition) — answers
+// 421 with the Leader hint, and well-behaved clients (cmd/leaseload) re-aim
+// at the leader and retry. Standalone daemons compile the check away — gate
+// returns the handler unchanged, so the hot path keeps its zero-overhead
+// shape. Clustered daemons pay two atomic loads.
 func (s *Server) gate(h http.HandlerFunc) http.HandlerFunc {
 	if s.opts.Cluster == nil {
 		return h
 	}
 	return func(w http.ResponseWriter, r *http.Request) {
-		if s.role.Load() != rolePrimary {
+		if role := s.role.Load(); role != rolePrimary || !s.writable.Load() {
 			if l := s.LeaderHint(); l != "" {
 				setHeader(w.Header(), "Leader", l)
 			}
-			writeError(w, http.StatusMisdirectedRequest, "not the primary; retry at the leader")
+			msg := "not the primary; retry at the leader"
+			if role == rolePrimary {
+				msg = "leadership lease expired; writes suspended"
+			}
+			writeError(w, http.StatusMisdirectedRequest, msg)
 			return
 		}
 		h(w, r)
@@ -425,11 +459,13 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		io.WriteString(w, `{"ok":true,"role":"primary"}`+"\n")
 		return
 	}
-	b := make([]byte, 0, 128)
+	b := make([]byte, 0, 192)
 	b = append(b, `{"ok":true,"role":"`...)
 	b = append(b, s.Role()...)
 	b = append(b, `","cluster_epoch":`...)
 	b = strconv.AppendUint(b, s.ClusterEpoch(), 10)
+	b = append(b, `,"writable":`...)
+	b = strconv.AppendBool(b, s.Writable())
 	if rs, ok := s.replicaStats(); ok {
 		b = append(b, `,"connected":`...)
 		b = strconv.AppendInt(b, int64(rs.Connected), 10)
@@ -437,9 +473,19 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		b = strconv.AppendInt(b, int64(len(s.shards)), 10)
 		b = append(b, `,"lag_records":`...)
 		b = strconv.AppendInt(b, rs.Lag(), 10)
+		b = append(b, `,"suspect":`...)
+		b = strconv.AppendBool(b, rs.Suspect)
+		b = append(b, `,"last_heard_ms":`...)
+		b = strconv.AppendInt(b, rs.LastHeardMS, 10)
 	}
 	b = append(b, '}', '\n')
 	w.Write(b)
+}
+
+// Writable reports whether this node is currently accepting writes: a
+// primary whose leadership lease (if armed) is held.
+func (s *Server) Writable() bool {
+	return s.role.Load() == rolePrimary && s.writable.Load()
 }
 
 var _ cluster.Source = (*Server)(nil)

@@ -229,7 +229,7 @@ func TestClusterFailoverPreservesState(t *testing.T) {
 	c := newClusterRig(t, 2)
 	defer c.fol.s.Close()
 
-	driveDefaulter(c.prim)
+	driveDefaulter(c.prim.rig)
 	req, _ := newJSONRequest("POST", c.prim.ts.URL+"/v1/leases", acquireRequest{Client: "worker", Kind: "gps"})
 	req.Header.Set("X-Request-ID", "failover-dedup-1")
 	if resp, err := c.prim.cli.Do(req); err != nil {
@@ -376,8 +376,20 @@ func TestServePathDoesNotAllocateWithReplication(t *testing.T) {
 		t.Skip("sync.Pool bypasses itself under the race detector; allocation pins hold only in normal builds")
 	}
 	s := allocServer(t, func(o *Options) {
-		o.Cluster = &ClusterConfig{Role: "primary", Advertise: "http://primary.invalid"}
+		// Auto-failover armed with a ping interval no tick can reach during
+		// the measurement: the lease gate's extra atomic load sits on the
+		// serve path and must be part of what the zero-alloc pin covers.
+		o.Cluster = &ClusterConfig{
+			Role: "primary", Advertise: "http://primary.invalid",
+			NodeID:       "solo",
+			Peers:        []Peer{{ID: "solo", URL: "http://primary.invalid", ReplAddr: "127.0.0.1:1"}},
+			AutoFailover: true,
+			PingEvery:    time.Minute,
+		}
 	})
+	if err := s.StartAutoFailover(); err != nil {
+		t.Fatal(err)
+	}
 	lr := httpAcquire(t, s, "alloc-repl-client")
 	sub := cluster.NewSubscriber(0, "alloc-test")
 	s.shards[0].repl.Attach(sub)

@@ -264,6 +264,10 @@ func (e *ienc) clusterStatus(c *ClusterStatus) {
 	e.open('{')
 	e.strKey(&first, "role", c.Role)
 	e.uintKey(&first, "cluster_epoch", c.ClusterEpoch)
+	if c.NodeID != "" {
+		e.strKey(&first, "node_id", c.NodeID)
+	}
+	e.boolKey(&first, "writable", c.Writable)
 	if c.Leader != "" {
 		e.strKey(&first, "leader", c.Leader)
 	}
@@ -288,10 +292,14 @@ func (e *ienc) followerReplica(f *FollowerReplica) {
 	first := true
 	e.open('{')
 	e.strKey(&first, "addr", f.Addr)
+	if f.Node != "" {
+		e.strKey(&first, "node", f.Node)
+	}
 	e.intKey(&first, "shard", int64(f.Shard))
 	e.intKey(&first, "sent_seq", f.SentSeq)
 	e.intKey(&first, "acked_seq", f.AckedSeq)
 	e.intKey(&first, "lag_records", f.LagRecords)
+	e.intKey(&first, "last_ack_ms", f.LastAckMS)
 	e.close('}', first)
 }
 
@@ -306,6 +314,8 @@ func (e *ienc) replicationStatus(r *ReplicationStatus) {
 	e.intKey(&first, "lag_records", r.LagRecords)
 	e.intKey(&first, "snapshots_applied", r.SnapshotsApplied)
 	e.intKey(&first, "records_applied", r.RecordsApplied)
+	e.intKey(&first, "last_heard_ms", r.LastHeardMS)
+	e.boolKey(&first, "suspect", r.Suspect)
 	e.close('}', first)
 }
 

@@ -65,15 +65,17 @@ func TestMetricsEncoderMatchesStdlib(t *testing.T) {
 		},
 		Recovery: &RecoveryInfo{SnapshotLoaded: true, SnapshotNow: 777, Replayed: 17, TruncatedBytes: 12, StaleRecords: 3},
 		Cluster: &ClusterStatus{
-			Role: "primary", ClusterEpoch: 2, Leader: "http://127.0.0.1:7070",
+			Role: "primary", ClusterEpoch: 2, NodeID: "a", Writable: true,
+			Leader: "http://127.0.0.1:7070",
 			Followers: []FollowerReplica{
-				{Addr: "10.0.0.2:41234", Shard: 0, SentSeq: 100, AckedSeq: 96, LagRecords: 4},
+				{Addr: "10.0.0.2:41234", Node: "b", Shard: 0, SentSeq: 100, AckedSeq: 96, LagRecords: 4, LastAckMS: 12},
 				{Addr: "10.0.0.2:41234", Shard: 1, SentSeq: 80, AckedSeq: 80},
 			},
 			Replication: &ReplicationStatus{
 				Primary: "10.0.0.1:7171", Connected: 2, Shards: 2,
 				AppliedSeq: 180, SourceSeq: 184, LagRecords: 4,
 				SnapshotsApplied: 3, RecordsApplied: 177,
+				LastHeardMS: 250, Suspect: true,
 			},
 		},
 		Faults: map[string]faults.SiteStats{

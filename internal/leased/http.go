@@ -125,6 +125,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /metrics", s.record(routeMetrics, s.handleMetrics))
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("POST /v1/promote", s.handlePromote)
+	mux.HandleFunc("GET /v1/election", s.handleElection)
 	return http.TimeoutHandler(mux, s.opts.RequestTimeout, `{"error":"request timed out"}`)
 }
 

@@ -105,6 +105,66 @@ type ClusterConfig struct {
 	Advertise string
 	// Logf, when set, receives replication session diagnostics.
 	Logf func(format string, args ...any)
+
+	// NodeID names this node for lease accounting and election ranking.
+	// Required for auto-failover; node IDs must be unique in the cluster
+	// and their sort order is the deterministic election tiebreak.
+	NodeID string
+	// Peers is the full configured membership, including this node (matched
+	// by NodeID). Quorum is len(Peers)/2+1. Entries for other nodes carry
+	// the addresses *this* node should use to reach them, which lets tests
+	// and chaos rigs route each directed link through its own proxy.
+	Peers []Peer
+	// AutoFailover arms the failure detector, leader lease and deterministic
+	// election when StartAutoFailover is called.
+	AutoFailover bool
+	// LeaseTerm is the leadership lease: a primary that has not heard acks
+	// from a quorum within this window suspends writes. Default
+	// (MissedPings-1) × PingEvery, which keeps it safely inside the
+	// follower detection window (see DESIGN.md §16 for the math).
+	LeaseTerm time.Duration
+	// PingEvery / MissedPings tune the heartbeat cadence and the detection
+	// threshold (defaults 250ms / 4 → suspect after 1s of silence).
+	PingEvery   time.Duration
+	MissedPings int
+}
+
+// Peer is one configured cluster member, as seen from a specific node.
+type Peer struct {
+	ID       string // node ID (election identity)
+	URL      string // client-facing base URL (for /v1/election polls and Leader hints)
+	ReplAddr string // replication address (for re-aiming streams and probes)
+}
+
+// tuning derives the replication-layer tuning from the config.
+func (cc *ClusterConfig) tuning() cluster.Tuning {
+	return cluster.Tuning{PingEvery: cc.PingEvery, MissedPings: cc.MissedPings}.WithDefaults()
+}
+
+// leaseTerm is the effective leadership-lease window. The default sits one
+// ping interval inside the detection window so a deposed leader's lease
+// expires before any successor can have finished detecting it (the
+// at-most-one-writable-leader margin; DESIGN.md §16).
+func (cc *ClusterConfig) leaseTerm() time.Duration {
+	if cc.LeaseTerm > 0 {
+		return cc.LeaseTerm
+	}
+	t := cc.tuning()
+	return time.Duration(t.MissedPings-1) * t.PingEvery
+}
+
+// quorum is the majority of the configured membership; standalone and
+// unconfigured nodes get 1 so a cluster of one is always quorate.
+func (cc *ClusterConfig) quorum() int { return len(cc.Peers)/2 + 1 }
+
+// peer returns the configured entry for id.
+func (cc *ClusterConfig) peer(id string) (Peer, bool) {
+	for _, p := range cc.Peers {
+		if p.ID == id {
+			return p, true
+		}
+	}
+	return Peer{}, false
 }
 
 func (o Options) withDefaults() Options {
@@ -197,8 +257,23 @@ type Server struct {
 	role      atomic.Int32  // rolePrimary | roleFollower | roleFenced
 	leader    atomic.Value  // string: current Leader hint
 	prim      *cluster.Primary
-	fol       *cluster.Follower
+	cfgSig    string                           // immutable policy signature for handshakes
+	fol       atomic.Pointer[cluster.Follower] // swapped when re-aiming at a new leader
 	promoteMu sync.Mutex
+
+	// Leadership-lease state (auto-failover only). writable is the leader
+	// lease verdict the write gate consults alongside the role: a primary
+	// that cannot renew with a quorum of acks flips it false and answers
+	// writes 421 until the quorum returns. leaseArmed latches once the
+	// first quorum of a leadership stint is observed — before that the
+	// lease is not enforced, so a cold-booting cluster (or a fresh
+	// promotee whose followers have not re-aimed yet) can take writes.
+	writable   atomic.Bool
+	leaseArmed atomic.Bool
+	autoStop   chan struct{}
+	autoOnce   sync.Once
+	autoWG     sync.WaitGroup
+	probeBusy  atomic.Bool // one in-flight peer-probe sweep at a time
 }
 
 // shard is one fully independent partition of the daemon: a wall clock, an
@@ -274,7 +349,7 @@ func NewServer(opts Options) *Server {
 // fill s.shards and share ce (the cluster epoch) with them. opts must
 // already carry defaults.
 func newServerShell(opts Options, ce *atomic.Uint64) *Server {
-	return &Server{
+	s := &Server{
 		opts:     opts,
 		faults:   opts.Faults,
 		metrics:  &serverMetrics{},
@@ -282,6 +357,8 @@ func newServerShell(opts Options, ce *atomic.Uint64) *Server {
 		started:  time.Now(),
 		cepoch:   ce,
 	}
+	s.writable.Store(true)
+	return s
 }
 
 // newShard assembles one shard around the given clock, which recovery
@@ -337,8 +414,9 @@ func (s *Server) shardByWireID(wire uint64) (sh *shard, local uint64, ok bool) {
 // clocks, so they stop first). In-flight Do sections finish first; call
 // after the HTTP server has shut down.
 func (s *Server) Close() {
-	if s.fol != nil {
-		s.fol.Stop()
+	s.stopAutopilot()
+	if f := s.fol.Load(); f != nil {
+		f.Stop()
 	}
 	if s.prim != nil {
 		s.prim.Close()

@@ -324,6 +324,12 @@ func (d *DurabilityStats) merge(o DurabilityStats) {
 type ClusterStatus struct {
 	Role         string `json:"role"`
 	ClusterEpoch uint64 `json:"cluster_epoch"`
+	// NodeID is this node's configured election identity (auto-failover
+	// clusters only).
+	NodeID string `json:"node_id,omitempty"`
+	// Writable reports the write gate's verdict: primary role AND (when the
+	// leadership lease is armed) a quorum of recent follower acks.
+	Writable bool `json:"writable"`
 	// Leader is the base URL this node believes leads the cluster (its own
 	// Advertise while primary).
 	Leader string `json:"leader,omitempty"`
@@ -338,10 +344,14 @@ type ClusterStatus struct {
 // FollowerReplica is one attached follower stream, as the primary sees it.
 type FollowerReplica struct {
 	Addr       string `json:"addr"`
+	Node       string `json:"node,omitempty"`
 	Shard      int    `json:"shard"`
 	SentSeq    int64  `json:"sent_seq"`
 	AckedSeq   int64  `json:"acked_seq"`
 	LagRecords int64  `json:"lag_records"`
+	// LastAckMS is milliseconds since this stream last acked — the
+	// primary-side lease-renewal evidence.
+	LastAckMS int64 `json:"last_ack_ms"`
 }
 
 // ReplicationStatus is a follower's apply progress, summed across shards.
@@ -354,6 +364,10 @@ type ReplicationStatus struct {
 	LagRecords       int64  `json:"lag_records"`
 	SnapshotsApplied int64  `json:"snapshots_applied"`
 	RecordsApplied   int64  `json:"records_applied"`
+	// LastHeardMS is milliseconds since any shard stream heard the primary;
+	// Suspect is true once that silence exceeds the detection window.
+	LastHeardMS int64 `json:"last_heard_ms"`
+	Suspect     bool  `json:"suspect"`
 }
 
 // Defaulter is one detected misbehaving client.
@@ -441,17 +455,26 @@ func (s *Server) snapshot() Snapshot {
 		cs := &ClusterStatus{
 			Role:         s.Role(),
 			ClusterEpoch: s.ClusterEpoch(),
+			NodeID:       cc.NodeID,
+			Writable:     s.Writable(),
 			Leader:       s.LeaderHint(),
 		}
 		for _, f := range s.prim.Followers() {
 			cs.Followers = append(cs.Followers, FollowerReplica{
-				Addr: f.Addr, Shard: f.Shard,
+				Addr: f.Addr, Node: f.Node, Shard: f.Shard,
 				SentSeq: f.SentSeq, AckedSeq: f.AckedSeq, LagRecords: f.Lag,
+				LastAckMS: f.LastAckMS,
 			})
 		}
 		if rs, ok := s.replicaStats(); ok {
+			// The live dial target, not the boot-time config: a re-aimed
+			// follower reports the leader it actually replicates from.
+			primaryAddr := cc.PrimaryAddr
+			if f := s.fol.Load(); f != nil {
+				primaryAddr = f.Addr()
+			}
 			cs.Replication = &ReplicationStatus{
-				Primary:          cc.PrimaryAddr,
+				Primary:          primaryAddr,
 				Connected:        rs.Connected,
 				Shards:           len(s.shards),
 				AppliedSeq:       rs.AppliedSeq,
@@ -459,6 +482,8 @@ func (s *Server) snapshot() Snapshot {
 				LagRecords:       rs.Lag(),
 				SnapshotsApplied: rs.Snapshots,
 				RecordsApplied:   rs.Records,
+				LastHeardMS:      rs.LastHeardMS,
+				Suspect:          rs.Suspect,
 			}
 		}
 		snap.Cluster = cs

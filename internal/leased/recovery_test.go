@@ -95,7 +95,7 @@ func recoverCaptured(t *testing.T, dir string, opts Options) (*Server, RecoveryI
 // driveDefaulter pushes traffic until the daemon has a deferred lease and a
 // detected defaulter: "torch" idles on a wakelock, "worker" renews with
 // healthy CPU, "tourist" acquires GPS and is destroyed (a dead record).
-func driveDefaulter(d *durableRig) (torchID uint64) {
+func driveDefaulter(d *rig) (torchID uint64) {
 	t := d.t
 	t.Helper()
 	torch := d.acquire("torch", "wakelock")
@@ -123,7 +123,7 @@ func driveDefaulter(d *durableRig) (torchID uint64) {
 func TestCrashRecoveryRebuildsExactState(t *testing.T) {
 	dir := t.TempDir()
 	d := newDurableRig(t, dir, testOptions())
-	torchID := driveDefaulter(d)
+	torchID := driveDefaulter(d.rig)
 
 	// A deduped request, so the cache has entries to resurrect.
 	req, _ := newJSONRequest("POST", d.ts.URL+"/v1/leases", acquireRequest{Client: "worker", Kind: "gps"})
@@ -185,7 +185,7 @@ func TestCrashRecoveryFromSnapshotPlusJournal(t *testing.T) {
 	opts := testOptions()
 	opts.SnapshotEvery = 4 // force mid-run checkpoints
 	d := newDurableRig(t, dir, opts)
-	driveDefaulter(d)
+	driveDefaulter(d.rig)
 
 	pre := markAndCapture(d.s)
 	var snaps int64
@@ -318,7 +318,7 @@ func TestCrashRecoveryRebuildsOverflowedDedup(t *testing.T) {
 func TestGracefulShutdownReplaysNothing(t *testing.T) {
 	dir := t.TempDir()
 	d := newDurableRig(t, dir, testOptions())
-	driveDefaulter(d)
+	driveDefaulter(d.rig)
 
 	// Graceful path: final checkpoint, captured at the same frozen instant
 	// so the comparison is exact, then clean close.

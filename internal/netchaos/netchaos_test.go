@@ -1,0 +1,252 @@
+package netchaos
+
+import (
+	"io"
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+// echoServer accepts connections and echoes bytes back until closed.
+func echoServer(t *testing.T) net.Listener {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go io.Copy(c, c)
+		}
+	}()
+	return ln
+}
+
+func dialProxy(t *testing.T, p *Proxy) net.Conn {
+	t.Helper()
+	c, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// roundTrip writes msg and reads it back within timeout.
+func roundTrip(c net.Conn, msg string, timeout time.Duration) (string, error) {
+	if _, err := c.Write([]byte(msg)); err != nil {
+		return "", err
+	}
+	c.SetReadDeadline(time.Now().Add(timeout))
+	buf := make([]byte, len(msg))
+	n, err := io.ReadFull(c, buf)
+	return string(buf[:n]), err
+}
+
+func TestProxyPassthrough(t *testing.T) {
+	ln := echoServer(t)
+	defer ln.Close()
+	p, err := New(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	c := dialProxy(t, p)
+	defer c.Close()
+	got, err := roundTrip(c, "hello", time.Second)
+	if err != nil || got != "hello" {
+		t.Fatalf("roundTrip = %q, %v", got, err)
+	}
+}
+
+func TestProxyBlackholeStallsAndHeals(t *testing.T) {
+	ln := echoServer(t)
+	defer ln.Close()
+	p, err := New(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	c := dialProxy(t, p)
+	defer c.Close()
+	if _, err := roundTrip(c, "warm", time.Second); err != nil {
+		t.Fatalf("pre-blackhole round trip: %v", err)
+	}
+
+	if err := p.Configure("blackhole=1"); err != nil {
+		t.Fatal(err)
+	}
+	// The connection stays up but nothing comes back: exactly the silence
+	// shape read deadlines exist to catch.
+	if got, err := roundTrip(c, "lost?", 200*time.Millisecond); err == nil {
+		t.Fatalf("read during blackhole returned %q, want timeout", got)
+	} else if ne, ok := err.(net.Error); !ok || !ne.Timeout() {
+		t.Fatalf("read during blackhole: %v, want timeout", err)
+	}
+
+	// Heal: the held bytes flow (backpressure, not loss).
+	if err := p.Configure(""); err != nil {
+		t.Fatal(err)
+	}
+	c.SetReadDeadline(time.Now().Add(2 * time.Second))
+	buf := make([]byte, 5)
+	if _, err := io.ReadFull(c, buf); err != nil {
+		t.Fatalf("read after heal: %v", err)
+	}
+	if string(buf) != "lost?" {
+		t.Fatalf("after heal got %q, want %q", buf, "lost?")
+	}
+}
+
+func TestProxyOneWayDrop(t *testing.T) {
+	ln := echoServer(t)
+	defer ln.Close()
+	p, err := New(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	// s2c: our writes reach the echo server, its echoes never come back.
+	if err := p.Configure("drop=s2c"); err != nil {
+		t.Fatal(err)
+	}
+	c := dialProxy(t, p)
+	defer c.Close()
+	if _, err := roundTrip(c, "one-way", 200*time.Millisecond); err == nil {
+		t.Fatal("echo came back through a dropped s2c link")
+	}
+
+	// Flip to c2s: now nothing we send arrives, so nothing echoes either,
+	// and crucially the earlier s2c drop no longer applies (spec replaces).
+	if err := p.Configure("drop=c2s"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := roundTrip(c, "swallowed", 200*time.Millisecond); err == nil {
+		t.Fatal("echo came back through a dropped c2s link")
+	}
+
+	// Heal and confirm the same connection carries traffic again.
+	if err := p.Configure("ok"); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := roundTrip(c, "back!", 2*time.Second); err != nil || got != "back!" {
+		t.Fatalf("after heal roundTrip = %q, %v", got, err)
+	}
+}
+
+func TestProxyDelay(t *testing.T) {
+	ln := echoServer(t)
+	defer ln.Close()
+	p, err := New(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if err := p.Configure("delay=60ms"); err != nil {
+		t.Fatal(err)
+	}
+	c := dialProxy(t, p)
+	defer c.Close()
+	start := time.Now()
+	if got, err := roundTrip(c, "slow", 2*time.Second); err != nil || got != "slow" {
+		t.Fatalf("roundTrip = %q, %v", got, err)
+	}
+	// Both directions pay the delay, so the round trip is at least ~2×.
+	if took := time.Since(start); took < 100*time.Millisecond {
+		t.Fatalf("delayed round trip took %v, want >= 100ms", took)
+	}
+}
+
+func TestProxyFlap(t *testing.T) {
+	ln := echoServer(t)
+	defer ln.Close()
+	p, err := New(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	// Down 80ms of every 160ms, anchored at Configure: the first round trip
+	// (sent immediately) stalls, but completes once the link comes up.
+	if err := p.Configure("flap=80ms:160ms"); err != nil {
+		t.Fatal(err)
+	}
+	c := dialProxy(t, p)
+	defer c.Close()
+	start := time.Now()
+	if got, err := roundTrip(c, "flappy", 2*time.Second); err != nil || got != "flappy" {
+		t.Fatalf("roundTrip through flapping link = %q, %v", got, err)
+	}
+	if took := time.Since(start); took < 40*time.Millisecond {
+		t.Fatalf("flap round trip took %v, want the down phase to have stalled it", took)
+	}
+}
+
+func TestProxySever(t *testing.T) {
+	ln := echoServer(t)
+	defer ln.Close()
+	p, err := New(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	c := dialProxy(t, p)
+	defer c.Close()
+	if _, err := roundTrip(c, "up", time.Second); err != nil {
+		t.Fatal(err)
+	}
+	p.Sever()
+	c.SetReadDeadline(time.Now().Add(time.Second))
+	if _, err := c.Read(make([]byte, 1)); err == nil {
+		t.Fatal("read on a severed link succeeded")
+	}
+	// The listener survives a sever: new connections relay normally.
+	c2 := dialProxy(t, p)
+	defer c2.Close()
+	if got, err := roundTrip(c2, "again", time.Second); err != nil || got != "again" {
+		t.Fatalf("post-sever roundTrip = %q, %v", got, err)
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	bad := []string{
+		"blackhole=2",
+		"drop=up",
+		"delay=fast",
+		"delay=-5ms",
+		"flap=80ms",
+		"flap=200ms:80ms", // down must be < period
+		"nonsense=1",
+		"loose words",
+	}
+	for _, spec := range bad {
+		if _, err := parseSpec(spec); err == nil {
+			t.Errorf("parseSpec(%q) accepted", spec)
+		}
+	}
+	good := map[string]impair{
+		"":                           {},
+		"ok":                         {},
+		"blackhole=1":                {blackhole: true},
+		"drop=both,delay=5ms":        {dropC2S: true, dropS2C: true, delay: 5 * time.Millisecond},
+		" drop=s2c , blackhole=0 ":   {dropS2C: true},
+		"flap=80ms:200ms,delay=1ms ": {flapDown: 80 * time.Millisecond, flapPeriod: 200 * time.Millisecond, delay: time.Millisecond},
+	}
+	for spec, want := range good {
+		im, err := parseSpec(spec)
+		if err != nil {
+			t.Errorf("parseSpec(%q): %v", spec, err)
+			continue
+		}
+		if im != want {
+			t.Errorf("parseSpec(%q) = %+v, want %+v", spec, im, want)
+		}
+	}
+	if err := (&Proxy{}).Configure("drop=sideways"); err == nil || !strings.Contains(err.Error(), "drop") {
+		t.Errorf("Configure with a bad spec: err = %v", err)
+	}
+}

@@ -1,0 +1,336 @@
+#!/usr/bin/env bash
+# chaos_partition.sh — network-partition failover test of the replicated
+# lease daemon with NO operator in the loop: a 3-node cluster (every
+# inter-node link routed through netchaos proxies) detects a blackholed
+# leader, self-promotes the deterministic successor, and fences the old
+# leader on heal — while a chaosverify monitor proves that at no sampled
+# instant were two nodes writable and no node's epoch ever moved backwards.
+#
+#   1. Boot A (primary), B, C with -auto-failover; every node reaches its
+#      peers only through its own netchaos proxies. Drive misbehaving load
+#      at A (leaseload -require-no-doubles) until defaulters are deferred;
+#      wait for both followers to sync; snapshot A (pre1).
+#
+#   2. Leader isolation: blackhole every A link (both directions) with a
+#      background load spanning the cut. A's leadership lease expires —
+#      writes at A answer 421 — before B self-promotes (highest applied
+#      offset, lowest node ID: B). C re-aims at B via the election poll's
+#      leader hint. Heal: the first epoch exchange fences A; its 421s now
+#      carry a Leader hint to B. Drive load AT THE FENCED A — clients must
+#      redirect to B, still with zero double-applies. chaosverify pre1 → B
+#      requires the defaulter set preserved and the epoch bumped. No
+#      `leased -promote` appears anywhere in this script.
+#
+#   3. Asymmetric link: restart A as a follower of B (an operator may
+#      restart a fenced box; nobody promotes anything). Then drop only B→C
+#      payloads (drop=s2c on C's view of B): C must suspect B, but with A
+#      still acking, B keeps its lease and no election happens.
+#
+#   4. Symmetric split {B} | {A, C}: the majority side elects A (lowest ID
+#      among equally-applied suspects) at epoch 2; B's lease expires before
+#      that; on heal B is fenced. chaosverify B-pre → A-post requires the
+#      epoch bump and every verdict preserved across BOTH unattended
+#      failovers.
+#
+# The monitor runs across all four phases; its SIGTERM exit status is the
+# at-most-one-writable-leader / monotone-epoch gate.
+#
+# Usage: scripts/chaos_partition.sh
+#   SHARDS     shards per node       (default 2)
+#   DURATION   load length per phase (default 6s)
+#   ARTIFACTS  artifact directory    (default chaos_partition_artifacts)
+set -euo pipefail
+
+SHARDS="${SHARDS:-2}"
+DURATION="${DURATION:-6s}"
+ARTIFACTS="${ARTIFACTS:-chaos_partition_artifacts}"
+
+# Real node addresses (clients and the monitor talk to these directly).
+PA=127.0.0.1:7181; RA=127.0.0.1:7191
+PB=127.0.0.1:7182; RB=127.0.0.1:7192
+PC=127.0.0.1:7183; RC=127.0.0.1:7193
+CTL=127.0.0.1:7199
+
+# Per-viewer proxies: X reaches Y only through X's own x_y_{http,repl}
+# links, so "partition A" means impairing A's links and everyone's links
+# to A without touching B↔C.
+AB_H=127.0.0.1:8111; AB_R=127.0.0.1:8112
+AC_H=127.0.0.1:8113; AC_R=127.0.0.1:8114
+BA_H=127.0.0.1:8121; BA_R=127.0.0.1:8122
+BC_H=127.0.0.1:8123; BC_R=127.0.0.1:8124
+CA_H=127.0.0.1:8131; CA_R=127.0.0.1:8132
+CB_H=127.0.0.1:8133; CB_R=127.0.0.1:8134
+
+# Failure-detection timings: a 100ms ping cadence, 5 missed pings to
+# suspect (500ms), a 250ms leadership lease. The deposed leader is
+# read-only within lease+tick ≈ 350ms of losing quorum; the successor
+# waits out detect+lease = 750ms of silence before opening — handoff
+# margin ≈ 400ms.
+PING=100ms; MISSED=5; LEASE=250ms
+
+cd "$(dirname "$0")/.."
+
+bin="$(mktemp -d)"
+mkdir -p "$ARTIFACTS"
+pidA=""; pidB=""; pidC=""; pidNet=""; pidMon=""; pidLoad=""
+cleanup() {
+    for p in "$pidA" "$pidB" "$pidC" "$pidNet" "$pidMon" "$pidLoad"; do
+        if [ -n "$p" ] && kill -0 "$p" 2>/dev/null; then
+            kill -9 "$p" 2>/dev/null || true
+            wait "$p" 2>/dev/null || true
+        fi
+    done
+    rm -rf "$bin"
+}
+trap cleanup EXIT
+
+fail() {
+    echo "FAIL: $*" >&2
+    exit 1
+}
+
+go build -o "$bin/leased" ./cmd/leased
+go build -o "$bin/leaseload" ./cmd/leaseload
+go build -o "$bin/chaosverify" ./cmd/chaosverify
+go build -o "$bin/netchaos" ./cmd/netchaos
+
+json_int() {
+    grep -o "\"$2\": *[0-9]*" "$1" | head -1 | grep -o '[0-9]*$'
+}
+
+# set_link NAME SPEC — reshape one proxy link ("all" hits every link).
+set_link() {
+    curl -sfG "http://$CTL/set" --data-urlencode "link=$1" --data-urlencode "spec=$2" > /dev/null \
+        || fail "netchaos set $1=$2"
+}
+
+# hz_field ADDR KEY — one field out of /healthz ("x" when unreachable).
+hz_field() {
+    curl -sf --max-time 2 "http://$1/healthz" 2>/dev/null \
+        | grep -o "\"$2\":[^,}]*" | head -1 | cut -d: -f2 || echo x
+}
+
+wait_hz() { # addr key want tries what
+    local got=""
+    for i in $(seq 1 "$4"); do
+        got=$(hz_field "$1" "$2")
+        if [ "$got" = "$3" ]; then return 0; fi
+        sleep 0.1
+    done
+    fail "$5 (last $2=$got)"
+}
+
+wait_synced() { # addr
+    local hz="" c="" l=""
+    for i in $(seq 1 200); do
+        hz=$(curl -sf "http://$1/healthz" || true)
+        c=$(echo "$hz" | grep -o '"connected": *[0-9]*' | grep -o '[0-9]*$' || true)
+        l=$(echo "$hz" | grep -o '"lag_records": *[0-9]*' | grep -o '[0-9]*$' || true)
+        if [ "${c:-x}" = "$SHARDS" ] && [ "${l:-x}" = "0" ]; then return 0; fi
+        sleep 0.1
+    done
+    fail "follower at $1 never synced (last healthz: $hz)"
+}
+
+start_node() { # pidvar logfile addr data extra-flags...
+    local pidvar="$1" logf="$2" addr="$3" data="$4"; shift 4
+    "$bin/leased" -addr "$addr" -data "$data" -shards "$SHARDS" \
+        -term 150ms -tau 60s -tau-max 240s -snapshot-every 64 \
+        -auto-failover -ping-every "$PING" -missed-pings "$MISSED" -lease-term "$LEASE" \
+        "$@" 2> "$logf" &
+    eval "$pidvar=\$!"
+    disown %% 2>/dev/null || true
+    for i in $(seq 1 50); do
+        if curl -sf "http://$addr/healthz" > /dev/null 2>&1; then return 0; fi
+        sleep 0.1
+    done
+    cat "$logf" >&2
+    fail "node at $addr never became healthy"
+}
+
+# Every node lists all three peers; its entries for the OTHER nodes point at
+# its own proxies.
+PEERS_A="a,http://$PA,$RA;b,http://$AB_H,$AB_R;c,http://$AC_H,$AC_R"
+PEERS_B="a,http://$BA_H,$BA_R;b,http://$PB,$RB;c,http://$BC_H,$BC_R"
+PEERS_C="a,http://$CA_H,$CA_R;b,http://$CB_H,$CB_R;c,http://$PC,$RC"
+
+### Phase 0: the network, then the cluster through it.
+echo "== phase 0: netchaos fabric + 3-node auto-failover cluster =="
+"$bin/netchaos" -ctl "$CTL" \
+    -link "a_b_http=$AB_H>$PB" -link "a_b_repl=$AB_R>$RB" \
+    -link "a_c_http=$AC_H>$PC" -link "a_c_repl=$AC_R>$RC" \
+    -link "b_a_http=$BA_H>$PA" -link "b_a_repl=$BA_R>$RA" \
+    -link "b_c_http=$BC_H>$PC" -link "b_c_repl=$BC_R>$RC" \
+    -link "c_a_http=$CA_H>$PA" -link "c_a_repl=$CA_R>$RA" \
+    -link "c_b_http=$CB_H>$PB" -link "c_b_repl=$CB_R>$RB" \
+    2> "$ARTIFACTS/netchaos.log" &
+pidNet=$!
+for i in $(seq 1 50); do
+    if curl -sf "http://$CTL/links" > /dev/null 2>&1; then break; fi
+    sleep 0.1
+done
+curl -sf "http://$CTL/links" > /dev/null || fail "netchaos control plane never came up"
+
+start_node pidA "$ARTIFACTS/leased_a1.log" "$PA" "$bin/dataA" \
+    -role primary -repl-addr "$RA" -advertise "http://$PA" -node-id a -peers "$PEERS_A"
+start_node pidB "$ARTIFACTS/leased_b.log" "$PB" "$bin/dataB" \
+    -role follower -repl-addr "$RB" -primary "$BA_R" -advertise "http://$PB" -node-id b -peers "$PEERS_B"
+start_node pidC "$ARTIFACTS/leased_c.log" "$PC" "$bin/dataC" \
+    -role follower -repl-addr "$RC" -primary "$CA_R" -advertise "http://$PC" -node-id c -peers "$PEERS_C"
+
+"$bin/chaosverify" -monitor "http://$PA,http://$PB,http://$PC" \
+    -monitor-interval 100ms -monitor-out "$ARTIFACTS/monitor.jsonl" \
+    2> "$ARTIFACTS/monitor.log" &
+pidMon=$!
+
+### Phase 1: misbehaving load at the leader; everyone synced.
+echo "== phase 1: load at A, B and C following through the fabric =="
+"$bin/leaseload" -addr "http://$PA" -duration "$DURATION" -beat 5ms \
+    -mix normal=2,lhb=2,lub=1,fab=1 -retries 6 -seed 11 \
+    -faults "client.drop=0.05" -require-no-doubles \
+    > "$ARTIFACTS/load_1.json"
+det=$(json_int "$ARTIFACTS/load_1.json" misbehaving_deferred)
+[ "${det:-0}" -gt 0 ] || fail "no misbehaving client deferred in phase 1"
+
+wait_synced "$PB"
+wait_synced "$PC"
+curl -sf "http://$PA/metrics" > "$ARTIFACTS/metrics_pre1.json"
+grep -q '"deferrals": [1-9]' "$ARTIFACTS/metrics_pre1.json" \
+    || fail "no deferrals before the partition; nothing to preserve"
+
+### Phase 2: blackhole the leader; the cluster must fail over by itself.
+echo "== phase 2: leader isolation (blackhole all A links) =="
+# The cut comes first: B and C are fully synced with identical applied
+# offsets, so the election tiebreak (lowest node ID among equally-applied
+# candidates) deterministically picks B. A write reaching one follower
+# after the other's link died would — correctly — crown the more
+# caught-up node instead.
+set_link a_b_http blackhole=1; set_link a_b_repl blackhole=1
+set_link a_c_http blackhole=1; set_link a_c_repl blackhole=1
+set_link b_a_http blackhole=1; set_link b_a_repl blackhole=1
+set_link c_a_http blackhole=1; set_link c_a_repl blackhole=1
+
+# Background load spanning the failover: these clients ride through the
+# lease expiry and B's promotion; the report is an artifact, not a gate —
+# during the window A answers 421 and that unavailability is the design.
+"$bin/leaseload" -addr "http://$PA" -duration 8s -beat 10ms \
+    -mix normal=4 -retries 8 -seed 17 -prefix cut- \
+    > "$ARTIFACTS/load_cut.json" 2>/dev/null &
+pidLoad=$!
+
+# The isolated leader's lease expires: writes suspend BEFORE any successor
+# can exist (lease < detect is enforced at startup).
+wait_hz "$PA" writable false 100 "isolated leader never went read-only"
+code=$(curl -s -o /dev/null -w '%{http_code}' -X POST "http://$PA/v1/leases" \
+    -H 'Content-Type: application/json' -d '{"client":"minority-probe","kind":"wakelock"}')
+[ "$code" = "421" ] || fail "isolated read-only leader answered $code to a write, want 421"
+echo "phase 2: A read-only"
+
+# B self-promotes (equal applied offsets; lowest ID wins) — unattended.
+wait_hz "$PB" role '"primary"' 300 "B never self-promoted"
+wait_hz "$PB" cluster_epoch 1 50 "B promoted without bumping the epoch"
+wait_hz "$PB" writable true 100 "promoted B never opened for writes"
+# The loser re-aims at the winner, no operator involved.
+wait_hz "$PC" role '"follower"' 50 "C should have stayed a follower"
+wait_hz "$PC" cluster_epoch 1 300 "C never adopted the new epoch"
+wait_synced "$PC"
+echo "phase 2: B promoted at epoch 1, C re-aimed at B"
+
+wait "$pidLoad" 2>/dev/null || true # spanning load: artifact only
+pidLoad=""
+
+### Phase 3: heal; the ex-leader must come back fenced, not writable.
+echo "== phase 3: heal the partition; A is fenced by the epoch exchange =="
+set_link all ""
+wait_hz "$PA" role '"fenced"' 300 "healed ex-leader was never fenced"
+
+code=$(curl -s -o "$ARTIFACTS/fence_body.json" -D "$ARTIFACTS/fence_headers.txt" \
+    -w '%{http_code}' -X POST "http://$PA/v1/leases" \
+    -H 'Content-Type: application/json' \
+    -d '{"client":"fence-probe","kind":"wakelock"}')
+[ "$code" = "421" ] || fail "fenced ex-leader answered $code to a write, want 421"
+grep -qi "^Leader: *http://$PB" "$ARTIFACTS/fence_headers.txt" \
+    || fail "421 from the fenced node carried no Leader hint to B"
+
+# Load at the FENCED node: clients must follow the hint to B, zero doubles.
+"$bin/leaseload" -addr "http://$PA" -duration "$DURATION" -beat 5ms \
+    -mix normal=2,lhb=2,lub=1,fab=1 -retries 6 -seed 13 -prefix p2- \
+    -faults "client.drop=0.05" -require-no-doubles \
+    > "$ARTIFACTS/load_2.json"
+redirects=$(json_int "$ARTIFACTS/load_2.json" redirects)
+[ "${redirects:-0}" -gt 0 ] || fail "no client followed the Leader hint (redirects=0)"
+echo "phase 3: $redirects clients redirected to the self-promoted leader, 0 doubles"
+
+wait_synced "$PC"
+curl -sf "http://$PB/metrics" > "$ARTIFACTS/metrics_b.json"
+"$bin/chaosverify" -pre "$ARTIFACTS/metrics_pre1.json" \
+    -post "$ARTIFACTS/metrics_b.json" -shards "$SHARDS" \
+    -require-role primary -require-epoch-bump
+
+### Phase 4: asymmetric link — suspicion without an election.
+echo "== phase 4: one-way drop B→C; C suspects, nobody promotes =="
+# Restarting a fenced box as a follower is an operator action; promoting is
+# not — and none happens below.
+kill -9 "$pidA"
+wait "$pidA" 2>/dev/null || true
+start_node pidA "$ARTIFACTS/leased_a2.log" "$PA" "$bin/dataA" \
+    -role follower -repl-addr "$RA" -primary "$AB_R" -advertise "http://$PA" -node-id a -peers "$PEERS_A"
+wait_synced "$PA"
+
+set_link c_b_repl drop=s2c
+wait_hz "$PC" suspect true 100 "C never suspected B over the dropped direction"
+sleep 2 # ample time for a wrong election
+[ "$(hz_field "$PB" role)" = '"primary"' ] || fail "B lost leadership over a one-way link"
+[ "$(hz_field "$PB" writable)" = "true" ] || fail "B's lease broke over a one-way link"
+[ "$(hz_field "$PC" cluster_epoch)" = "1" ] || fail "one-way link moved C's epoch"
+[ "$(hz_field "$PC" role)" = '"follower"' ] || fail "C promoted itself without a quorum of suspects"
+set_link c_b_repl ""
+wait_hz "$PC" suspect false 100 "C's suspicion never cleared after the heal"
+wait_synced "$PC"
+echo "phase 4: suspicion raised and cleared, no election"
+
+### Phase 5: symmetric split — the majority side elects, B is fenced on heal.
+echo "== phase 5: split {B} | {A, C}; A self-promotes at epoch 2 =="
+wait_synced "$PA"
+curl -sf "http://$PB/metrics" > "$ARTIFACTS/metrics_pre2.json"
+
+set_link b_a_http blackhole=1; set_link b_a_repl blackhole=1
+set_link b_c_http blackhole=1; set_link b_c_repl blackhole=1
+set_link a_b_http blackhole=1; set_link a_b_repl blackhole=1
+set_link c_b_http blackhole=1; set_link c_b_repl blackhole=1
+
+wait_hz "$PB" writable false 100 "split leader never went read-only"
+wait_hz "$PA" role '"primary"' 300 "A never self-promoted on the majority side"
+wait_hz "$PA" cluster_epoch 2 50 "A promoted without bumping the epoch"
+wait_hz "$PC" cluster_epoch 2 300 "C never adopted epoch 2"
+wait_hz "$PC" role '"follower"' 50 "C should have re-aimed, not promoted"
+wait_synced "$PC"
+echo "phase 5: A promoted at epoch 2, C re-aimed"
+
+set_link all ""
+wait_hz "$PB" role '"fenced"' 300 "healed B was never fenced"
+
+sleep 1 # let A's clock overtake B's final time-driven counters
+curl -sf "http://$PA/metrics" > "$ARTIFACTS/metrics_post.json"
+"$bin/chaosverify" -pre "$ARTIFACTS/metrics_pre2.json" \
+    -post "$ARTIFACTS/metrics_post.json" -shards "$SHARDS" \
+    -require-role primary -require-epoch-bump
+# Full chain: phase-1 verdicts survived two unattended failovers.
+"$bin/chaosverify" -pre "$ARTIFACTS/metrics_pre1.json" \
+    -post "$ARTIFACTS/metrics_post.json" -shards "$SHARDS" \
+    -require-role primary -require-epoch-bump
+
+code=$(curl -s -o /dev/null -w '%{http_code}' -X POST "http://$PA/v1/leases" \
+    -H 'Content-Type: application/json' -d '{"client":"post-split-probe","kind":"wakelock"}')
+[ "$code" = "200" ] || fail "re-promoted A answered $code to a write, want 200"
+
+### The monitor's verdict covers every instant of all five phases.
+kill -TERM "$pidMon"
+monrc=0
+wait "$pidMon" || monrc=$?
+pidMon=""
+[ "$monrc" = "0" ] || fail "monitor observed an invariant violation (see $ARTIFACTS/monitor.log)"
+rounds=$(wc -l < "$ARTIFACTS/monitor.jsonl")
+[ "${rounds:-0}" -gt 20 ] || fail "monitor sampled only $rounds rounds; it was not watching"
+
+echo "chaos_partition: OK (2 unattended failovers, $rounds monitor rounds, artifacts in $ARTIFACTS/)"
